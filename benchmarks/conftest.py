@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+The full 122-benchmark workload data set is built once per session (and
+cached on disk across sessions), so individual benches measure the
+experiment computation itself, not dataset construction.  Trace length
+follows the library default; override with ``REPRO_BENCH_TRACE_LENGTH``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import GeneticSelector
+from repro.config import DEFAULT_CONFIG
+from repro.experiments import build_dataset
+
+
+def bench_config():
+    length = int(
+        os.environ.get("REPRO_BENCH_TRACE_LENGTH",
+                       DEFAULT_CONFIG.trace_length)
+    )
+    return DEFAULT_CONFIG.with_overrides(
+        trace_length=length,
+        ga_generations=40,
+        ga_population=48,
+    )
+
+
+@pytest.fixture(scope="session")
+def config():
+    return bench_config()
+
+
+@pytest.fixture(scope="session")
+def dataset(config):
+    """The full 122-benchmark workload data set (disk-cached)."""
+    return build_dataset(config)
+
+
+@pytest.fixture(scope="session")
+def ga_result(dataset, config):
+    """One GA selection shared by figures 4-6 and Table IV."""
+    selector = GeneticSelector(
+        population=config.ga_population,
+        generations=config.ga_generations,
+        seed=config.ga_seed,
+    )
+    return selector.select(dataset.mica_normalized())
+
+
+def report(title: str, lines) -> None:
+    """Print a paper-vs-measured block under ``-s`` / captured output."""
+    print()
+    print(f"=== {title} ===")
+    for line in lines:
+        print(f"  {line}")

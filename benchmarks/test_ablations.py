@@ -1,0 +1,133 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+* GA fitness with vs without the ``(1 - n/N)`` size penalty.
+* Correlation elimination ranking rule: mean-|r| vs max-|r|.
+* PCA baseline vs the GA subset at equal dimensionality.
+* Trace-length sensitivity of the characteristic vectors.
+"""
+
+import numpy as np
+
+from conftest import report
+from repro.analysis import (
+    PCA,
+    GeneticSelector,
+    correlation_elimination_order,
+    pairwise_distances,
+    pearson,
+    retain_by_correlation,
+)
+from repro.mica import characterize
+from repro.synth import generate_trace
+from repro.workloads import get_benchmark
+
+
+def test_ablation_ga_size_penalty(benchmark, dataset, config):
+    """Does the (1 - n/N) term actually shrink the subset?"""
+    normalized = dataset.mica_normalized()
+
+    def run_both():
+        with_penalty = GeneticSelector(
+            population=32, generations=20, seed=config.ga_seed
+        ).select(normalized)
+        without_penalty = GeneticSelector(
+            population=32, generations=20, seed=config.ga_seed,
+            size_penalty=False,
+        ).select(normalized)
+        return with_penalty, without_penalty
+
+    with_penalty, without_penalty = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    report(
+        "Ablation: GA fitness size penalty",
+        [
+            f"with penalty    : {with_penalty.n_selected} chars, "
+            f"rho = {with_penalty.rho:.3f}",
+            f"without penalty : {without_penalty.n_selected} chars, "
+            f"rho = {without_penalty.rho:.3f}",
+        ],
+    )
+    assert with_penalty.n_selected <= without_penalty.n_selected
+    # Without the penalty the GA buys (at most marginally) more rho.
+    assert without_penalty.rho >= with_penalty.rho - 0.02
+
+
+def test_ablation_corr_elim_ranking(benchmark, dataset):
+    """Mean-|r| (paper) vs max-|r| elimination ranking."""
+    normalized = dataset.mica_normalized()
+    full = pairwise_distances(normalized)
+
+    def run_both():
+        results = {}
+        for ranking in ("mean", "max"):
+            retained = retain_by_correlation(normalized, 8, ranking=ranking)
+            distances = pairwise_distances(normalized[:, retained])
+            results[ranking] = pearson(full, distances)
+        return results
+
+    rhos = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    report(
+        "Ablation: correlation-elimination ranking rule (8 retained)",
+        [f"{rule:<5} ranking: rho = {value:.3f}" for rule, value in
+         rhos.items()],
+    )
+    assert all(-1.0 <= value <= 1.0 for value in rhos.values())
+
+
+def test_ablation_pca_vs_ga(benchmark, dataset, config, ga_result):
+    """PCA at the GA's dimensionality: fidelity vs interpretability.
+
+    PCA optimizes variance capture with all 47 inputs, so its distance
+    fidelity is an upper bound the GA approaches while needing only the
+    selected characteristics to be measured.
+    """
+    normalized = dataset.mica_normalized()
+    full = pairwise_distances(normalized)
+    dims = ga_result.n_selected
+
+    def run_pca():
+        projected = PCA(n_components=dims).fit_transform(normalized)
+        return pearson(full, pairwise_distances(projected))
+
+    pca_rho = benchmark.pedantic(run_pca, rounds=1, iterations=1)
+    report(
+        "Ablation: PCA baseline vs GA subset",
+        [
+            f"dimensionality : {dims}",
+            f"PCA rho        : {pca_rho:.3f} (must measure all 47)",
+            f"GA rho         : {ga_result.rho:.3f} "
+            f"(measures only {dims})",
+        ],
+    )
+    assert pca_rho >= ga_result.rho - 0.05
+    assert ga_result.rho > 0.75
+
+
+def test_ablation_trace_length(benchmark, config):
+    """Characteristic stability across trace lengths (one benchmark)."""
+    profile = get_benchmark("spec2000/twolf/ref").profile
+
+    def vectors():
+        results = {}
+        for length in (20_000, 40_000, 80_000):
+            trace = generate_trace(profile, length)
+            results[length] = characterize(trace, config).values
+        return results
+
+    results = benchmark.pedantic(vectors, rounds=1, iterations=1)
+    lengths = sorted(results)
+    # Compare the probability-valued characteristics (bounded scales).
+    bounded = np.r_[0:6, 12:19, 23:43, 43:47]
+    deltas = [
+        float(np.abs(results[a][bounded] - results[b][bounded]).mean())
+        for a, b in zip(lengths, lengths[1:])
+    ]
+    report(
+        "Ablation: trace-length sensitivity (bounded characteristics)",
+        [
+            f"{a/1000:.0f}k -> {b/1000:.0f}k: mean |delta| = {delta:.4f}"
+            for (a, b), delta in zip(zip(lengths, lengths[1:]), deltas)
+        ],
+    )
+    assert all(delta < 0.08 for delta in deltas)

@@ -1,0 +1,60 @@
+"""Validating the Table IV measurement-cost model empirically.
+
+The cost model assigns machine-day weights per analysis pass; on this
+substrate the analyzers' actual run times are measurable.  The bench
+times each analyzer family and checks the *ordering* the cost model
+assumes: ILP and PPM are the expensive passes, instruction mix and
+working sets the cheap ones.
+"""
+
+import time
+
+from conftest import report
+from repro.mica import (
+    ilp_ipc,
+    instruction_mix,
+    ppm_predictabilities,
+    register_traffic,
+    stride_profile,
+    working_set,
+)
+from repro.synth import generate_trace
+from repro.workloads import get_benchmark
+
+
+def test_cost_model_ordering(benchmark, config):
+    trace = generate_trace(
+        get_benchmark("spec2000/parser/ref").profile, config.trace_length
+    )
+
+    def time_analyzers():
+        timings = {}
+        for label, runner in (
+            ("instruction mix", lambda: instruction_mix(trace)),
+            ("working set", lambda: working_set(trace)),
+            ("strides", lambda: stride_profile(trace)),
+            ("register traffic", lambda: register_traffic(trace)),
+            ("ILP (4 windows)", lambda: ilp_ipc(trace)),
+            ("PPM (4 variants)", lambda: ppm_predictabilities(trace)),
+        ):
+            start = time.perf_counter()
+            runner()
+            timings[label] = time.perf_counter() - start
+        return timings
+
+    timings = benchmark.pedantic(time_analyzers, rounds=1, iterations=1)
+    total = sum(timings.values())
+    rows = [
+        f"{label:<20} {seconds * 1000:8.1f} ms ({seconds / total:5.1%})"
+        for label, seconds in sorted(
+            timings.items(), key=lambda item: -item[1]
+        )
+    ]
+    report("Cost-model validation: empirical analyzer times", rows)
+
+    # The cost model's key assumptions, checked on real timings: the
+    # sequential simulations (ILP, PPM) dominate the vectorized passes.
+    assert timings["ILP (4 windows)"] > timings["instruction mix"]
+    assert timings["PPM (4 variants)"] > timings["working set"]
+    expensive = timings["ILP (4 windows)"] + timings["PPM (4 variants)"]
+    assert expensive > 0.5 * total

@@ -1,0 +1,101 @@
+"""Benches for the extension experiments.
+
+Not paper artifacts — these regenerate the follow-on analyses the paper
+motivates (subsetting, input sensitivity), the prior-work comparator
+(hierarchical dendrogram) and the related-work phase methodology.
+"""
+
+import numpy as np
+
+from conftest import report
+from repro.analysis import hierarchical_cluster
+from repro.experiments import run_input_sensitivity, run_subsetting
+from repro.phases import detect_phases, phase_homogeneity
+from repro.synth import generate_trace
+from repro.workloads import get_benchmark
+
+
+def test_extension_input_sensitivity(benchmark, dataset):
+    result = benchmark.pedantic(
+        run_input_sensitivity, args=(dataset,), rounds=1, iterations=1
+    )
+    report(
+        "Extension: input-set sensitivity",
+        [
+            f"programs with multiple inputs : {len(result.per_program)}",
+            f"same-program mean distance    : {result.intra_mean:.3f}",
+            f"cross-program mean distance   : {result.inter_mean:.3f}",
+            f"separation                    : {result.separation:.2f}x",
+        ],
+    )
+    # Same-program pairs must be closer than cross-program pairs
+    # (Eeckhout et al. JILP'03: inputs matter, but less than programs).
+    assert result.separation > 1.2
+
+
+def test_extension_subsetting(benchmark, dataset, config, ga_result):
+    result = benchmark.pedantic(
+        run_subsetting,
+        args=(dataset, config),
+        kwargs={"ga_result": ga_result},
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Extension: benchmark subsetting",
+        [
+            f"subset size          : {result.subset.size} of "
+            f"{len(result.names)}",
+            f"simulation reduction : {result.reduction:.0%}",
+            f"max HPC suite-mean estimation error: "
+            f"{result.hpc_errors.max():.1%}",
+        ],
+    )
+    assert result.reduction > 0.5
+    assert result.subset.size >= 5
+
+
+def test_extension_hierarchical_dendrogram(benchmark, dataset, ga_result):
+    reduced = dataset.mica_normalized()[:, list(ga_result.selected)]
+
+    def run():
+        return hierarchical_cluster(reduced, list(dataset.names))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    cut = result.cut(15)
+    sizes = sorted((len(members) for members in cut.values()), reverse=True)
+    report(
+        "Extension: hierarchical clustering (prior-work comparator)",
+        [
+            f"linkage method : {result.method}",
+            f"15-cluster cut sizes: {sizes}",
+        ],
+    )
+    assert sum(sizes) == len(dataset)
+
+
+def test_extension_phase_analysis(benchmark, config):
+    trace = generate_trace(
+        get_benchmark("spec2000/gcc/166").profile, config.trace_length
+    )
+
+    def run():
+        result = detect_phases(trace, interval=5_000, seed=1)
+        within, overall = phase_homogeneity(
+            trace, result, lambda chunk: float(chunk.load_mask.mean())
+        )
+        return result, within, overall
+
+    result, within, overall = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    report(
+        "Extension: phase analysis (SimPoint-style, related work)",
+        [
+            f"intervals : {len(result.assignments)} x {result.interval:,}",
+            f"phases    : {result.k}",
+            f"load-fraction stddev within phases : {within:.4f}",
+            f"load-fraction stddev overall       : {overall:.4f}",
+        ],
+    )
+    assert within <= overall + 1e-9

@@ -1,0 +1,25 @@
+"""Figure 1: HPC-distance vs MICA-distance scatter.
+
+Paper: correlation coefficient 0.46 over all benchmark tuples — the
+quantitative core of the pitfall argument.  Shape expectation: a modest
+positive correlation, clearly below a faithful-space correlation (~1).
+"""
+
+from conftest import report
+from repro.experiments import run_fig1
+
+
+def test_fig1_distance_scatter(benchmark, dataset):
+    result = benchmark.pedantic(
+        run_fig1, args=(dataset,), rounds=1, iterations=1
+    )
+    report(
+        "Figure 1: distance correlation",
+        [
+            f"benchmark tuples : {result.tuples} (122*121/2 = 7381)",
+            f"correlation      : {result.correlation:.3f} (paper: 0.46)",
+        ],
+    )
+    assert result.tuples == 7381
+    # Shape: modest positive correlation, far from both 0 and 1.
+    assert 0.2 < result.correlation < 0.9

@@ -1,0 +1,39 @@
+"""Figures 2-3: the bzip2 vs blast case study.
+
+Paper: the pair looks similar on hardware counters (Figure 2) yet
+differs strongly in inherent characteristics (Figure 3), most visibly
+in working sets, GAg/GAs predictability and global store strides.
+"""
+
+import numpy as np
+
+from conftest import report
+from repro.experiments import run_case_study
+
+
+def test_fig23_bzip2_vs_blast(benchmark, dataset):
+    result = benchmark.pedantic(
+        run_case_study, args=(dataset,), rounds=1, iterations=1
+    )
+    hpc_delta = float(np.abs(result.hpc_a - result.hpc_b).mean())
+    mica_delta = float(np.abs(result.mica_a - result.mica_b).mean())
+    ws_slice = slice(19, 23)
+    ws_delta = float(
+        np.abs(result.mica_a[ws_slice] - result.mica_b[ws_slice]).mean()
+    )
+    report(
+        "Figures 2-3: bzip2 vs blast",
+        [
+            f"pair: {result.name_a} vs {result.name_b}",
+            f"HPC-space distance percentile  : {result.hpc_distance_rank:.0%}",
+            f"MICA-space distance percentile : {result.mica_distance_rank:.0%}",
+            f"mean |delta|, HPC+mix metrics  : {hpc_delta:.3f}",
+            f"mean |delta|, MICA metrics     : {mica_delta:.3f}",
+            f"mean |delta|, working sets     : {ws_delta:.3f} "
+            "(paper: most striking difference)",
+        ],
+    )
+    # Shape: the pair is closer (percentile-wise) on counters than on
+    # inherent characteristics, and working sets differ strongly.
+    assert result.mica_distance_rank > result.hpc_distance_rank
+    assert ws_delta > hpc_delta

@@ -1,0 +1,31 @@
+"""Figure 4: ROC curves of the characterization methods.
+
+Paper AUCs: all-47 = 0.72, GA = 0.69, CE-17 = 0.67, CE-12/7 = 0.64.
+Shape expectation: all-47 >= GA >= CE at any retained size, and every
+curve clearly above chance (0.5).
+"""
+
+from conftest import report
+from repro.experiments import run_fig4
+
+
+def test_fig4_roc_curves(benchmark, dataset, config, ga_result):
+    result = benchmark.pedantic(
+        run_fig4,
+        args=(dataset, config),
+        kwargs={"ga_result": ga_result},
+        rounds=1,
+        iterations=1,
+    )
+    paper = {"all-47": 0.72, "GA": 0.69, "CE-17": 0.67,
+             "CE-12": 0.64, "CE-7": 0.64}
+    rows = [
+        f"{label:<8} AUC {area:.3f}  (paper: {paper[label]:.2f})  "
+        f"[{len(result.selected[label])} characteristics]"
+        for label, area in result.areas.items()
+    ]
+    report("Figure 4: ROC areas", rows)
+    areas = result.areas
+    assert areas["all-47"] >= areas["GA"] - 0.02
+    assert areas["GA"] >= areas["CE-12"] - 0.02
+    assert all(area > 0.55 for area in areas.values())

@@ -1,0 +1,46 @@
+"""Figure 6: clustering the 122 benchmarks in the reduced space.
+
+Paper: 15 clusters (BIC within 90% of max over K = 1..70); blast, tiff,
+mcf, adpcm, art, gcc and csu appear isolated; 9 of 14 SPECfp programs
+share one cluster; BioInfoMark/BioMetricsWorkload/CommBench contain
+SPEC-dissimilar benchmarks while MediaBench/MiBench are mostly similar.
+"""
+
+from conftest import report
+from repro.experiments import run_fig6
+
+#: Programs the paper calls out as isolated (singletons for at least
+#: one input).
+PAPER_ISOLATED = {"blast", "tiff", "mcf", "adpcm", "art", "gcc", "csu"}
+
+
+def test_fig6_clustering(benchmark, dataset, config, ga_result):
+    result = benchmark.pedantic(
+        run_fig6,
+        args=(dataset, config),
+        kwargs={"ga_result": ga_result},
+        rounds=1,
+        iterations=1,
+    )
+    singleton_programs = {
+        name.split("/")[1] for name in result.singleton_names
+    }
+    rows = [
+        f"chosen K           : {result.k} (paper: 15)",
+        f"singletons         : {sorted(result.singleton_names)}",
+        f"paper-isolated hit : "
+        f"{sorted(singleton_programs & PAPER_ISOLATED)}",
+        f"SPECfp max shared  : {result.specfp_max_shared}/14 (paper: 9/14)",
+    ]
+    for suite, fraction in sorted(result.suite_spec_similarity.items()):
+        rows.append(f"{suite:<12} SPEC-similar fraction: {fraction:.0%}")
+    report("Figure 6: clustering", rows)
+    # Shape: a moderate cluster count with real structure.
+    assert 5 <= result.k <= 40
+    # At least one of the paper's isolated programs is isolated here.
+    assert singleton_programs & PAPER_ISOLATED
+    # The SPECfp core groups substantially.
+    assert result.specfp_max_shared >= 6
+    # Embedded suites are more SPEC-similar than bioinformatics.
+    similarity = result.suite_spec_similarity
+    assert similarity["mibench"] >= similarity["bioinfomark"] - 0.25

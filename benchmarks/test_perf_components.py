@@ -1,0 +1,64 @@
+"""Component micro-benchmarks: the substrate building blocks.
+
+Not paper artifacts — these track the performance of the expensive
+simulation loops so regressions in the substrate are visible.
+"""
+
+import numpy as np
+
+from repro.synth import generate_trace
+from repro.uarch import (
+    EV56_CONFIG,
+    EV67_CONFIG,
+    InOrderModel,
+    OutOfOrderModel,
+    SetAssociativeCache,
+    collect_hpc,
+)
+from repro.uarch.cache import CacheConfig
+from repro.workloads import get_benchmark
+
+
+def _trace(config):
+    return generate_trace(
+        get_benchmark("spec2000/vpr/place").profile, config.trace_length
+    )
+
+
+def test_perf_cache_simulation(benchmark, config):
+    trace = _trace(config)
+    addresses = trace.mem_addr[trace.memory_mask]
+
+    def run():
+        cache = SetAssociativeCache(
+            CacheConfig("L1D", 8 << 10, 32, 1)
+        )
+        return cache.simulate(addresses)
+
+    misses = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(misses) == len(addresses)
+
+
+def test_perf_inorder_model(benchmark, config):
+    trace = _trace(config)
+    ipc, _ = benchmark.pedantic(
+        InOrderModel(EV56_CONFIG).run, args=(trace,), rounds=1, iterations=1
+    )
+    assert 0.0 < ipc <= 2.0
+
+
+def test_perf_ooo_model(benchmark, config):
+    trace = _trace(config)
+    ipc, _ = benchmark.pedantic(
+        OutOfOrderModel(EV67_CONFIG).run, args=(trace,),
+        rounds=1, iterations=1,
+    )
+    assert 0.0 < ipc <= 4.0
+
+
+def test_perf_hpc_collection(benchmark, config):
+    trace = _trace(config)
+    hpc = benchmark.pedantic(
+        collect_hpc, args=(trace,), rounds=1, iterations=1
+    )
+    assert np.isfinite(hpc.values).all()

@@ -1,0 +1,32 @@
+"""Table I: the 122-benchmark population.
+
+Regenerates the registry (suite sizes and per-suite instruction counts)
+and benchmarks registry construction plus trace generation throughput.
+"""
+
+from conftest import report
+from repro.synth import generate_trace
+from repro.workloads import all_benchmarks, all_suites, get_benchmark
+from repro.workloads.registry import _assemble_suite
+from repro.workloads import spec2000
+
+
+def test_table1_registry(benchmark):
+    suites = benchmark.pedantic(all_suites, rounds=1, iterations=1)
+    rows = [f"{suite.name:<14} {len(suite):>3} benchmarks" for suite in suites]
+    rows.append(f"{'total':<14} {len(all_benchmarks()):>3} (paper: 122)")
+    report("Table I: benchmark population", rows)
+    assert len(all_benchmarks()) == 122
+
+
+def test_table1_suite_assembly(benchmark):
+    """Profile construction cost for the largest suite (SPEC CPU2000)."""
+    suite = benchmark(_assemble_suite, spec2000)
+    assert len(suite) == 48
+
+
+def test_table1_trace_generation(benchmark, config):
+    """Dynamic-trace generation throughput for one benchmark."""
+    profile = get_benchmark("spec2000/bzip2/graphic").profile
+    trace = benchmark(generate_trace, profile, config.trace_length)
+    assert len(trace) == config.trace_length

@@ -1,0 +1,79 @@
+"""Table II: the 47 microarchitecture-independent characteristics.
+
+Benchmarks the full characterization of one trace and each analyzer
+family separately (the measurement-cost model in Table IV builds on
+their relative costs).
+"""
+
+from conftest import report
+from repro.mica import (
+    characterize,
+    ilp_ipc,
+    instruction_mix,
+    ppm_predictabilities,
+    register_traffic,
+    stride_profile,
+    working_set,
+)
+from repro.synth import generate_trace
+from repro.workloads import get_benchmark
+
+
+def _trace(config, name="spec2000/gzip/graphic"):
+    return generate_trace(get_benchmark(name).profile, config.trace_length)
+
+
+def test_table2_full_characterization(benchmark, config):
+    trace = _trace(config)
+    vector = benchmark.pedantic(
+        characterize, args=(trace, config), rounds=1, iterations=1
+    )
+    rows = [
+        f"{key:<28} {value:10.4f}"
+        for key, value in list(vector.as_dict().items())[:8]
+    ]
+    rows.append(f"... 47 characteristics total")
+    report("Table II: characterization sample (gzip)", rows)
+    assert vector.values.shape == (47,)
+
+
+def test_table2_instruction_mix(benchmark, config):
+    trace = _trace(config)
+    mix = benchmark(instruction_mix, trace)
+    assert mix.shape == (6,)
+
+
+def test_table2_ilp(benchmark, config):
+    trace = _trace(config)
+    ipc = benchmark.pedantic(
+        ilp_ipc, args=(trace,), rounds=1, iterations=1
+    )
+    assert ipc.shape == (4,)
+
+
+def test_table2_register_traffic(benchmark, config):
+    trace = _trace(config)
+    traffic = benchmark.pedantic(
+        register_traffic, args=(trace,), rounds=1, iterations=1
+    )
+    assert traffic.shape == (9,)
+
+
+def test_table2_working_set(benchmark, config):
+    trace = _trace(config)
+    ws = benchmark(working_set, trace)
+    assert ws.shape == (4,)
+
+
+def test_table2_strides(benchmark, config):
+    trace = _trace(config)
+    strides = benchmark(stride_profile, trace)
+    assert strides.shape == (20,)
+
+
+def test_table2_ppm(benchmark, config):
+    trace = _trace(config)
+    ppm = benchmark.pedantic(
+        ppm_predictabilities, args=(trace,), rounds=1, iterations=1
+    )
+    assert ppm.shape == (4,)

@@ -1,0 +1,29 @@
+"""Table III: quadrant fractions at 20%-of-max thresholds.
+
+Paper: FN 0.2%, TP 56.9%, TN 1.8%, FP 41.1%.  Shape expectation: false
+negatives are rare (the microarchitecture-independent space does not
+miss similarity), false positives are a large fraction (the pitfall).
+"""
+
+from conftest import report
+from repro.experiments import run_table3
+
+
+def test_table3_quadrants(benchmark, dataset):
+    result = benchmark.pedantic(
+        run_table3, args=(dataset,), rounds=1, iterations=1
+    )
+    q = result.quadrants
+    report(
+        "Table III: benchmark-tuple classification",
+        [
+            f"false negative : {q.false_negative:6.1%} (paper:  0.2%)",
+            f"true positive  : {q.true_positive:6.1%} (paper: 56.9%)",
+            f"true negative  : {q.true_negative:6.1%} (paper:  1.8%)",
+            f"false positive : {q.false_positive:6.1%} (paper: 41.1%)",
+        ],
+    )
+    # Shape: FP >> FN; FN tiny.
+    assert q.false_negative < 0.05
+    assert q.false_positive > 4 * q.false_negative
+    assert q.false_positive > 0.1

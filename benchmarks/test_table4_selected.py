@@ -1,0 +1,39 @@
+"""Table IV: GA-selected key characteristics + measurement cost.
+
+Paper: eight characteristics spanning instruction mix, register
+traffic, strides, working set and ILP; measurement cost drops from
+~110 to ~37 machine-days (~3X).  Shape expectation: a small subset
+(<= ~12) spanning several categories with a >= 2X modeled speedup.
+"""
+
+from conftest import report
+from repro.experiments import run_table4
+from repro.mica import CHARACTERISTICS
+
+
+def test_table4_ga_selection(benchmark, dataset, config, ga_result):
+    result = benchmark.pedantic(
+        run_table4,
+        args=(dataset, config),
+        kwargs={"ga_result": ga_result},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        f"#{CHARACTERISTICS[i].index:>2} {CHARACTERISTICS[i].description}"
+        for i in result.ga.selected
+    ]
+    rows.append(f"selected {result.ga.n_selected} (paper: 8); "
+                f"rho = {result.ga.rho:.3f} (paper: 0.876)")
+    rows.append(
+        f"cost {result.full_cost:.0f} -> {result.selected_cost:.0f} "
+        f"machine-days, speedup {result.speedup:.1f}x (paper: 110 -> 37, ~3X)"
+    )
+    report("Table IV: GA-selected characteristics", rows)
+    assert 3 <= result.ga.n_selected <= 14
+    assert result.ga.rho > 0.8
+    assert result.speedup >= 2.0
+    categories = {
+        CHARACTERISTICS[i].category for i in result.ga.selected
+    }
+    assert len(categories) >= 3  # Spans multiple behavior families.

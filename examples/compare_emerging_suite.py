@@ -1,0 +1,167 @@
+"""Scenario: is my emerging benchmark suite actually new?
+
+This is the workflow the paper's introduction motivates: you assembled
+a small benchmark suite for an emerging domain and want to know whether
+it behaves differently from SPEC CPU2000 — *inherently*, not just on
+today's hardware counters.
+
+The script:
+
+1. defines three synthetic "emerging" benchmarks (a streaming codec, a
+   graph traversal and an ML-style dense kernel) as workload profiles;
+2. characterizes them with the eight key characteristics the GA selects
+   on the 122-benchmark population;
+3. reports each one's nearest neighbors among the 122 and whether it
+   falls inside or outside the existing clusters.
+
+Run:  python examples/compare_emerging_suite.py [trace-length]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis import GeneticSelector, kiviat_ascii, kiviat_normalize
+from repro.config import DEFAULT_CONFIG
+from repro.experiments import build_dataset, run_fig6
+from repro.mica import CHARACTERISTICS, characterize
+from repro.synth import (
+    BranchSpec,
+    CodeSpec,
+    MemorySpec,
+    MixSpec,
+    RegisterSpec,
+    WorkloadProfile,
+    generate_trace,
+)
+
+EMERGING = [
+    WorkloadProfile(
+        name="emerging/videocodec/stream",
+        mix=MixSpec.normalized(load=0.24, store=0.1, branch=0.08,
+                               int_alu=0.42, int_mul=0.1, fp=0.06),
+        code=CodeSpec(num_functions=6, loop_iter_mean=48.0,
+                      diamond_rate=0.1),
+        memory=MemorySpec(
+            footprint_bytes=2 << 20,
+            load_mix={"sequential": 0.6, "strided": 0.35, "scalar": 0.05},
+            stride_bytes=32,
+        ),
+        registers=RegisterSpec(dep_mean=6.0, imm_fraction=0.3),
+        branches=BranchSpec(pattern_fraction=0.85, taken_bias=0.1),
+    ),
+    WorkloadProfile(
+        name="emerging/graph/bfs",
+        mix=MixSpec.normalized(load=0.32, store=0.08, branch=0.17,
+                               int_alu=0.42, int_mul=0.0, fp=0.0),
+        code=CodeSpec(num_functions=5, loop_iter_mean=6.0,
+                      diamond_rate=0.5),
+        memory=MemorySpec(
+            footprint_bytes=256 << 20,
+            load_mix={"pointer": 0.6, "random": 0.3, "scalar": 0.1},
+        ),
+        registers=RegisterSpec(dep_mean=1.8, imm_fraction=0.04),
+        branches=BranchSpec(pattern_fraction=0.2, taken_bias=0.45),
+    ),
+    WorkloadProfile(
+        name="emerging/ml/gemm",
+        mix=MixSpec.normalized(load=0.3, store=0.06, branch=0.03,
+                               int_alu=0.12, int_mul=0.01, fp=0.48),
+        code=CodeSpec(num_functions=3, loop_iter_mean=120.0,
+                      diamond_rate=0.02, loop_blocks=2),
+        memory=MemorySpec(
+            footprint_bytes=64 << 20,
+            load_mix={"sequential": 0.5, "strided": 0.5},
+            stride_bytes=512,
+        ),
+        registers=RegisterSpec(dep_mean=11.0, imm_fraction=0.35,
+                               two_op_fraction=0.8, fp_pool=30),
+        branches=BranchSpec(pattern_fraction=0.95, taken_bias=0.05),
+    ),
+]
+
+
+def main() -> int:
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 50_000
+    config = DEFAULT_CONFIG.with_overrides(trace_length=length)
+
+    print("building the 122-benchmark reference data set "
+          "(cached after the first run)...")
+    dataset = build_dataset(config)
+    normalized = dataset.mica_normalized()
+
+    print("selecting key characteristics with the GA...")
+    selector = GeneticSelector(
+        population=config.ga_population,
+        generations=config.ga_generations,
+        seed=config.ga_seed,
+    )
+    ga = selector.select(normalized)
+    selected = list(ga.selected)
+    labels = [CHARACTERISTICS[i].key for i in selected]
+    print(f"key characteristics ({len(selected)}): {', '.join(labels)}")
+    print()
+
+    clustering = run_fig6(dataset, config, ga_result=ga)
+
+    # Project the emerging benchmarks into the same normalized space.
+    mean = dataset.mica.mean(axis=0)
+    std = dataset.mica.std(axis=0)
+    std[std == 0.0] = 1.0
+
+    reduced_reference = normalized[:, selected]
+    for profile in EMERGING:
+        trace = generate_trace(profile, length)
+        vector = characterize(trace, config).values
+        z = (vector - mean) / std
+        reduced = z[selected]
+
+        distances = np.linalg.norm(reduced_reference - reduced, axis=1)
+        order = np.argsort(distances)
+        print(f"--- {profile.name} ---")
+        print("nearest existing benchmarks:")
+        for rank in range(3):
+            index = order[rank]
+            print(f"  {distances[index]:6.2f}  {dataset.names[index]}")
+        # Is it inside the observed workload space?
+        typical = float(np.median(distances))
+        nearest = float(distances[order[0]])
+        max_intra = _max_intra_cluster_distance(
+            clustering, reduced_reference
+        )
+        verdict = (
+            "similar to existing workloads"
+            if nearest <= max_intra
+            else "DISSIMILAR: extends the workload space"
+        )
+        print(f"nearest distance {nearest:.2f} vs largest intra-cluster "
+              f"distance {max_intra:.2f} -> {verdict}")
+        bounded = np.clip(
+            (vector[selected] - dataset.mica[:, selected].min(axis=0))
+            / np.maximum(
+                dataset.mica[:, selected].max(axis=0)
+                - dataset.mica[:, selected].min(axis=0), 1e-12),
+            0.0, 1.0,
+        )
+        print(kiviat_ascii(bounded.tolist(), labels=labels, radius=5))
+        print()
+    return 0
+
+
+def _max_intra_cluster_distance(clustering, reduced_reference):
+    """Largest member-to-centroid distance over all clusters."""
+    largest = 0.0
+    result = clustering.clustering.result
+    for cluster in range(result.k):
+        members = reduced_reference[result.assignments == cluster]
+        if len(members) == 0:
+            continue
+        center = members.mean(axis=0)
+        largest = max(
+            largest, float(np.linalg.norm(members - center, axis=1).max())
+        )
+    return largest
+
+
+if __name__ == "__main__":
+    sys.exit(main())

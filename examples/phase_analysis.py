@@ -1,0 +1,68 @@
+"""Phase analysis: code signatures within one benchmark.
+
+The paper's related-work section rests on the SimPoint observation that
+intervals executing similar code behave similarly on hardware metrics.
+This script decomposes one benchmark's trace into phases by basic-block
+vector, prints the phase timeline, picks simulation points, and then
+*verifies the premise* on this substrate: the simulated EV56 IPC varies
+far less within a phase than across the whole run.
+
+Run:  python examples/phase_analysis.py [benchmark] [trace-length]
+"""
+
+import sys
+
+from repro.phases import detect_phases, phase_homogeneity, simulation_points
+from repro.synth import generate_trace
+from repro.uarch import EV56_CONFIG, InOrderModel
+from repro.workloads import get_benchmark
+
+
+def main() -> int:
+    name = sys.argv[1] if len(sys.argv) > 1 else "spec2000/gcc/166"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 100_000
+    interval = 5_000
+
+    benchmark = get_benchmark(name)
+    print(f"benchmark: {benchmark.full_name}, "
+          f"{length:,} instructions, {interval:,}-instruction intervals")
+    trace = generate_trace(benchmark.profile, length)
+
+    result = detect_phases(trace, interval=interval, seed=1)
+    print(f"detected {result.k} phase(s) over "
+          f"{len(result.assignments)} intervals")
+    print()
+    print("phase timeline (one symbol per interval):")
+    print(result.format_timeline())
+    print()
+
+    points = simulation_points(result)
+    print("simulation points (interval index per phase, by population):")
+    for point in points:
+        phase = int(result.assignments[point])
+        print(f"  phase {phase}: interval {point} "
+              f"(instructions {point * interval:,}..."
+              f"{(point + 1) * interval:,})")
+    print()
+
+    model = InOrderModel(EV56_CONFIG)
+
+    def interval_ipc(chunk):
+        ipc, _ = model.run(chunk)
+        return ipc
+
+    print("verifying the SimPoint premise with simulated EV56 IPC...")
+    within, overall = phase_homogeneity(trace, result, interval_ipc)
+    print(f"  IPC stddev within phases : {within:.4f}")
+    print(f"  IPC stddev overall       : {overall:.4f}")
+    if result.k > 1:
+        ratio = within / overall if overall else 0.0
+        print(f"  -> intervals of the same phase are "
+              f"{1/ratio if ratio else float('inf'):.1f}x more uniform")
+    else:
+        print("  -> single-phase benchmark: behavior is uniform throughout")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Quickstart: characterize one benchmark, microarchitecture-independent
+and -dependent.
+
+Picks a benchmark from the paper's Table I registry, generates its
+synthetic dynamic instruction trace, computes the 47 MICA
+characteristics (Table II), and collects the simulated Alpha hardware
+performance counters the paper's section III-B uses.
+
+Run:  python examples/quickstart.py [benchmark] [trace-length]
+"""
+
+import sys
+
+from repro.mica import characterize
+from repro.synth import generate_trace
+from repro.trace import summarize
+from repro.uarch import collect_hpc
+from repro.workloads import get_benchmark
+
+
+def main() -> int:
+    name = sys.argv[1] if len(sys.argv) > 1 else "spec2000/bzip2/graphic"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 50_000
+
+    benchmark = get_benchmark(name)
+    print(f"benchmark : {benchmark.full_name}")
+    print(f"real dynamic instruction count (paper Table I): "
+          f"{benchmark.icount_millions:,} M")
+    print(f"synthetic trace length: {length:,} instructions")
+    print()
+
+    trace = generate_trace(benchmark.profile, length)
+    print(summarize(trace).format())
+    print()
+
+    vector = characterize(trace)
+    print(vector.format())
+    print()
+
+    hpc = collect_hpc(trace)
+    print(hpc.format())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

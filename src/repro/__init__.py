@@ -1,0 +1,61 @@
+"""repro — reproduction of "Comparing Benchmarks Using Key
+Microarchitecture-Independent Characteristics" (Hoste & Eeckhout,
+IISWC 2006).
+
+Package layout:
+
+* :mod:`repro.isa` / :mod:`repro.trace` — the instrumentation substrate
+  (Alpha-like ISA, dynamic instruction traces, on-disk trace format);
+* :mod:`repro.synth` / :mod:`repro.workloads` — the benchmark substrate
+  (synthetic program model, the 122 benchmarks of Table I);
+* :mod:`repro.mica` — the paper's contribution: the 47
+  microarchitecture-independent characteristics;
+* :mod:`repro.uarch` — the hardware-performance-counter substrate
+  (Alpha 21164A / 21264A simulators);
+* :mod:`repro.analysis` — normalization, distances, correlation
+  elimination, the genetic algorithm, PCA, ROC, k-means + BIC, kiviats;
+* :mod:`repro.experiments` — one driver per table/figure of the paper;
+* :mod:`repro.reporting` / :mod:`repro.cli` — text output and the
+  ``mica-repro`` command.
+
+Quickstart::
+
+    from repro.workloads import get_benchmark
+    from repro.synth import generate_trace
+    from repro.mica import characterize
+
+    benchmark = get_benchmark("spec2000/mcf/ref")
+    trace = generate_trace(benchmark.profile, 100_000)
+    print(characterize(trace).format())
+"""
+
+from .config import DEFAULT_CONFIG, SMOKE_CONFIG, ReproConfig
+from .errors import (
+    AnalysisError,
+    CharacterizationError,
+    ConfigurationError,
+    ProfileError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    TraceFormatError,
+    UnknownBenchmarkError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "SMOKE_CONFIG",
+    "ReproConfig",
+    "ReproError",
+    "TraceError",
+    "TraceFormatError",
+    "ProfileError",
+    "UnknownBenchmarkError",
+    "CharacterizationError",
+    "SimulationError",
+    "AnalysisError",
+    "ConfigurationError",
+    "__version__",
+]

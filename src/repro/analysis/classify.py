@@ -1,0 +1,102 @@
+"""Benchmark-tuple quadrant classification (section IV, Table III).
+
+Every benchmark tuple (unordered pair) is classified by whether its
+distance is *large* (> threshold fraction of the maximum observed
+distance) in the hardware-performance-counter space and in the
+microarchitecture-independent space:
+
+===============================  =============================  ==========
+HPC space                        microarch-independent space    category
+===============================  =============================  ==========
+large                            large                          true positive
+large                            small                          false negative
+small                            large                          false positive
+small                            small                          true negative
+===============================  =============================  ==========
+
+A large false-positive fraction is the paper's headline pitfall:
+benchmarks that look similar on hardware counters but behave differently
+inherently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class QuadrantFractions:
+    """Fractions of benchmark tuples per category (they sum to one)."""
+
+    true_positive: float
+    false_negative: float
+    false_positive: float
+    true_negative: float
+    tuples: int
+
+    def format(self) -> str:
+        """Render in the layout of the paper's Table III."""
+        rows = [
+            ("large distance in HPC space",
+             self.false_negative, self.true_positive),
+            ("small distance in HPC space",
+             self.true_negative, self.false_positive),
+        ]
+        header = (
+            f"{'':<30} {'small uarch-indep dist':>24} "
+            f"{'large uarch-indep dist':>24}"
+        )
+        lines = [header]
+        labels = [("false negative", "true positive"),
+                  ("true negative", "false positive")]
+        for (title, small, large), (small_label, large_label) in zip(
+            rows, labels
+        ):
+            lines.append(
+                f"{title:<30} {small_label + ': ' + format(small, '.1%'):>24} "
+                f"{large_label + ': ' + format(large, '.1%'):>24}"
+            )
+        return "\n".join(lines)
+
+
+def classify_quadrants(
+    reference_distances: np.ndarray,
+    candidate_distances: np.ndarray,
+    reference_threshold_fraction: float = 0.2,
+    candidate_threshold_fraction: float = 0.2,
+) -> QuadrantFractions:
+    """Classify all benchmark tuples into the four categories.
+
+    Args:
+        reference_distances: condensed HPC-space distances.
+        candidate_distances: condensed microarchitecture-independent
+            distances (same pair order).
+        reference_threshold_fraction: "large" cutoff in the reference
+            space, as a fraction of its maximum distance (paper: 20%).
+        candidate_threshold_fraction: likewise for the candidate space.
+    """
+    reference = np.asarray(reference_distances, dtype=float)
+    candidate = np.asarray(candidate_distances, dtype=float)
+    if reference.shape != candidate.shape or reference.ndim != 1:
+        raise AnalysisError("distance vectors must have identical shape")
+    if len(reference) == 0:
+        raise AnalysisError("no benchmark tuples to classify")
+    for fraction in (reference_threshold_fraction, candidate_threshold_fraction):
+        if not 0.0 < fraction < 1.0:
+            raise AnalysisError("threshold fractions must be in (0, 1)")
+
+    reference_large = reference > reference_threshold_fraction * reference.max()
+    candidate_large = candidate > candidate_threshold_fraction * candidate.max()
+
+    total = float(len(reference))
+    return QuadrantFractions(
+        true_positive=float((reference_large & candidate_large).sum()) / total,
+        false_negative=float((reference_large & ~candidate_large).sum()) / total,
+        false_positive=float((~reference_large & candidate_large).sum()) / total,
+        true_negative=float((~reference_large & ~candidate_large).sum()) / total,
+        tuples=len(reference),
+    )

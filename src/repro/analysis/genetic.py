@@ -1,0 +1,204 @@
+"""Genetic-algorithm characteristic selection (section V-B of the paper).
+
+A solution is a bit string over the N characteristics (1 = selected).
+The fitness of a solution is
+
+    f = rho * (1 - n / N)
+
+where ``rho`` is the Pearson correlation between the pairwise benchmark
+distances in the full (z-scored) data set and the distances in the
+selected subset, and ``n`` is the number of selected characteristics —
+so the GA simultaneously maximizes fidelity to the full workload space
+and minimizes how many characteristics must be measured.
+
+Generations evolve by elitist tournament selection, uniform crossover
+and per-bit mutation; evolution stops after ``generations`` rounds or
+when the best fitness has not improved for ``patience`` rounds,
+following the paper ("until no more improvement is observed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .correlation import pearson
+from .distance import pairwise_distances
+
+
+@dataclass(frozen=True)
+class GAResult:
+    """Outcome of a GA selection run.
+
+    Attributes:
+        selected: sorted indices of the selected characteristics.
+        fitness: best fitness ``rho * (1 - n/N)``.
+        rho: distance-correlation term of the best solution.
+        generations_run: generations actually evolved.
+        history: best fitness after every generation.
+    """
+
+    selected: Tuple[int, ...]
+    fitness: float
+    rho: float
+    generations_run: int
+    history: Tuple[float, ...]
+
+    @property
+    def n_selected(self) -> int:
+        return len(self.selected)
+
+
+class GeneticSelector:
+    """GA-based selection of key characteristics.
+
+    Args:
+        population: individuals per generation (>= 2).
+        generations: maximum generations.
+        patience: stop after this many generations without improvement.
+        mutation_rate: per-bit flip probability (default 1/N at run
+            time when None).
+        crossover_rate: probability a child is produced by crossover
+            rather than cloned.
+        elite: individuals copied unchanged into the next generation.
+        seed: RNG seed (results are deterministic given the seed).
+        size_penalty: when False, fitness is plain ``rho`` — the
+            ablation variant without the ``(1 - n/N)`` term.
+    """
+
+    def __init__(
+        self,
+        population: int = 64,
+        generations: int = 60,
+        patience: int = 15,
+        mutation_rate: "float | None" = None,
+        crossover_rate: float = 0.9,
+        elite: int = 2,
+        seed: int = 42,
+        size_penalty: bool = True,
+    ):
+        if population < 2:
+            raise AnalysisError("population must be >= 2")
+        if generations < 1:
+            raise AnalysisError("generations must be >= 1")
+        if elite >= population:
+            raise AnalysisError("elite must be smaller than population")
+        self.population = population
+        self.generations = generations
+        self.patience = patience
+        self.mutation_rate = mutation_rate
+        self.crossover_rate = crossover_rate
+        self.elite = elite
+        self.seed = seed
+        self.size_penalty = size_penalty
+
+    def select(self, data: np.ndarray) -> GAResult:
+        """Run the GA on a (n benchmarks x N characteristics) z-scored
+        matrix and return the best subset found."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2 or data.shape[0] < 3:
+            raise AnalysisError("GA needs a 2-D matrix with >= 3 rows")
+        n_features = data.shape[1]
+        rng = np.random.default_rng(self.seed)
+        full_distances = pairwise_distances(data)
+        mutation_rate = (
+            self.mutation_rate
+            if self.mutation_rate is not None
+            else 1.0 / n_features
+        )
+
+        fitness_cache: Dict[bytes, Tuple[float, float]] = {}
+
+        def evaluate(mask: np.ndarray) -> Tuple[float, float]:
+            """(fitness, rho) of one bit mask, memoized."""
+            key = mask.tobytes()
+            cached = fitness_cache.get(key)
+            if cached is not None:
+                return cached
+            count = int(mask.sum())
+            if count == 0:
+                result = (-1.0, 0.0)
+            else:
+                subset_distances = pairwise_distances(data[:, mask])
+                rho = pearson(full_distances, subset_distances)
+                if self.size_penalty:
+                    fitness = rho * (1.0 - count / n_features)
+                else:
+                    fitness = rho
+                result = (fitness, rho)
+            fitness_cache[key] = result
+            return result
+
+        # Initial population: varied densities so both small and large
+        # subsets are represented from the start.
+        population = np.zeros((self.population, n_features), dtype=bool)
+        for row in range(self.population):
+            density = rng.uniform(0.1, 0.6)
+            population[row] = rng.random(n_features) < density
+            if not population[row].any():
+                population[row, rng.integers(n_features)] = True
+
+        scores = np.array([evaluate(ind)[0] for ind in population])
+        best_index = int(np.argmax(scores))
+        best_mask = population[best_index].copy()
+        best_fitness = float(scores[best_index])
+        history: List[float] = []
+        stale = 0
+        generations_run = 0
+
+        for generation in range(self.generations):
+            generations_run = generation + 1
+            next_population = np.zeros_like(population)
+            # Elitism: carry over the current best individuals.
+            elite_order = np.argsort(scores)[::-1][: self.elite]
+            next_population[: self.elite] = population[elite_order]
+
+            for row in range(self.elite, self.population):
+                parent_a = self._tournament(rng, population, scores)
+                if rng.random() < self.crossover_rate:
+                    parent_b = self._tournament(rng, population, scores)
+                    take_from_a = rng.random(n_features) < 0.5
+                    child = np.where(take_from_a, parent_a, parent_b)
+                else:
+                    child = parent_a.copy()
+                flips = rng.random(n_features) < mutation_rate
+                child = child ^ flips
+                if not child.any():
+                    child[rng.integers(n_features)] = True
+                next_population[row] = child
+
+            population = next_population
+            scores = np.array([evaluate(ind)[0] for ind in population])
+            generation_best = int(np.argmax(scores))
+            if scores[generation_best] > best_fitness + 1e-12:
+                best_fitness = float(scores[generation_best])
+                best_mask = population[generation_best].copy()
+                stale = 0
+            else:
+                stale += 1
+            history.append(best_fitness)
+            if stale >= self.patience:
+                break
+
+        _, best_rho = evaluate(best_mask)
+        return GAResult(
+            selected=tuple(sorted(np.flatnonzero(best_mask).tolist())),
+            fitness=best_fitness,
+            rho=best_rho,
+            generations_run=generations_run,
+            history=tuple(history),
+        )
+
+    @staticmethod
+    def _tournament(
+        rng: np.random.Generator,
+        population: np.ndarray,
+        scores: np.ndarray,
+        size: int = 3,
+    ) -> np.ndarray:
+        contenders = rng.integers(0, len(population), size=size)
+        winner = contenders[int(np.argmax(scores[contenders]))]
+        return population[winner]

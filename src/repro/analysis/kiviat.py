@@ -1,0 +1,136 @@
+"""Kiviat (radar) plot data preparation and ASCII rendering.
+
+The paper's Figure 6 shows one kiviat plot per benchmark, with the eight
+GA-selected characteristics as axes, grouped by cluster.  In a terminal
+library the rendering is ASCII: a polygon drawn on a character canvas,
+plus a compact bar-table alternative for dense listings.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+def kiviat_normalize(data: np.ndarray) -> np.ndarray:
+    """Min-max normalize each column to [0, 1] across benchmarks.
+
+    Kiviat axes need a bounded radius; constant columns map to 0.5.
+    """
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2:
+        raise AnalysisError("expected a 2-D matrix")
+    low = data.min(axis=0)
+    high = data.max(axis=0)
+    spread = high - low
+    safe = np.where(spread > 0.0, spread, 1.0)
+    normalized = (data - low) / safe
+    normalized[:, spread == 0.0] = 0.5
+    return normalized
+
+
+def kiviat_ascii(
+    values: Sequence[float],
+    labels: "Sequence[str] | None" = None,
+    radius: int = 9,
+    fill_char: str = "*",
+) -> str:
+    """Render one kiviat polygon on an ASCII canvas.
+
+    Args:
+        values: per-axis radii in [0, 1].
+        labels: optional axis labels listed under the plot.
+        radius: canvas radius in character rows.
+        fill_char: marker for the polygon vertices and edges.
+
+    Returns:
+        A multi-line string: axes drawn with ``.``, the polygon with
+        ``fill_char``, the center with ``+``.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise AnalysisError("kiviat needs at least one axis")
+    if any(not 0.0 <= v <= 1.0 for v in values):
+        raise AnalysisError("kiviat values must be within [0, 1]")
+    axes = len(values)
+    height = 2 * radius + 1
+    width = 2 * (2 * radius) + 1  # Terminal cells are ~2x taller than wide.
+    canvas = [[" "] * width for _ in range(height)]
+    center_row, center_col = radius, 2 * radius
+
+    def plot(row: int, col: int, char: str) -> None:
+        if 0 <= row < height and 0 <= col < width:
+            canvas[row][col] = char
+
+    def to_cell(angle: float, fraction: float) -> "tuple[int, int]":
+        row = center_row - fraction * radius * math.cos(angle)
+        col = center_col + fraction * 2 * radius * math.sin(angle)
+        return round(row), round(col)
+
+    # Axis rays.
+    for axis in range(axes):
+        angle = 2.0 * math.pi * axis / axes
+        steps = radius * 2
+        for step in range(1, steps + 1):
+            row, col = to_cell(angle, step / steps)
+            plot(row, col, ".")
+
+    # Polygon edges (dense interpolation between consecutive vertices).
+    vertices = []
+    for axis in range(axes):
+        angle = 2.0 * math.pi * axis / axes
+        vertices.append(to_cell(angle, values[axis]))
+    for start in range(axes):
+        end = (start + 1) % axes
+        row_a, col_a = vertices[start]
+        row_b, col_b = vertices[end]
+        segments = max(abs(row_b - row_a), abs(col_b - col_a), 1)
+        for step in range(segments + 1):
+            t = step / segments
+            plot(
+                round(row_a + t * (row_b - row_a)),
+                round(col_a + t * (col_b - col_a)),
+                fill_char,
+            )
+    plot(center_row, center_col, "+")
+
+    lines = ["".join(row).rstrip() for row in canvas]
+    if labels is not None:
+        if len(labels) != axes:
+            raise AnalysisError("labels must match the number of axes")
+        lines.append("")
+        for axis, (label, value) in enumerate(zip(labels, values)):
+            lines.append(f"  axis {axis + 1}: {label:<28} {value:.2f}")
+    return "\n".join(lines)
+
+
+def kiviat_table(
+    names: Sequence[str],
+    data: np.ndarray,
+    labels: Sequence[str],
+    bar_width: int = 10,
+) -> str:
+    """Compact bar-chart table: one row per benchmark, one bar block
+    per axis (a dense alternative to per-benchmark polygons)."""
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2 or len(names) != len(data):
+        raise AnalysisError("names must match matrix rows")
+    if len(labels) != data.shape[1]:
+        raise AnalysisError("labels must match matrix columns")
+    if (data < 0.0).any() or (data > 1.0).any():
+        raise AnalysisError("kiviat table values must be within [0, 1]")
+    header = f"{'benchmark':<32}" + "".join(
+        f"{label[:bar_width]:<{bar_width + 2}}" for label in labels
+    )
+    lines = [header]
+    for name, row in zip(names, data):
+        bars = "".join(
+            f"{'#' * round(value * (bar_width - 1)) or '.':<{bar_width + 2}}"
+            for value in row
+        )
+        lines.append(f"{name:<32}{bars}")
+    return "\n".join(lines)

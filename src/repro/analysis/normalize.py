@@ -1,0 +1,52 @@
+"""Data-set normalization.
+
+The paper puts all characteristics on a common scale before computing
+distances: "the mean is zero and the standard deviation is one for all
+characteristics across all benchmarks" (z-score normalization).  For the
+per-benchmark comparison figures (Figures 2 and 3) it instead divides
+each characteristic by the maximum observed value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+def _check_matrix(data: np.ndarray) -> np.ndarray:
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2:
+        raise AnalysisError(f"expected a 2-D matrix, got shape {data.shape}")
+    if data.shape[0] < 2:
+        raise AnalysisError("need at least two rows (benchmarks)")
+    return data
+
+
+def zscore(data: np.ndarray) -> np.ndarray:
+    """Column-wise z-score normalization (benchmarks in rows).
+
+    Columns with zero variance carry no information about benchmark
+    differences and are mapped to all-zeros rather than NaN.
+    """
+    data = _check_matrix(data)
+    mean = data.mean(axis=0)
+    std = data.std(axis=0)
+    # A column whose deviation is at rounding-noise level relative to
+    # its magnitude is constant for all practical purposes; mapping it
+    # through 1/std would amplify float noise into fake structure.
+    scale = np.maximum(np.abs(mean), 1.0)
+    constant = std <= 1e-9 * scale
+    safe_std = np.where(constant, 1.0, std)
+    normalized = (data - mean) / safe_std
+    normalized[:, constant] = 0.0
+    return normalized
+
+
+def max_normalize(data: np.ndarray) -> np.ndarray:
+    """Column-wise division by the maximum absolute value (Figure 2/3
+    style).  All-zero columns stay zero."""
+    data = _check_matrix(data)
+    peak = np.abs(data).max(axis=0)
+    safe_peak = np.where(peak > 0.0, peak, 1.0)
+    return data / safe_peak

@@ -1,0 +1,85 @@
+"""Principal components analysis — the prior-work baseline.
+
+The paper positions its characteristic-*selection* methods against PCA
+(Eeckhout et al., Phansalkar et al.): PCA also reduces dimensionality,
+but its dimensions are linear combinations of all characteristics, so
+(i) every characteristic must still be measured and (ii) the dimensions
+are harder to interpret.  This implementation exists to reproduce that
+comparison (ablation benches) and uses the covariance eigendecomposition
+on z-scored data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+class PCA:
+    """Principal components analysis over benchmarks x characteristics.
+
+    Args:
+        n_components: how many components to keep (all by default).
+
+    Attributes (after :meth:`fit`):
+        components: (n_components x d) row-wise principal directions.
+        explained_variance: eigenvalues, descending.
+        explained_variance_ratio: eigenvalues / total variance.
+    """
+
+    def __init__(self, n_components: "int | None" = None):
+        self.n_components = n_components
+        self.components: "np.ndarray | None" = None
+        self.explained_variance: "np.ndarray | None" = None
+        self.explained_variance_ratio: "np.ndarray | None" = None
+        self._mean: "np.ndarray | None" = None
+
+    def fit(self, data: np.ndarray) -> "PCA":
+        """Fit on a (n x d) matrix (rows are benchmarks)."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2 or data.shape[0] < 2:
+            raise AnalysisError("PCA needs a 2-D matrix with >= 2 rows")
+        n, d = data.shape
+        self._mean = data.mean(axis=0)
+        centered = data - self._mean
+        covariance = centered.T @ centered / (n - 1)
+        eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+        order = np.argsort(eigenvalues)[::-1]
+        eigenvalues = np.clip(eigenvalues[order], 0.0, None)
+        eigenvectors = eigenvectors[:, order]
+        keep = self.n_components or d
+        keep = min(keep, d)
+        self.components = eigenvectors[:, :keep].T
+        self.explained_variance = eigenvalues[:keep]
+        total = eigenvalues.sum()
+        self.explained_variance_ratio = (
+            self.explained_variance / total if total > 0 else
+            np.zeros_like(self.explained_variance)
+        )
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Project data onto the fitted components."""
+        if self.components is None or self._mean is None:
+            raise AnalysisError("PCA must be fitted before transform")
+        data = np.asarray(data, dtype=float)
+        return (data - self._mean) @ self.components.T
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit, then project the same data."""
+        return self.fit(data).transform(data)
+
+    def components_for_variance(self, fraction: float) -> int:
+        """Smallest component count explaining >= ``fraction`` of
+        variance.
+
+        Raises:
+            AnalysisError: if unfitted or ``fraction`` not in (0, 1].
+        """
+        if self.explained_variance_ratio is None:
+            raise AnalysisError("PCA must be fitted first")
+        if not 0.0 < fraction <= 1.0:
+            raise AnalysisError("fraction must be in (0, 1]")
+        cumulative = np.cumsum(self.explained_variance_ratio)
+        return int(np.searchsorted(cumulative, fraction) + 1)

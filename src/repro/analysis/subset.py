@@ -1,0 +1,144 @@
+"""Benchmark-suite subsetting: pick representatives, measure coverage.
+
+The paper's motivation ("if the new workload domain is not
+significantly different ... there is no need for including those
+benchmarks in the design process — simulating those additional
+benchmarks would only add to the overall simulation time") leads
+directly to subsetting: keep one representative per behavior cluster
+and quantify how faithfully the subset stands in for the full suite
+(Eeckhout et al. IISWC 2005; Vandierendonck & De Bosschere WWC 2004).
+
+Representatives are the benchmarks closest to their cluster centroid;
+coverage is evaluated both geometrically (how far is every dropped
+benchmark from its representative) and, when a metric matrix such as
+the HPC data is supplied, by how well representative metrics predict
+suite-wide averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .kmeans import KMeansResult
+
+
+@dataclass(frozen=True)
+class SubsetResult:
+    """A representative subset and its coverage statistics.
+
+    Attributes:
+        representatives: selected row indices, one per cluster,
+            ordered by cluster size descending.
+        cluster_of: cluster index per benchmark row.
+        max_distance: largest benchmark-to-representative distance.
+        mean_distance: average benchmark-to-representative distance.
+        weights: per-representative weight (its cluster's population
+            share) for weighted suite-level estimates.
+    """
+
+    representatives: "tuple[int, ...]"
+    cluster_of: np.ndarray
+    max_distance: float
+    mean_distance: float
+    weights: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return len(self.representatives)
+
+    def weighted_estimate(self, metrics: np.ndarray) -> np.ndarray:
+        """Suite-level metric estimate from representatives only.
+
+        Args:
+            metrics: (n benchmarks x m metrics) matrix.
+
+        Returns:
+            Weighted average of the representatives' rows — the
+            subsetting literature's estimator for suite means.
+        """
+        metrics = np.asarray(metrics, dtype=float)
+        if metrics.ndim != 2 or len(metrics) != len(self.cluster_of):
+            raise AnalysisError("metrics rows must match the population")
+        selected = metrics[list(self.representatives)]
+        return (self.weights[:, None] * selected).sum(axis=0)
+
+    def estimation_error(self, metrics: np.ndarray) -> np.ndarray:
+        """Relative error of :meth:`weighted_estimate` vs the true
+        suite mean, per metric (0 where the true mean is 0)."""
+        metrics = np.asarray(metrics, dtype=float)
+        estimate = self.weighted_estimate(metrics)
+        truth = metrics.mean(axis=0)
+        errors = np.zeros_like(truth)
+        nonzero = truth != 0.0
+        errors[nonzero] = np.abs(
+            (estimate[nonzero] - truth[nonzero]) / truth[nonzero]
+        )
+        return errors
+
+
+def select_representatives(
+    data: np.ndarray,
+    clustering: KMeansResult,
+) -> SubsetResult:
+    """Pick the centroid-nearest benchmark of every cluster.
+
+    Args:
+        data: the (n x d) matrix the clustering was computed on.
+        clustering: a k-means solution over ``data``.
+
+    Raises:
+        AnalysisError: if shapes disagree.
+    """
+    data = np.asarray(data, dtype=float)
+    if len(data) != len(clustering.assignments):
+        raise AnalysisError("data rows must match clustering assignments")
+
+    order = np.argsort(clustering.cluster_sizes())[::-1]
+    representatives: List[int] = []
+    weights: List[float] = []
+    n = len(data)
+    distances_to_rep = np.zeros(n)
+    for cluster in order:
+        member_indices = np.flatnonzero(clustering.assignments == cluster)
+        if len(member_indices) == 0:
+            continue
+        members = data[member_indices]
+        center = clustering.centers[cluster]
+        member_distances = np.linalg.norm(members - center, axis=1)
+        representative = int(member_indices[int(np.argmin(member_distances))])
+        representatives.append(representative)
+        weights.append(len(member_indices) / n)
+        rep_distances = np.linalg.norm(
+            members - data[representative], axis=1
+        )
+        distances_to_rep[member_indices] = rep_distances
+
+    return SubsetResult(
+        representatives=tuple(representatives),
+        cluster_of=clustering.assignments.copy(),
+        max_distance=float(distances_to_rep.max()),
+        mean_distance=float(distances_to_rep.mean()),
+        weights=np.array(weights),
+    )
+
+
+def format_subset(
+    result: SubsetResult, names: Sequence[str]
+) -> str:
+    """Human-readable subset listing."""
+    if len(names) != len(result.cluster_of):
+        raise AnalysisError("names must match the population")
+    lines = [
+        f"representative subset: {result.size} of {len(names)} benchmarks",
+        f"mean distance to representative: {result.mean_distance:.3f}",
+        f"max distance to representative : {result.max_distance:.3f}",
+    ]
+    for representative, weight in zip(result.representatives, result.weights):
+        lines.append(
+            f"  {names[representative]:<44} weight {weight:.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,301 @@
+"""Command-line interface: ``mica-repro`` / ``python -m repro``.
+
+Subcommands::
+
+    list                    list the 122 benchmarks (Table I)
+    characterize BENCH      print a benchmark's 47 MICA characteristics
+    hpc BENCH               print a benchmark's simulated HPC metrics
+    dataset                 build (and cache) the full workload data set
+    fig1|table3|fig2-3|fig4|fig5|table4|fig6
+                            reproduce one table/figure
+    all                     the full report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import DEFAULT_CONFIG
+from .errors import ReproError
+
+
+def _make_config(args: argparse.Namespace):
+    overrides = {}
+    if args.trace_length:
+        overrides["trace_length"] = args.trace_length
+    if getattr(args, "ga_generations", None):
+        overrides["ga_generations"] = args.ga_generations
+    return DEFAULT_CONFIG.with_overrides(**overrides) if overrides else (
+        DEFAULT_CONFIG
+    )
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .reporting import format_table
+    from .workloads import all_benchmarks
+
+    rows = [
+        [b.suite, b.program, b.input, f"{b.icount_millions:,}"]
+        for b in all_benchmarks()
+    ]
+    print(
+        format_table(
+            ["suite", "program", "input", "I-count (M, paper)"],
+            rows,
+            align_right=[False, False, False, True],
+            title=f"{len(rows)} benchmarks (paper Table I)",
+        )
+    )
+    return 0
+
+
+def _load_trace(name: str, config):
+    from .synth import generate_trace
+    from .workloads import get_benchmark
+
+    benchmark = get_benchmark(name)
+    return generate_trace(benchmark.profile, config.trace_length)
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from .mica import characterize
+
+    config = _make_config(args)
+    trace = _load_trace(args.benchmark, config)
+    print(characterize(trace, config).format())
+    return 0
+
+
+def _cmd_hpc(args: argparse.Namespace) -> int:
+    from .uarch import collect_hpc
+
+    config = _make_config(args)
+    trace = _load_trace(args.benchmark, config)
+    print(collect_hpc(trace).format())
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from .experiments import build_dataset
+
+    config = _make_config(args)
+    dataset = build_dataset(config, progress=True, use_cache=not args.no_cache)
+    print(
+        f"dataset ready: {len(dataset)} benchmarks, "
+        f"MICA {dataset.mica.shape}, HPC {dataset.hpc.shape}"
+    )
+    return 0
+
+
+def _run_single(args: argparse.Namespace, runner_name: str) -> int:
+    from . import experiments
+
+    config = _make_config(args)
+    dataset = experiments.build_dataset(
+        config, use_cache=not args.no_cache, progress=args.verbose
+    )
+    runner = getattr(experiments, runner_name)
+    result = runner(dataset) if runner_name in (
+        "run_fig1", "run_table3", "run_case_study"
+    ) else runner(dataset, config)
+    print(result.format())
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    from .experiments import run_all
+
+    config = _make_config(args)
+    report = run_all(config, progress=args.verbose)
+    print(report.format(kiviat_plots=args.kiviat))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .experiments import build_dataset
+    from .reporting import dataset_to_json, matrix_to_csv
+
+    config = _make_config(args)
+    dataset = build_dataset(
+        config, use_cache=not args.no_cache, progress=args.verbose
+    )
+    if args.space == "mica":
+        columns, matrix = dataset.mica_columns, dataset.mica
+    else:
+        columns, matrix = dataset.hpc_columns, dataset.hpc
+    if args.format == "csv":
+        print(matrix_to_csv(dataset.names, columns, matrix), end="")
+    else:
+        print(
+            dataset_to_json(
+                dataset.names,
+                columns,
+                matrix,
+                metadata={
+                    "space": args.space,
+                    "trace_length": config.trace_length,
+                },
+            )
+        )
+    return 0
+
+
+def _cmd_dendrogram(args: argparse.Namespace) -> int:
+    from .analysis import GeneticSelector, hierarchical_cluster
+    from .experiments import build_dataset
+
+    config = _make_config(args)
+    dataset = build_dataset(
+        config, use_cache=not args.no_cache, progress=args.verbose
+    )
+    normalized = dataset.mica_normalized()
+    selector = GeneticSelector(
+        population=config.ga_population,
+        generations=config.ga_generations,
+        seed=config.ga_seed,
+    )
+    ga = selector.select(normalized)
+    result = hierarchical_cluster(
+        normalized[:, list(ga.selected)],
+        list(dataset.names),
+        method=args.method,
+    )
+    print(f"hierarchical clustering ({args.method} linkage) in the "
+          f"{ga.n_selected}-dimensional GA space")
+    print(result.format_dendrogram())
+    return 0
+
+
+def _cmd_subset(args: argparse.Namespace) -> int:
+    from .experiments import build_dataset, run_subsetting
+
+    config = _make_config(args)
+    dataset = build_dataset(
+        config, use_cache=not args.no_cache, progress=args.verbose
+    )
+    print(run_subsetting(dataset, config).format())
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from .experiments import build_dataset, run_input_sensitivity
+
+    config = _make_config(args)
+    dataset = build_dataset(
+        config, use_cache=not args.no_cache, progress=args.verbose
+    )
+    print(run_input_sensitivity(dataset).format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mica-repro",
+        description=(
+            "Reproduction of 'Comparing Benchmarks Using Key "
+            "Microarchitecture-Independent Characteristics' "
+            "(Hoste & Eeckhout, IISWC 2006)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-length", type=int, default=0,
+        help="dynamic instructions per benchmark trace",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="bypass the dataset cache"
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print progress while building"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the 122 benchmarks")
+
+    for name, help_text in (
+        ("characterize", "print a benchmark's 47 MICA characteristics"),
+        ("hpc", "print a benchmark's simulated hardware counters"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("benchmark", help="name, e.g. 'mcf' or "
+                         "'spec2000/bzip2/graphic'")
+
+    commands.add_parser("dataset", help="build and cache the data set")
+    commands.add_parser("fig1", help="Figure 1: distance scatter")
+    commands.add_parser("table3", help="Table III: quadrant fractions")
+    commands.add_parser("fig2-3", help="Figures 2-3: bzip2 vs blast")
+    commands.add_parser("fig4", help="Figure 4: ROC curves")
+    commands.add_parser("fig5", help="Figure 5: correlation vs retained")
+    commands.add_parser("table4", help="Table IV: GA-selected subset")
+    commands.add_parser("fig6", help="Figure 6: clustering + kiviats")
+    all_parser = commands.add_parser("all", help="full report")
+    all_parser.add_argument(
+        "--kiviat", action="store_true",
+        help="include per-cluster kiviat polygons",
+    )
+
+    export_parser = commands.add_parser(
+        "export", help="dump a workload space as CSV or JSON"
+    )
+    export_parser.add_argument(
+        "space", choices=("mica", "hpc"), help="which data set to export"
+    )
+    export_parser.add_argument(
+        "--format", choices=("csv", "json"), default="csv"
+    )
+
+    dendro_parser = commands.add_parser(
+        "dendro", help="ASCII dendrogram in the GA-reduced space"
+    )
+    dendro_parser.add_argument(
+        "--method", choices=("single", "complete", "average", "ward"),
+        default="complete",
+    )
+
+    commands.add_parser(
+        "subset", help="representative benchmark subset (extension)"
+    )
+    commands.add_parser(
+        "sensitivity", help="input-set sensitivity (extension)"
+    )
+    return parser
+
+
+_DISPATCH = {
+    "list": _cmd_list,
+    "characterize": _cmd_characterize,
+    "hpc": _cmd_hpc,
+    "dataset": _cmd_dataset,
+    "all": _cmd_all,
+    "export": _cmd_export,
+    "dendro": _cmd_dendrogram,
+    "subset": _cmd_subset,
+    "sensitivity": _cmd_sensitivity,
+}
+
+_SINGLE_RUNNERS = {
+    "fig1": "run_fig1",
+    "table3": "run_table3",
+    "fig2-3": "run_case_study",
+    "fig4": "run_fig4",
+    "fig5": "run_fig5",
+    "table4": "run_table4",
+    "fig6": "run_fig6",
+}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command in _DISPATCH:
+            return _DISPATCH[args.command](args)
+        if args.command in _SINGLE_RUNNERS:
+            return _run_single(args, _SINGLE_RUNNERS[args.command])
+        raise ReproError(f"unknown command: {args.command}")
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

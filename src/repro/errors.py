@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed, inconsistent, or violates an invariant."""
+
+
+class TraceFormatError(TraceError):
+    """A trace file on disk could not be parsed."""
+
+
+class ProfileError(ReproError):
+    """A workload profile has invalid or inconsistent parameters."""
+
+
+class UnknownBenchmarkError(ReproError):
+    """A benchmark lookup in the registry failed."""
+
+    def __init__(self, name: str, candidates: "list[str] | None" = None):
+        self.name = name
+        self.candidates = list(candidates or [])
+        message = f"unknown benchmark: {name!r}"
+        if self.candidates:
+            preview = ", ".join(self.candidates[:5])
+            message += f" (close matches: {preview})"
+        super().__init__(message)
+
+
+class CharacterizationError(ReproError):
+    """A characteristic could not be computed from a trace."""
+
+
+class SimulationError(ReproError):
+    """A microarchitecture simulation failed or was misconfigured."""
+
+
+class AnalysisError(ReproError):
+    """A statistical analysis step received invalid input."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of its valid range."""

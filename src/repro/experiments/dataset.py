@@ -1,0 +1,235 @@
+"""Workload data-set construction.
+
+Builds, for every benchmark in the registry, the two vectors all
+experiments consume:
+
+* the 47-dimensional microarchitecture-independent (MICA) vector, and
+* the 7-dimensional hardware-performance-counter (HPC) vector.
+
+Characterizing 122 benchmarks takes minutes, so the builder
+parallelizes across processes and caches the resulting matrices on disk
+(keyed by configuration and benchmark population) and in memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import DEFAULT_CONFIG, ReproConfig
+from ..errors import AnalysisError
+from ..analysis import pairwise_distances, zscore
+from ..mica import characterize, characteristic_names
+from ..synth import generate_trace
+from ..uarch import HPC_METRIC_NAMES, collect_hpc
+from ..workloads import Benchmark, all_benchmarks
+
+#: Cache format version — bump when characterization semantics change.
+CACHE_VERSION = 4
+
+_MEMORY_CACHE: "Dict[str, WorkloadDataset]" = {}
+
+
+@dataclass(frozen=True)
+class WorkloadDataset:
+    """The two workload spaces for a benchmark population.
+
+    Attributes:
+        names: benchmark full names (rows of both matrices).
+        suites: suite name per benchmark.
+        mica: (n x 47) microarchitecture-independent matrix.
+        hpc: (n x 7) hardware-performance-counter matrix.
+        config: the configuration the data was produced under.
+    """
+
+    names: Tuple[str, ...]
+    suites: Tuple[str, ...]
+    mica: np.ndarray
+    hpc: np.ndarray
+    config: ReproConfig
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def index_of(self, name: str) -> int:
+        """Row index of a benchmark (exact or unique-suffix match).
+
+        Raises:
+            AnalysisError: when nothing or multiple benchmarks match.
+        """
+        if name in self.names:
+            return self.names.index(name)
+        matches = [
+            i for i, full in enumerate(self.names)
+            if full.endswith("/" + name) or f"/{name}/" in full
+        ]
+        if len(matches) != 1:
+            raise AnalysisError(f"benchmark not found in dataset: {name!r}")
+        return matches[0]
+
+    # -- normalized views (computed on demand, cheap) -------------------
+
+    def mica_normalized(self) -> np.ndarray:
+        """Z-scored MICA matrix."""
+        return zscore(self.mica)
+
+    def hpc_normalized(self) -> np.ndarray:
+        """Z-scored HPC matrix."""
+        return zscore(self.hpc)
+
+    def mica_distances(self) -> np.ndarray:
+        """Condensed distances in the z-scored MICA space."""
+        return pairwise_distances(self.mica_normalized())
+
+    def hpc_distances(self) -> np.ndarray:
+        """Condensed distances in the z-scored HPC space."""
+        return pairwise_distances(self.hpc_normalized())
+
+    @property
+    def mica_columns(self) -> List[str]:
+        return characteristic_names()
+
+    @property
+    def hpc_columns(self) -> List[str]:
+        return list(HPC_METRIC_NAMES)
+
+
+def _characterize_one(args: "Tuple[str, int, int, dict]"):
+    """Worker: build one benchmark's MICA and HPC vectors.
+
+    Runs in a separate process, so it re-resolves the benchmark from
+    the registry by name (profiles are deterministic).
+    """
+    name, trace_length, seed, config_kwargs = args
+    from ..workloads import get_benchmark  # Local import for workers.
+
+    config = ReproConfig(**config_kwargs)
+    benchmark = get_benchmark(name)
+    trace = generate_trace(benchmark.profile, trace_length, seed=seed)
+    mica_vector = characterize(trace, config).values
+    hpc_vector = collect_hpc(trace).values
+    return name, mica_vector, hpc_vector
+
+
+def _config_kwargs(config: ReproConfig) -> dict:
+    return {
+        "trace_length": config.trace_length,
+        "seed": config.seed,
+        "block_bytes": config.block_bytes,
+        "page_bytes": config.page_bytes,
+        "ilp_window_sizes": tuple(config.ilp_window_sizes),
+        "reg_dep_thresholds": tuple(config.reg_dep_thresholds),
+        "stride_thresholds": tuple(config.stride_thresholds),
+        "ppm_max_order": config.ppm_max_order,
+    }
+
+
+def _cache_key(config: ReproConfig, names: Sequence[str]) -> str:
+    payload = repr((CACHE_VERSION, sorted(_config_kwargs(config).items()),
+                    tuple(names)))
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def default_cache_dir() -> Path:
+    """Cache directory (override with ``REPRO_CACHE_DIR``)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".mica_cache"
+
+
+def clear_dataset_cache(cache_dir: "Path | None" = None) -> int:
+    """Delete cached datasets (in-memory and on disk).
+
+    Returns:
+        Number of disk cache files removed.
+    """
+    _MEMORY_CACHE.clear()
+    directory = cache_dir or default_cache_dir()
+    removed = 0
+    if directory.is_dir():
+        for path in directory.glob("dataset-*.npz"):
+            path.unlink()
+            removed += 1
+    return removed
+
+
+def build_dataset(
+    config: ReproConfig = DEFAULT_CONFIG,
+    benchmarks: "Optional[Sequence[Benchmark]]" = None,
+    cache_dir: "Path | None" = None,
+    use_cache: bool = True,
+    workers: "int | None" = None,
+    progress: bool = False,
+) -> WorkloadDataset:
+    """Build (or load) the workload data set.
+
+    Args:
+        config: trace length, seeds and characterization parameters.
+        benchmarks: population to characterize (default: all 122).
+        cache_dir: disk cache location (default: repo-local
+            ``.mica_cache``; override with ``REPRO_CACHE_DIR``).
+        use_cache: consult/populate the caches.
+        workers: process count (default: ``os.cpu_count()``, capped at
+            the benchmark count).
+        progress: print one line per completed benchmark.
+    """
+    population = tuple(benchmarks if benchmarks is not None else all_benchmarks())
+    names = tuple(benchmark.full_name for benchmark in population)
+    suites = tuple(benchmark.suite for benchmark in population)
+    key = _cache_key(config, names)
+
+    if use_cache and key in _MEMORY_CACHE:
+        return _MEMORY_CACHE[key]
+
+    directory = cache_dir or default_cache_dir()
+    cache_path = directory / f"dataset-{key}.npz"
+    if use_cache and cache_path.is_file():
+        archive = np.load(cache_path, allow_pickle=False)
+        dataset = WorkloadDataset(
+            names=names,
+            suites=suites,
+            mica=archive["mica"],
+            hpc=archive["hpc"],
+            config=config,
+        )
+        _MEMORY_CACHE[key] = dataset
+        return dataset
+
+    jobs = [
+        (name, config.trace_length, 0, _config_kwargs(config))
+        for name in names
+    ]
+    results: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    worker_count = min(workers or os.cpu_count() or 1, len(jobs))
+    if worker_count > 1:
+        with ProcessPoolExecutor(max_workers=worker_count) as pool:
+            for name, mica_vector, hpc_vector in pool.map(
+                _characterize_one, jobs
+            ):
+                results[name] = (mica_vector, hpc_vector)
+                if progress:
+                    print(f"  [{len(results):>3}/{len(jobs)}] {name}")
+    else:
+        for job in jobs:
+            name, mica_vector, hpc_vector = _characterize_one(job)
+            results[name] = (mica_vector, hpc_vector)
+            if progress:
+                print(f"  [{len(results):>3}/{len(jobs)}] {name}")
+
+    mica = np.vstack([results[name][0] for name in names])
+    hpc = np.vstack([results[name][1] for name in names])
+    dataset = WorkloadDataset(
+        names=names, suites=suites, mica=mica, hpc=hpc, config=config
+    )
+    if use_cache:
+        directory.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(cache_path, mica=mica, hpc=hpc)
+        _MEMORY_CACHE[key] = dataset
+    return dataset

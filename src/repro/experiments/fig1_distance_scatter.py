@@ -1,0 +1,65 @@
+"""Figure 1: HPC-space distance versus MICA-space distance.
+
+For every benchmark tuple the paper plots the Euclidean distance in the
+(z-scored) hardware-performance-counter space against the distance in
+the (z-scored) microarchitecture-independent space, reporting a modest
+correlation coefficient (0.46 in the paper) — the quantitative core of
+the pitfall argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis import pearson
+from ..reporting import ascii_scatter
+from .dataset import WorkloadDataset
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Figure 1 data.
+
+    Attributes:
+        mica_distances / hpc_distances: condensed distance vectors
+            (same tuple order).
+        correlation: Pearson correlation between the two.
+    """
+
+    mica_distances: np.ndarray
+    hpc_distances: np.ndarray
+    correlation: float
+
+    @property
+    def tuples(self) -> int:
+        """Number of benchmark tuples."""
+        return len(self.mica_distances)
+
+    def format(self) -> str:
+        """Human-readable report section."""
+        plot = ascii_scatter(
+            self.mica_distances,
+            self.hpc_distances,
+            x_label="distance in uarch-independent space",
+            y_label="distance in HPC space",
+        )
+        return (
+            "Figure 1: distance in HPC space vs distance in "
+            "microarchitecture-independent space\n"
+            f"benchmark tuples: {self.tuples}\n"
+            f"correlation coefficient: {self.correlation:.3f} "
+            "(paper: 0.46)\n\n" + plot
+        )
+
+
+def run_fig1(dataset: WorkloadDataset) -> Fig1Result:
+    """Compute the Figure 1 scatter data from a workload data set."""
+    mica_distances = dataset.mica_distances()
+    hpc_distances = dataset.hpc_distances()
+    return Fig1Result(
+        mica_distances=mica_distances,
+        hpc_distances=hpc_distances,
+        correlation=pearson(mica_distances, hpc_distances),
+    )

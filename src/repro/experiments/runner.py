@@ -1,0 +1,101 @@
+"""Run the full experiment suite and produce one report.
+
+The GA selection is computed once and shared by Figures 4-6 and
+Table IV, exactly as in the paper (one reduced space drives
+everything).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import GeneticSelector
+from ..config import DEFAULT_CONFIG, ReproConfig
+from .dataset import WorkloadDataset, build_dataset
+from .fig1_distance_scatter import Fig1Result, run_fig1
+from .fig23_case_study import CaseStudyResult, run_case_study
+from .fig4_roc import Fig4Result, run_fig4
+from .fig5_correlation import Fig5Result, run_fig5
+from .fig6_clusters import Fig6Result, run_fig6
+from .input_sensitivity import InputSensitivityResult, run_input_sensitivity
+from .subsetting import SubsettingResult, run_subsetting
+from .table3_classification import Table3Result, run_table3
+from .table4_selected import Table4Result, run_table4
+
+_SEPARATOR = "\n" + "=" * 78 + "\n"
+
+
+@dataclass(frozen=True)
+class FullReport:
+    """All experiment results for one data set."""
+
+    dataset: WorkloadDataset
+    fig1: Fig1Result
+    table3: Table3Result
+    case_study: CaseStudyResult
+    fig4: Fig4Result
+    fig5: Fig5Result
+    table4: Table4Result
+    fig6: Fig6Result
+    input_sensitivity: "InputSensitivityResult | None" = None
+    subsetting: "SubsettingResult | None" = None
+
+    def format(self, kiviat_plots: bool = False) -> str:
+        """Human-readable report section."""
+        sections = [
+            f"MICA reproduction report — {len(self.dataset)} benchmarks, "
+            f"{self.dataset.config.trace_length:,} instructions/trace",
+            self.fig1.format(),
+            self.table3.format(),
+            self.case_study.format(),
+            self.fig4.format(),
+            self.fig5.format(),
+            self.table4.format(),
+            self.fig6.format(kiviat_plots=kiviat_plots),
+        ]
+        if self.input_sensitivity is not None:
+            sections.append(self.input_sensitivity.format())
+        if self.subsetting is not None:
+            sections.append(self.subsetting.format())
+        return _SEPARATOR.join(sections)
+
+
+def run_all(
+    config: ReproConfig = DEFAULT_CONFIG,
+    dataset: "WorkloadDataset | None" = None,
+    progress: bool = False,
+    include_extensions: bool = False,
+) -> FullReport:
+    """Build the data set (or reuse one) and run every experiment.
+
+    With ``include_extensions`` the input-sensitivity and subsetting
+    analyses (which have no paper counterpart) are appended.
+    """
+    if dataset is None:
+        dataset = build_dataset(config, progress=progress)
+
+    selector = GeneticSelector(
+        population=config.ga_population,
+        generations=config.ga_generations,
+        seed=config.ga_seed,
+    )
+    ga_result = selector.select(dataset.mica_normalized())
+
+    return FullReport(
+        dataset=dataset,
+        fig1=run_fig1(dataset),
+        table3=run_table3(dataset, threshold=config.similarity_threshold),
+        case_study=run_case_study(dataset),
+        fig4=run_fig4(dataset, config, ga_result=ga_result),
+        fig5=run_fig5(dataset, config, ga_result=ga_result),
+        table4=run_table4(dataset, config, ga_result=ga_result),
+        fig6=run_fig6(dataset, config, ga_result=ga_result),
+        input_sensitivity=(
+            run_input_sensitivity(dataset) if include_extensions else None
+        ),
+        subsetting=(
+            run_subsetting(dataset, config, ga_result=ga_result)
+            if include_extensions
+            else None
+        ),
+    )

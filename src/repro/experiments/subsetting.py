@@ -1,0 +1,81 @@
+"""Extension: benchmark-suite subsetting from the cluster structure.
+
+The paper's stated payoff for workload comparison is simulation-time
+reduction: benchmarks that behave like existing ones need not be
+simulated.  This driver operationalizes that: cluster the population in
+the reduced space (as Figure 6 does), keep one representative per
+cluster, and quantify what the subset preserves —
+
+* geometric coverage (distance of every dropped benchmark to its
+  representative), and
+* fidelity of suite-level hardware-metric estimates computed from the
+  weighted representatives only (the subsetting literature's test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis import SubsetResult, format_subset, select_representatives
+from ..config import DEFAULT_CONFIG, ReproConfig
+from ..reporting import format_table
+from ..uarch import HPC_METRIC_NAMES
+from .dataset import WorkloadDataset
+from .fig6_clusters import run_fig6
+
+
+@dataclass(frozen=True)
+class SubsettingResult:
+    """Subset selection plus fidelity metrics.
+
+    Attributes:
+        subset: the representative selection.
+        names: population benchmark names.
+        hpc_errors: relative error of subset-estimated suite-mean HPC
+            metrics, per metric.
+        reduction: fraction of simulation work avoided.
+    """
+
+    subset: SubsetResult
+    names: "tuple[str, ...]"
+    hpc_errors: np.ndarray
+    reduction: float
+
+    def format(self) -> str:
+        """Human-readable report section."""
+        rows = [
+            [name, f"{error:.1%}"]
+            for name, error in zip(HPC_METRIC_NAMES, self.hpc_errors)
+        ]
+        table = format_table(
+            ["suite-mean metric", "subset estimation error"],
+            rows,
+            align_right=[False, True],
+        )
+        return (
+            "Benchmark subsetting (extension)\n"
+            + format_subset(self.subset, list(self.names))
+            + f"\nsimulation reduction: {self.reduction:.0%}\n\n"
+            + table
+        )
+
+
+def run_subsetting(
+    dataset: WorkloadDataset,
+    config: ReproConfig = DEFAULT_CONFIG,
+    ga_result=None,
+) -> SubsettingResult:
+    """Select representatives in the GA-reduced space and evaluate."""
+    fig6 = run_fig6(dataset, config, ga_result=ga_result)
+    reduced = dataset.mica_normalized()[:, list(fig6.selected)]
+    subset = select_representatives(reduced, fig6.clustering.result)
+    errors = subset.estimation_error(dataset.hpc)
+    reduction = 1.0 - subset.size / len(dataset)
+    return SubsettingResult(
+        subset=subset,
+        names=dataset.names,
+        hpc_errors=errors,
+        reduction=reduction,
+    )

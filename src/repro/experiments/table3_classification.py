@@ -1,0 +1,86 @@
+"""Table III: quadrant classification of benchmark tuples.
+
+Classifies every benchmark tuple as true/false positive/negative using
+20%-of-maximum distance thresholds in both spaces.  The paper reports
+FN 0.2%, TP 56.9%, TN 1.8%, FP 41.1% — the large false-positive
+fraction is the pitfall.  A threshold sensitivity sweep (10/20/30%) is
+included as an ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..analysis import QuadrantFractions, classify_quadrants
+from ..reporting import format_table
+from .dataset import WorkloadDataset
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Table III data.
+
+    Attributes:
+        quadrants: fractions at the paper's 20% thresholds.
+        sensitivity: fractions at alternative thresholds, keyed by the
+            (reference, candidate) threshold pair.
+    """
+
+    quadrants: QuadrantFractions
+    sensitivity: Dict[Tuple[float, float], QuadrantFractions]
+
+    def format(self) -> str:
+        """Human-readable report section."""
+        lines = [
+            "Table III: classifying benchmark tuples "
+            "(thresholds: 20% of max distance)",
+            self.quadrants.format(),
+            "",
+            "paper reference: FN 0.2% / TP 56.9% / TN 1.8% / FP 41.1%",
+            "",
+        ]
+        rows = []
+        for (ref, cand), fractions in sorted(self.sensitivity.items()):
+            rows.append(
+                [
+                    f"{ref:.0%}/{cand:.0%}",
+                    f"{fractions.false_negative:.1%}",
+                    f"{fractions.true_positive:.1%}",
+                    f"{fractions.true_negative:.1%}",
+                    f"{fractions.false_positive:.1%}",
+                ]
+            )
+        lines.append(
+            format_table(
+                ["thresholds", "FN", "TP", "TN", "FP"],
+                rows,
+                align_right=[False, True, True, True, True],
+                title="threshold sensitivity (ablation):",
+            )
+        )
+        return "\n".join(lines)
+
+
+def run_table3(
+    dataset: WorkloadDataset,
+    threshold: float = 0.2,
+) -> Table3Result:
+    """Compute Table III (plus the threshold-sensitivity ablation)."""
+    hpc_distances = dataset.hpc_distances()
+    mica_distances = dataset.mica_distances()
+    quadrants = classify_quadrants(
+        hpc_distances,
+        mica_distances,
+        reference_threshold_fraction=threshold,
+        candidate_threshold_fraction=threshold,
+    )
+    sensitivity = {}
+    for fraction in (0.1, 0.2, 0.3):
+        sensitivity[(fraction, fraction)] = classify_quadrants(
+            hpc_distances,
+            mica_distances,
+            reference_threshold_fraction=fraction,
+            candidate_threshold_fraction=fraction,
+        )
+    return Table3Result(quadrants=quadrants, sensitivity=sensitivity)

@@ -1,0 +1,180 @@
+"""Table IV: the GA-selected key characteristics + measurement cost.
+
+Reports the characteristics the genetic algorithm retains (the paper's
+Table IV lists eight: percentage loads, input operands, register
+dependence <= 8, local load stride <= 64, global load stride <= 512,
+local store stride <= 4096, D-stream 4KB working set, 256-entry-window
+ILP) and estimates the instrumentation-time saving with a measurement
+cost model calibrated to the paper's numbers (all 47 characteristics:
+110 machine-days; the GA's eight: 37 machine-days; ~3X).
+
+The cost model charges one *analysis pass* per needed sub-measurement:
+
+===========================  ===============================
+sub-measurement              cost (machine-days)
+===========================  ===============================
+instruction mix (any)        3
+ILP, per window size         12
+register operand counting    3
+register degree of use       3
+register dependency dists    8 (one pass for all bounds)
+working set, D stream        4
+working set, I stream        4
+strides, per stream kind     2.5 (local/global x load/store)
+PPM, per predictor variant   5.5
+===========================  ===============================
+
+The full set costs 3 + 4*12 + 3 + 3 + 8 + 4 + 4 + 4*2.5 + 4*5.5 = 105
+machine-days (~paper's 110); the paper's Table IV subset costs
+3 + 12 + 3 + 8 + 4 + 3*2.5 = 37.5 (~paper's 37).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..analysis import GAResult, GeneticSelector
+from ..config import DEFAULT_CONFIG, ReproConfig
+from ..mica import CHARACTERISTICS
+from ..reporting import format_table
+from .dataset import WorkloadDataset
+
+#: Paper Table IV, as 0-based indices into the Table II order:
+#: loads(1), input operands(11), dep<=8(16), local load<=64(26),
+#: global load<=512(32), local store<=4096(38), D-page WS(21), ILP-256(10).
+PAPER_TABLE4_INDICES: Tuple[int, ...] = (0, 10, 15, 25, 31, 37, 20, 9)
+
+
+def measurement_cost(selected: Sequence[int]) -> float:
+    """Estimated instrumentation cost (machine-days) of measuring a
+    characteristic subset, using the calibrated shared-pass cost model.
+
+    Args:
+        selected: 0-based characteristic indices (Table II order).
+    """
+    selected = set(selected)
+    cost = 0.0
+    # Instruction mix: one counting pass covers all six.
+    if selected & set(range(0, 6)):
+        cost += 3.0
+    # ILP: one idealized-simulation pass per window size.
+    for window_index in range(6, 10):
+        if window_index in selected:
+            cost += 12.0
+    # Register traffic.
+    if 10 in selected:
+        cost += 3.0  # Operand counting.
+    if 11 in selected:
+        cost += 3.0  # Degree of use.
+    if selected & set(range(12, 19)):
+        cost += 8.0  # One dependency-distance pass for all bounds.
+    # Working sets.
+    if selected & {19, 20}:
+        cost += 4.0  # D-stream.
+    if selected & {21, 22}:
+        cost += 4.0  # I-stream.
+    # Strides: one pass per (scope x op) stream.
+    for start in (23, 28, 33, 38):
+        if selected & set(range(start, start + 5)):
+            cost += 2.5
+    # PPM: one pass per predictor variant.
+    for index in range(43, 47):
+        if index in selected:
+            cost += 5.5
+    return cost
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """Table IV data.
+
+    Attributes:
+        ga: the GA selection outcome.
+        full_cost / selected_cost: cost-model estimates (machine-days).
+        paper_overlap: how many selected characteristics fall in the
+            same Table II *category* as the paper's eight.
+    """
+
+    ga: GAResult
+    full_cost: float
+    selected_cost: float
+    paper_overlap: int
+
+    @property
+    def speedup(self) -> float:
+        """Measurement speedup over collecting everything."""
+        if self.selected_cost == 0.0:
+            return float("inf")
+        return self.full_cost / self.selected_cost
+
+    def format(self) -> str:
+        """Human-readable report section."""
+        rows = []
+        for position, index in enumerate(self.ga.selected, start=1):
+            characteristic = CHARACTERISTICS[index]
+            rows.append(
+                [position, characteristic.index, characteristic.category,
+                 characteristic.description]
+            )
+        table = format_table(
+            ["#", "Table II no.", "category", "characteristic"],
+            rows,
+            align_right=[True, True, False, False],
+        )
+        paper_rows = [
+            [i + 1, CHARACTERISTICS[index].description]
+            for i, index in enumerate(PAPER_TABLE4_INDICES)
+        ]
+        paper_table = format_table(
+            ["#", "paper's Table IV"], paper_rows, align_right=[True, False]
+        )
+        return (
+            "Table IV: key characteristics selected by the GA\n"
+            f"selected: {self.ga.n_selected} characteristics, "
+            f"fitness {self.ga.fitness:.3f}, distance correlation "
+            f"{self.ga.rho:.3f}\n"
+            + table
+            + "\n\n"
+            + paper_table
+            + "\n\n"
+            "measurement cost model (machine-days):\n"
+            f"  all 47 characteristics : {self.full_cost:6.1f}  "
+            "(paper: ~110)\n"
+            f"  GA-selected subset     : {self.selected_cost:6.1f}  "
+            "(paper: ~37)\n"
+            f"  speedup                : {self.speedup:6.2f}x "
+            "(paper: ~3X)\n"
+            f"category overlap with the paper's eight: "
+            f"{self.paper_overlap}/{self.ga.n_selected}"
+        )
+
+
+def run_table4(
+    dataset: WorkloadDataset,
+    config: ReproConfig = DEFAULT_CONFIG,
+    ga_result: "GAResult | None" = None,
+) -> Table4Result:
+    """Run (or reuse) the GA selection and build the Table IV report."""
+    if ga_result is None:
+        selector = GeneticSelector(
+            population=config.ga_population,
+            generations=config.ga_generations,
+            seed=config.ga_seed,
+        )
+        ga_result = selector.select(dataset.mica_normalized())
+
+    paper_categories = {
+        CHARACTERISTICS[index].category for index in PAPER_TABLE4_INDICES
+    }
+    overlap = sum(
+        1
+        for index in ga_result.selected
+        if CHARACTERISTICS[index].category in paper_categories
+    )
+    return Table4Result(
+        ga=ga_result,
+        full_cost=measurement_cost(range(len(CHARACTERISTICS))),
+        selected_cost=measurement_cost(ga_result.selected),
+        paper_overlap=overlap,
+    )

@@ -1,0 +1,54 @@
+"""Minimal Alpha-like ISA model.
+
+The paper instruments Alpha binaries with ATOM.  This package models just
+enough of such an ISA for workload characterization: instruction classes,
+a register-file specification, and a dynamic instruction record carrying
+the fields an ATOM instrumentation pass would observe (PC, operand
+registers, memory address, branch outcome).
+"""
+
+from .opclass import (
+    OpClass,
+    MEMORY_CLASSES,
+    CONTROL_CLASSES,
+    COMPUTE_CLASSES,
+    is_memory_class,
+    is_control_class,
+)
+from .registers import (
+    NUM_INT_REGS,
+    NUM_FP_REGS,
+    TOTAL_REGS,
+    INT_ZERO_REG,
+    FP_ZERO_REG,
+    NO_REG,
+    register_name,
+    is_zero_register,
+    is_valid_register,
+)
+from .instruction import (
+    TRACE_DTYPE,
+    InstructionRecord,
+    record_from_row,
+)
+
+__all__ = [
+    "OpClass",
+    "MEMORY_CLASSES",
+    "CONTROL_CLASSES",
+    "COMPUTE_CLASSES",
+    "is_memory_class",
+    "is_control_class",
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "TOTAL_REGS",
+    "INT_ZERO_REG",
+    "FP_ZERO_REG",
+    "NO_REG",
+    "register_name",
+    "is_zero_register",
+    "is_valid_register",
+    "TRACE_DTYPE",
+    "InstructionRecord",
+    "record_from_row",
+]

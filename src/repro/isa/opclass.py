@@ -1,0 +1,93 @@
+"""Instruction classes for the Alpha-like ISA model.
+
+The paper's instruction-mix characteristics (Table II, nos. 1-6) partition
+instructions into loads, stores, control transfers, arithmetic operations,
+integer multiplies and floating-point operations.  :class:`OpClass`
+provides exactly that partition plus a no-op class for completeness.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import FrozenSet
+
+
+class OpClass(IntEnum):
+    """Dynamic instruction class.
+
+    The integer values are stable and are stored directly in trace files,
+    so they must never be renumbered.
+    """
+
+    #: Integer or FP load from memory.
+    LOAD = 0
+    #: Integer or FP store to memory.
+    STORE = 1
+    #: Conditional or unconditional control transfer.
+    BRANCH = 2
+    #: Integer ALU operation (add, sub, logic, shifts, compares).
+    INT_ALU = 3
+    #: Integer multiply (tracked separately by the paper).
+    INT_MUL = 4
+    #: Floating-point operation (add/mul/div/sqrt/convert).
+    FP = 5
+    #: No-op / other (does not read or write architected state we model).
+    NOP = 6
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self in MEMORY_CLASSES
+
+    @property
+    def is_control(self) -> bool:
+        """True for control transfers."""
+        return self in CONTROL_CLASSES
+
+    @property
+    def is_compute(self) -> bool:
+        """True for register-to-register compute operations."""
+        return self in COMPUTE_CLASSES
+
+    @property
+    def short_name(self) -> str:
+        """Compact lowercase label used in text trace files."""
+        return _SHORT_NAMES[self]
+
+    @classmethod
+    def from_short_name(cls, name: str) -> "OpClass":
+        """Inverse of :attr:`short_name`.
+
+        Raises:
+            KeyError: if ``name`` is not a known short name.
+        """
+        return _FROM_SHORT[name]
+
+
+MEMORY_CLASSES: FrozenSet[OpClass] = frozenset({OpClass.LOAD, OpClass.STORE})
+CONTROL_CLASSES: FrozenSet[OpClass] = frozenset({OpClass.BRANCH})
+COMPUTE_CLASSES: FrozenSet[OpClass] = frozenset(
+    {OpClass.INT_ALU, OpClass.INT_MUL, OpClass.FP}
+)
+
+_SHORT_NAMES = {
+    OpClass.LOAD: "ld",
+    OpClass.STORE: "st",
+    OpClass.BRANCH: "br",
+    OpClass.INT_ALU: "alu",
+    OpClass.INT_MUL: "mul",
+    OpClass.FP: "fp",
+    OpClass.NOP: "nop",
+}
+
+_FROM_SHORT = {name: op for op, name in _SHORT_NAMES.items()}
+
+
+def is_memory_class(value: int) -> bool:
+    """True when the raw class value denotes a load or store."""
+    return value in (OpClass.LOAD, OpClass.STORE)
+
+
+def is_control_class(value: int) -> bool:
+    """True when the raw class value denotes a control transfer."""
+    return value == OpClass.BRANCH

@@ -1,0 +1,57 @@
+"""Register-file specification for the Alpha-like ISA model.
+
+The Alpha architecture has 32 integer registers (``$0``-``$31``, with
+``$31`` hardwired to zero) and 32 floating-point registers (``$f0``-
+``$f31``, with ``$f31`` hardwired to zero).  Register traffic analysis
+(paper Table II, nos. 11-19) tracks dataflow through these registers, so
+the model must distinguish real registers from the zero registers (writes
+to a zero register create no value; reads from one create no dependency).
+
+Registers are numbered in a single flat space: integer registers occupy
+indices ``0..31`` and floating-point registers ``32..63``.  The sentinel
+:data:`NO_REG` (255) marks an absent operand slot.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+TOTAL_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Flat index of the integer zero register ($31).
+INT_ZERO_REG = 31
+
+#: Flat index of the floating-point zero register ($f31).
+FP_ZERO_REG = NUM_INT_REGS + 31
+
+#: Sentinel for "no register in this operand slot".
+NO_REG = 255
+
+
+def is_valid_register(index: int) -> bool:
+    """True when ``index`` names an architected register or the sentinel."""
+    return index == NO_REG or 0 <= index < TOTAL_REGS
+
+
+def is_zero_register(index: int) -> bool:
+    """True for the hardwired-zero registers ($31 and $f31)."""
+    return index in (INT_ZERO_REG, FP_ZERO_REG)
+
+
+def register_name(index: int) -> str:
+    """Human-readable register name for a flat register index.
+
+    >>> register_name(0)
+    '$0'
+    >>> register_name(33)
+    '$f1'
+    >>> register_name(255)
+    '-'
+    """
+    if index == NO_REG:
+        return "-"
+    if 0 <= index < NUM_INT_REGS:
+        return f"${index}"
+    if NUM_INT_REGS <= index < TOTAL_REGS:
+        return f"$f{index - NUM_INT_REGS}"
+    raise ValueError(f"invalid register index: {index}")

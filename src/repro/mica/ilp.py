@@ -1,0 +1,137 @@
+"""Inherent instruction-level parallelism (Table II, characteristics 7-10).
+
+The paper measures the IPC achievable on an idealized out-of-order
+processor: perfect caches, perfect branch prediction, unlimited
+functional units, unit execution latency — the *only* constraints are
+true register data dependencies and the instruction window.  We model
+the window exactly as the MICA tool does: the trace is partitioned into
+consecutive non-overlapping windows of W instructions; each window
+executes in as many cycles as its dataflow critical path; IPC is the
+instruction count divided by the summed critical-path lengths.
+
+Register dataflow is recovered from the trace with
+:func:`producer_indices`, which maps every source operand to the dynamic
+index of the instruction that produced the value (the most recent writer
+of that architected register).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CharacterizationError
+from ..isa import NO_REG
+from ..isa.registers import (
+    FP_ZERO_REG,
+    INT_ZERO_REG,
+    TOTAL_REGS,
+)
+from ..trace import Trace
+
+#: Producer index used when a source has no producer in the trace.
+NO_PRODUCER = -1
+
+
+def producer_indices(trace: Trace) -> Tuple[np.ndarray, np.ndarray]:
+    """Dynamic producer index for each instruction's two source slots.
+
+    For every instruction ``i`` and source slot, the result holds the
+    index of the most recent earlier instruction that wrote that source
+    register, or :data:`NO_PRODUCER` when the slot is empty, reads a
+    hardwired-zero register, or reads a register not yet written.
+
+    Returns:
+        ``(producer1, producer2)`` int64 arrays of the trace length.
+    """
+    n = len(trace)
+    dst = trace.dst
+    producers = []
+    # Writer positions per register, for searchsorted-based lookup.
+    writer_positions: Dict[int, np.ndarray] = {}
+    has_dst = dst != NO_REG
+    written_registers = np.unique(dst[has_dst])
+    positions = np.arange(n, dtype=np.int64)
+    for register in written_registers:
+        writer_positions[int(register)] = positions[dst == register]
+
+    for source in (trace.src1, trace.src2):
+        producer = np.full(n, NO_PRODUCER, dtype=np.int64)
+        live = (source != NO_REG) & (source != INT_ZERO_REG) & (
+            source != FP_ZERO_REG
+        )
+        for register in np.unique(source[live]):
+            register = int(register)
+            writers = writer_positions.get(register)
+            if writers is None:
+                continue
+            readers = positions[live & (source == register)]
+            slot = np.searchsorted(writers, readers, side="left") - 1
+            valid = slot >= 0
+            producer[readers[valid]] = writers[slot[valid]]
+        producers.append(producer)
+    return producers[0], producers[1]
+
+
+def _window_critical_paths(
+    producer1: np.ndarray, producer2: np.ndarray, window: int
+) -> int:
+    """Total cycles: sum of dataflow critical paths over W-sized windows."""
+    n = len(producer1)
+    level = np.ones(n, dtype=np.int32)
+    p1 = producer1
+    p2 = producer2
+    total_cycles = 0
+    for window_start in range(0, n, window):
+        window_end = min(window_start + window, n)
+        depth = 1
+        for i in range(window_start, window_end):
+            best = 0
+            p = p1[i]
+            if p >= window_start:
+                best = level[p]
+            p = p2[i]
+            if p >= window_start and level[p] > best:
+                best = level[p]
+            lvl = best + 1
+            level[i] = lvl
+            if lvl > depth:
+                depth = lvl
+        total_cycles += depth
+    return total_cycles
+
+
+def ilp_ipc(
+    trace: Trace,
+    window_sizes: Sequence[int] = (32, 64, 128, 256),
+    producers: "Tuple[np.ndarray, np.ndarray] | None" = None,
+) -> np.ndarray:
+    """Idealized-processor IPC for each window size.
+
+    Args:
+        trace: the dynamic instruction trace.
+        window_sizes: instruction-window sizes (paper: 32/64/128/256).
+        producers: precomputed :func:`producer_indices` result (shared
+            with register-traffic analysis to avoid recomputation).
+
+    Returns:
+        IPC value per window size, same order as ``window_sizes``.
+
+    Raises:
+        CharacterizationError: for an empty trace or bad window size.
+    """
+    if len(trace) == 0:
+        raise CharacterizationError("cannot compute ILP of an empty trace")
+    for window in window_sizes:
+        if window < 1:
+            raise CharacterizationError(f"invalid window size: {window}")
+    if producers is None:
+        producers = producer_indices(trace)
+    producer1, producer2 = producers
+    n = len(trace)
+    result = np.empty(len(window_sizes), dtype=float)
+    for position, window in enumerate(window_sizes):
+        cycles = _window_critical_paths(producer1, producer2, window)
+        result[position] = n / cycles if cycles else 0.0
+    return result

@@ -1,0 +1,164 @@
+"""PPM branch predictability (Table II, characteristics 44-47).
+
+The paper measures branch predictability microarchitecture-independently
+with the Prediction-by-Partial-Matching predictor of Chen et al. — a
+universal compression/prediction scheme viewed as a *theoretical upper
+bound* for history-based branch prediction rather than a buildable
+predictor.
+
+A PPM predictor of maximum order ``m`` keeps frequency counts for every
+branch-history context of length 0..m.  To predict, it finds the longest
+context that has been seen before and predicts the majority outcome in
+that context, escaping to shorter contexts when a context is new.  After
+resolution, the counts of all context lengths are updated.
+
+Four variants, following the paper's two-level-predictor naming:
+
+=====  =================  ====================================
+name   history            context tables
+=====  =================  ====================================
+GAg    global             one shared table
+PAg    per-branch local   one shared table
+GAs    global             separate tables per branch (PC)
+PAs    per-branch local   separate tables per branch (PC)
+=====  =================  ====================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import CharacterizationError
+from ..trace import Trace
+
+#: The four predictor variants, in Table II order.
+VARIANTS: Tuple[Tuple[str, bool, bool], ...] = (
+    # (name, uses_global_history, shared_table)
+    ("GAg", True, True),
+    ("PAg", False, True),
+    ("GAs", True, False),
+    ("PAs", False, False),
+)
+
+
+class PPMPredictor:
+    """A Prediction-by-Partial-Matching branch predictor.
+
+    Args:
+        max_order: longest history context used (paper-style small
+            orders; the default of 4 follows the reproduction config).
+        global_history: use one global outcome history (``G``) rather
+            than per-branch local histories (``P``).
+        shared_table: share one context table across all branches
+            (``g``) rather than keeping per-branch tables (``s``).
+    """
+
+    def __init__(
+        self,
+        max_order: int = 4,
+        global_history: bool = True,
+        shared_table: bool = True,
+    ):
+        if max_order < 1:
+            raise CharacterizationError("max_order must be >= 1")
+        self.max_order = max_order
+        self.global_history = global_history
+        self.shared_table = shared_table
+        # tables[order] maps (table key, context bits) -> [not-taken, taken].
+        self._tables: Tuple[Dict[Tuple[int, int], "list[int]"], ...] = tuple(
+            {} for _ in range(max_order + 1)
+        )
+        self._global_history_bits = 0
+        self._local_histories: Dict[int, int] = {}
+        self.predictions = 0
+        self.correct = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct predictions so far (0 when unused)."""
+        if self.predictions == 0:
+            return 0.0
+        return self.correct / self.predictions
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict one branch execution, then train on the outcome.
+
+        Returns:
+            True when the prediction matched the actual outcome.
+        """
+        if self.global_history:
+            history = self._global_history_bits
+        else:
+            history = self._local_histories.get(pc, 0)
+        table_key = 0 if self.shared_table else pc
+
+        prediction = self._predict(table_key, history)
+        outcome = bool(taken)
+        correct = prediction == outcome
+        self.predictions += 1
+        if correct:
+            self.correct += 1
+
+        self._update(table_key, history, outcome)
+        new_history = ((history << 1) | int(outcome)) & (
+            (1 << self.max_order) - 1
+        )
+        if self.global_history:
+            self._global_history_bits = new_history
+        else:
+            self._local_histories[pc] = new_history
+        return correct
+
+    def _predict(self, table_key: int, history: int) -> bool:
+        for order in range(self.max_order, -1, -1):
+            context = history & ((1 << order) - 1)
+            counts = self._tables[order].get((table_key, context))
+            if counts is None:
+                continue
+            not_taken, taken = counts
+            if taken != not_taken:
+                return taken > not_taken
+            # A tied context carries no information: escape to shorter.
+        return True  # Cold default: branches are more often taken.
+
+    def _update(self, table_key: int, history: int, outcome: bool) -> None:
+        index = int(outcome)
+        for order in range(self.max_order + 1):
+            context = history & ((1 << order) - 1)
+            key = (table_key, context)
+            table = self._tables[order]
+            counts = table.get(key)
+            if counts is None:
+                table[key] = [0, 0]
+                counts = table[key]
+            counts[index] += 1
+
+
+def ppm_predictabilities(trace: Trace, max_order: int = 4) -> np.ndarray:
+    """Accuracies of the four PPM variants, in Table II order.
+
+    Traces without branches yield zeros for all four characteristics.
+    """
+    if len(trace) == 0:
+        raise CharacterizationError(
+            "cannot compute predictability of an empty trace"
+        )
+    branch_pcs = trace.branch_pcs
+    outcomes = trace.branch_outcomes
+    predictors = [
+        PPMPredictor(
+            max_order=max_order,
+            global_history=global_history,
+            shared_table=shared_table,
+        )
+        for _, global_history, shared_table in VARIANTS
+    ]
+    pcs = branch_pcs.tolist()
+    takens = outcomes.tolist()
+    for predictor in predictors:
+        predict = predictor.predict_and_update
+        for pc, taken in zip(pcs, takens):
+            predict(pc, taken)
+    return np.array([predictor.accuracy for predictor in predictors])

@@ -1,0 +1,42 @@
+"""Program-phase analysis (the paper's related-work thread).
+
+The paper's section VII discusses the strong correlation between
+executed code and performance (SimPoint; Sherwood et al., Lau et al.):
+execution intervals that execute similar code behave similarly on
+microarchitecture-dependent metrics.  Code signatures identify *phases
+within one benchmark* — complementary to MICA, which compares *across*
+benchmarks.  This package implements that methodology:
+
+* :func:`basic_block_vectors` — per-interval code signatures (BBVs);
+* :func:`interval_mix` — per-interval instruction-mix vectors;
+* :func:`detect_phases` — cluster intervals into phases (k-means +
+  BIC) and pick one simulation point per phase;
+* :func:`phase_homogeneity` — verify the premise: metric variation
+  within phases vs across the whole run.
+"""
+
+from .intervals import basic_block_vectors, interval_mix, split_intervals
+from .detect import (
+    PhaseResult,
+    detect_phases,
+    phase_homogeneity,
+    simulation_points,
+)
+from .timeline import (
+    CharacteristicTimeline,
+    DEFAULT_TIMELINE_KEYS,
+    mica_timeline,
+)
+
+__all__ = [
+    "basic_block_vectors",
+    "interval_mix",
+    "split_intervals",
+    "PhaseResult",
+    "detect_phases",
+    "phase_homogeneity",
+    "simulation_points",
+    "CharacteristicTimeline",
+    "DEFAULT_TIMELINE_KEYS",
+    "mica_timeline",
+]

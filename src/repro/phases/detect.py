@@ -1,0 +1,141 @@
+"""Phase detection and simulation-point selection.
+
+Intervals with similar code signatures are grouped into phases with the
+same k-means + BIC machinery used for benchmark clustering; one
+representative interval per phase (the one nearest its centroid) is a
+*simulation point*.  :func:`phase_homogeneity` checks the SimPoint
+premise on this substrate: a microarchitecture-dependent metric should
+vary less within a phase than across the whole run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..analysis.cluster import choose_k
+from ..trace import Trace
+from .intervals import basic_block_vectors, split_intervals
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """Phase decomposition of one trace.
+
+    Attributes:
+        interval: instructions per interval.
+        assignments: phase label per interval, in time order.
+        k: number of phases.
+        signatures: the per-interval feature matrix used.
+    """
+
+    interval: int
+    assignments: np.ndarray
+    k: int
+    signatures: np.ndarray
+
+    def phase_sizes(self) -> np.ndarray:
+        """Interval count per phase."""
+        return np.bincount(self.assignments, minlength=self.k)
+
+    def format_timeline(self, width: int = 72) -> str:
+        """The phase sequence as a compact character timeline."""
+        symbols = "0123456789abcdefghijklmnopqrstuvwxyz"
+        labels = [
+            symbols[label % len(symbols)] for label in self.assignments
+        ]
+        text = "".join(labels)
+        lines = [
+            text[start : start + width]
+            for start in range(0, len(text), width)
+        ]
+        return "\n".join(lines)
+
+
+def detect_phases(
+    trace: Trace,
+    interval: int = 5_000,
+    max_phases: int = 12,
+    seed: int = 0,
+) -> PhaseResult:
+    """Decompose a trace into phases by code signature.
+
+    Args:
+        trace: the dynamic instruction trace.
+        interval: instructions per interval.
+        max_phases: upper bound on the phase count explored.
+        seed: k-means seed.
+
+    Raises:
+        AnalysisError: if the trace yields fewer than two intervals.
+    """
+    signatures = basic_block_vectors(trace, interval)
+    upper = min(max_phases, len(signatures) - 1)
+    clustering = choose_k(
+        signatures, k_range=(1, max(upper, 1)), score_fraction=0.9,
+        seed=seed,
+    )
+    return PhaseResult(
+        interval=interval,
+        assignments=clustering.result.assignments,
+        k=clustering.result.k,
+        signatures=signatures,
+    )
+
+
+def simulation_points(result: PhaseResult) -> List[int]:
+    """One representative interval index per phase (nearest to the
+    phase's signature centroid), ordered by phase population."""
+    points = []
+    order = np.argsort(result.phase_sizes())[::-1]
+    for phase in order:
+        member_indices = np.flatnonzero(result.assignments == phase)
+        if len(member_indices) == 0:
+            continue
+        members = result.signatures[member_indices]
+        center = members.mean(axis=0)
+        nearest = int(
+            member_indices[
+                int(np.argmin(np.linalg.norm(members - center, axis=1)))
+            ]
+        )
+        points.append(nearest)
+    return points
+
+
+def phase_homogeneity(
+    trace: Trace,
+    result: PhaseResult,
+    metric,
+) -> Tuple[float, float]:
+    """Within-phase vs overall variability of a per-interval metric.
+
+    Args:
+        trace: the trace the phases were detected on.
+        result: the phase decomposition.
+        metric: callable mapping an interval :class:`Trace` to a float
+            (e.g. simulated IPC or a miss rate).
+
+    Returns:
+        ``(within_std, overall_std)`` — the population-weighted average
+        of per-phase standard deviations, and the standard deviation
+        over all intervals.  The SimPoint premise holds when the first
+        is clearly smaller.
+    """
+    intervals = split_intervals(trace, result.interval)
+    if len(intervals) != len(result.assignments):
+        raise AnalysisError("phase result does not match this trace")
+    values = np.array([float(metric(chunk)) for chunk in intervals])
+    overall_std = float(values.std())
+    weighted = 0.0
+    for phase in range(result.k):
+        member_values = values[result.assignments == phase]
+        if len(member_values) == 0:
+            continue
+        weighted += len(member_values) / len(values) * float(
+            member_values.std()
+        )
+    return weighted, overall_std

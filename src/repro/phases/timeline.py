@@ -1,0 +1,129 @@
+"""Characteristic timelines: MICA over execution time.
+
+Joshi et al. (IEEE TC 2006) and the phase literature study how inherent
+characteristics *evolve within a run*.  This module computes selected
+Table II characteristics per interval, producing a timeline matrix that
+quantifies behavioral drift — the within-benchmark analogue of the
+cross-benchmark workload space.
+
+Only interval-computable characteristics are supported (the global
+working-set counts are cumulative by definition and are reported as
+per-interval unique counts instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..config import DEFAULT_CONFIG, ReproConfig
+from ..errors import AnalysisError
+from ..mica import characterize
+from ..mica.characteristics import characteristic_by_key
+from ..trace import Trace
+from .intervals import split_intervals
+
+#: Characteristics cheap enough to compute per interval by default —
+#: one per Table II category.
+DEFAULT_TIMELINE_KEYS = (
+    "mix_loads",
+    "ilp_w32",
+    "reg_dep_le8",
+    "ws_data_blocks",
+    "stride_local_load_le8",
+    "ppm_GAg",
+)
+
+
+@dataclass(frozen=True)
+class CharacteristicTimeline:
+    """Per-interval characteristic values for one trace.
+
+    Attributes:
+        keys: characteristic keys (columns).
+        values: (intervals x keys) matrix.
+        interval: instructions per interval.
+    """
+
+    keys: "tuple[str, ...]"
+    values: np.ndarray
+    interval: int
+
+    def drift(self) -> np.ndarray:
+        """Coefficient of variation per characteristic (0 = steady).
+
+        Characteristics whose mean is zero report zero drift.
+        """
+        means = self.values.mean(axis=0)
+        stds = self.values.std(axis=0)
+        result = np.zeros(len(self.keys))
+        nonzero = means != 0.0
+        result[nonzero] = stds[nonzero] / np.abs(means[nonzero])
+        return result
+
+    def format(self, width: int = 40) -> str:
+        """Sparkline-style rendering, one row per characteristic."""
+        ramp = " .:-=+*#%@"
+        lines = [
+            f"characteristic timeline "
+            f"({len(self.values)} intervals x {self.interval:,} instr)"
+        ]
+        for column, key in enumerate(self.keys):
+            series = self.values[:, column]
+            low, high = float(series.min()), float(series.max())
+            spread = high - low
+            if spread == 0.0:
+                bars = ramp[1] * min(len(series), width)
+            else:
+                resampled = np.interp(
+                    np.linspace(0, len(series) - 1, min(len(series), width)),
+                    np.arange(len(series)),
+                    series,
+                )
+                levels = (
+                    (resampled - low) / spread * (len(ramp) - 1)
+                ).round().astype(int)
+                bars = "".join(ramp[level] for level in levels)
+            lines.append(f"  {key:<24} |{bars}| "
+                         f"[{low:.3g} .. {high:.3g}]")
+        return "\n".join(lines)
+
+
+def mica_timeline(
+    trace: Trace,
+    interval: int = 10_000,
+    keys: Sequence[str] = DEFAULT_TIMELINE_KEYS,
+    config: ReproConfig = DEFAULT_CONFIG,
+) -> CharacteristicTimeline:
+    """Compute selected characteristics for every interval of a trace.
+
+    Args:
+        trace: the dynamic instruction trace.
+        interval: instructions per interval.
+        keys: Table II characteristic keys to track.
+        config: characterization parameters.
+
+    Raises:
+        AnalysisError: on unknown keys or a trace shorter than two
+            intervals.
+    """
+    if not keys:
+        raise AnalysisError("need at least one characteristic key")
+    indices: List[int] = []
+    for key in keys:
+        try:
+            indices.append(characteristic_by_key(key).array_index)
+        except KeyError:
+            raise AnalysisError(f"unknown characteristic key: {key!r}")
+
+    chunks = split_intervals(trace, interval)
+    rows = [
+        characterize(chunk, config).values[indices] for chunk in chunks
+    ]
+    return CharacteristicTimeline(
+        keys=tuple(keys),
+        values=np.vstack(rows),
+        interval=interval,
+    )

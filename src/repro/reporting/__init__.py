@@ -1,0 +1,14 @@
+"""Plain-text reporting: ASCII tables, scatter/line plots, CSV/JSON
+export.  Everything the experiment drivers print goes through here."""
+
+from .tables import format_table
+from .ascii_plots import ascii_scatter, ascii_lines
+from .export import matrix_to_csv, dataset_to_json
+
+__all__ = [
+    "format_table",
+    "ascii_scatter",
+    "ascii_lines",
+    "matrix_to_csv",
+    "dataset_to_json",
+]

@@ -1,0 +1,120 @@
+"""ASCII scatter and line plots for terminal experiment reports."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def _canvas(width: int, height: int) -> "list[list[str]]":
+    return [[" "] * width for _ in range(height)]
+
+
+def _render(
+    canvas: "list[list[str]]",
+    x_label: str,
+    y_label: str,
+    x_range: "tuple[float, float]",
+    y_range: "tuple[float, float]",
+) -> str:
+    height = len(canvas)
+    width = len(canvas[0])
+    lines = [f"{y_label} ({y_range[1]:.3g} top, {y_range[0]:.3g} bottom)"]
+    for row in canvas:
+        lines.append("|" + "".join(row).rstrip())
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {x_label}: {x_range[0]:.3g} .. {x_range[1]:.3g}"
+    )
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 72,
+    height: int = 24,
+    marker: str = "*",
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 20000,
+) -> str:
+    """Scatter plot on a character canvas.
+
+    Overlapping points escalate through ``. : * @`` density markers so
+    dense regions remain readable.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1 or len(x) == 0:
+        raise ValueError("scatter needs two equal-length non-empty vectors")
+    if len(x) > max_points:
+        step = len(x) // max_points + 1
+        x = x[::step]
+        y = y[::step]
+    x_low, x_high = float(x.min()), float(x.max())
+    y_low, y_high = float(y.min()), float(y.max())
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+    counts = np.zeros((height, width), dtype=np.int64)
+    cols = ((x - x_low) / x_span * (width - 1)).round().astype(int)
+    rows = (height - 1 - (y - y_low) / y_span * (height - 1)).round().astype(int)
+    np.add.at(counts, (rows, cols), 1)
+    density_markers = [" ", ".", ":", marker, "@"]
+    canvas = _canvas(width, height)
+    if counts.max() > 0:
+        levels = np.digitize(
+            counts, [1, 2, 4, 8], right=False
+        )  # 0..4 density buckets.
+        for row in range(height):
+            for col in range(width):
+                canvas[row][col] = density_markers[levels[row, col]]
+    return _render(canvas, x_label, y_label, (x_low, x_high), (y_low, y_high))
+
+
+def ascii_lines(
+    series: "Dict[str, tuple[np.ndarray, np.ndarray]]",
+    width: int = 72,
+    height: int = 24,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Overlayed line plots; each series is drawn with its own marker
+    (first letter of its name) and listed in the legend."""
+    if not series:
+        raise ValueError("need at least one series")
+    all_x = np.concatenate([np.asarray(x, float) for x, _ in series.values()])
+    all_y = np.concatenate([np.asarray(y, float) for _, y in series.values()])
+    x_low, x_high = float(all_x.min()), float(all_x.max())
+    y_low, y_high = float(all_y.min()), float(all_y.max())
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+    canvas = _canvas(width, height)
+    legend = []
+    used_markers = set()
+    for name, (x, y) in series.items():
+        marker = next(
+            (ch for ch in name if ch.isalnum() and ch not in used_markers),
+            "*",
+        )
+        used_markers.add(marker)
+        legend.append(f"  {marker} = {name}")
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        order = np.argsort(x, kind="stable")
+        x, y = x[order], y[order]
+        # Dense resample along x for continuous-looking lines.
+        if len(x) > 1:
+            x_dense = np.linspace(x[0], x[-1], width * 2)
+            y_dense = np.interp(x_dense, x, y)
+        else:
+            x_dense, y_dense = x, y
+        cols = ((x_dense - x_low) / x_span * (width - 1)).round().astype(int)
+        rows = (
+            height - 1 - (y_dense - y_low) / y_span * (height - 1)
+        ).round().astype(int)
+        for row, col in zip(rows, cols):
+            canvas[row][col] = marker
+    plot = _render(canvas, x_label, y_label, (x_low, x_high), (y_low, y_high))
+    return plot + "\n" + "\n".join(legend)

@@ -1,0 +1,66 @@
+"""CSV / JSON export of data sets and experiment results."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+import numpy as np
+
+
+def matrix_to_csv(
+    names: Sequence[str],
+    columns: Sequence[str],
+    matrix: np.ndarray,
+    float_format: str = "{:.6g}",
+) -> str:
+    """Render a (benchmarks x characteristics) matrix as CSV text.
+
+    The first column is the benchmark name; fields containing commas
+    are quoted.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    if len(names) != matrix.shape[0]:
+        raise ValueError("names must match matrix rows")
+    if len(columns) != matrix.shape[1]:
+        raise ValueError("columns must match matrix columns")
+
+    def escape(field: str) -> str:
+        if "," in field or '"' in field:
+            return '"' + field.replace('"', '""') + '"'
+        return field
+
+    lines = [",".join(["benchmark"] + [escape(c) for c in columns])]
+    for name, row in zip(names, matrix):
+        cells = [escape(str(name))] + [
+            float_format.format(float(value)) for value in row
+        ]
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def dataset_to_json(
+    names: Sequence[str],
+    columns: Sequence[str],
+    matrix: np.ndarray,
+    metadata: "dict | None" = None,
+) -> str:
+    """Serialize a matrix with row/column labels (and optional metadata)
+    to pretty-printed JSON."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or len(names) != matrix.shape[0]:
+        raise ValueError("names must match matrix rows")
+    if len(columns) != matrix.shape[1]:
+        raise ValueError("columns must match matrix columns")
+    payload = {
+        "benchmarks": list(names),
+        "columns": list(columns),
+        "values": [
+            [float(value) for value in row] for row in matrix
+        ],
+    }
+    if metadata:
+        payload["metadata"] = metadata
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,57 @@
+"""ASCII table formatting."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    align_right: "Sequence[bool] | None" = None,
+    title: str = "",
+) -> str:
+    """Render a list of rows as an aligned ASCII table.
+
+    Args:
+        headers: column headers.
+        rows: row cell values (converted with ``str``).
+        align_right: per-column right-alignment flags (numbers read
+            better right-aligned); defaults to left for all.
+        title: optional line printed above the table.
+
+    >>> print(format_table(["a", "b"], [[1, 2]]))
+    a | b
+    --+--
+    1 | 2
+    """
+    columns = len(headers)
+    if align_right is None:
+        align_right = [False] * columns
+    if len(align_right) != columns:
+        raise ValueError("align_right length must match headers")
+    text_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != columns:
+            raise ValueError("row width must match headers")
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if align_right[index]:
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return " | ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Branch outcome models for data-dependent branches.
+
+Loop back-edges and function-exit jumps get their outcomes directly from
+the control-flow interpreter (they are fully consistent with the block
+visit sequence).  *Data-dependent* branches — the if/else diamonds inside
+loop bodies — need an outcome model, which is what this module provides.
+The mix of pattern-following and biased-random branches is the knob that
+moves the paper's PPM predictability characteristics (Table II, 44-47).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import ProfileError
+
+
+class BranchModel(ABC):
+    """Produces successive taken/not-taken outcomes for one static branch."""
+
+    @abstractmethod
+    def next_outcome(self, rng: np.random.Generator) -> bool:
+        """The outcome of the branch's next dynamic execution."""
+
+
+class PatternBranch(BranchModel):
+    """Deterministic periodic outcome pattern.
+
+    Periodic short patterns are highly predictable by local-history PPM
+    predictors, mimicking branches guarding regular data.
+
+    Args:
+        pattern: boolean outcome sequence repeated forever (period >= 1).
+    """
+
+    def __init__(self, pattern):
+        self.pattern = [bool(bit) for bit in pattern]
+        if not self.pattern:
+            raise ProfileError("pattern must be non-empty")
+        self._cursor = 0
+
+    def next_outcome(self, rng: np.random.Generator) -> bool:
+        outcome = self.pattern[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self.pattern)
+        return outcome
+
+
+class BiasedBranch(BranchModel):
+    """Independent Bernoulli outcomes with a fixed taken probability.
+
+    ``taken_probability`` near 0 or 1 is easy to predict; near 0.5 it is
+    maximally unpredictable (one bit of entropy per execution).
+    """
+
+    def __init__(self, taken_probability: float):
+        if not 0.0 <= taken_probability <= 1.0:
+            raise ProfileError("taken_probability must be within [0, 1]")
+        self.taken_probability = taken_probability
+
+    def next_outcome(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.taken_probability)
+
+
+def make_branch_model(
+    rng: np.random.Generator,
+    pattern_fraction: float,
+    taken_bias: float,
+    max_period: int = 8,
+) -> BranchModel:
+    """Sample a branch model for one static data-dependent branch.
+
+    With probability ``pattern_fraction`` the branch follows a random
+    periodic pattern (period 2..``max_period``); otherwise it is a
+    :class:`BiasedBranch` whose bias is jittered around ``taken_bias``.
+    """
+    if not 0.0 <= pattern_fraction <= 1.0:
+        raise ProfileError("pattern_fraction must be within [0, 1]")
+    if rng.random() < pattern_fraction:
+        period = int(rng.integers(2, max_period + 1))
+        pattern = rng.random(period) < taken_bias
+        if not pattern.any():
+            pattern[0] = True
+        return PatternBranch(pattern.tolist())
+    jitter = float(np.clip(taken_bias + rng.normal(0.0, 0.08), 0.02, 0.98))
+    return BiasedBranch(jitter)

@@ -1,0 +1,325 @@
+"""Static code model: functions, basic blocks, loops.
+
+A synthetic program's static shape is built once per benchmark: functions
+laid out at fixed addresses, each a sequence of loops, each loop a run of
+basic blocks.  Every block ends in a control transfer (so the dynamic
+branch fraction equals the inverse of the mean block length, which is
+derived from the profile's instruction mix).  The static image also owns
+the per-instruction data-access behaviors and per-branch outcome models,
+so executing the same code twice with the same seeds replays the same
+trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ProfileError
+from ..isa import OpClass
+from ..isa.instruction import INSTRUCTION_BYTES
+from .branches import BranchModel, make_branch_model
+from .memory import AccessBehavior, make_behavior
+
+#: Base address of the code segment.
+CODE_BASE = 0x0012_0000
+
+#: Base address of the data segment.
+DATA_BASE = 0x1000_0000
+
+#: Padding between consecutive data regions, in bytes.
+REGION_PADDING = 64
+
+
+@dataclass(frozen=True)
+class CodeSpec:
+    """Static-code shape knobs.
+
+    Attributes:
+        num_functions: number of functions in the program image.
+        blocks_per_function: basic blocks per function.
+        hot_function_fraction: fraction of functions that form the hot
+            set (the interpreter spends most time there); controls the
+            instruction working set.
+        cold_visit_rate: probability that the next function pass detours
+            through a cold function.
+        loop_blocks: mean basic blocks per loop body.
+        loop_iter_mean: mean iterations per loop visit; large values
+            produce highly predictable back-edges and long streaming
+            memory bursts.
+        diamond_rate: fraction of in-loop blocks whose terminator is a
+            data-dependent conditional (an if/else diamond).
+        function_gap_bytes: address distance between function starts;
+            with ~4 KB gaps each visited function touches its own page.
+    """
+
+    num_functions: int = 16
+    blocks_per_function: int = 12
+    hot_function_fraction: float = 0.5
+    cold_visit_rate: float = 0.05
+    loop_blocks: int = 3
+    loop_iter_mean: float = 12.0
+    diamond_rate: float = 0.3
+    function_gap_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.num_functions < 1:
+            raise ProfileError("num_functions must be >= 1")
+        if self.blocks_per_function < 1:
+            raise ProfileError("blocks_per_function must be >= 1")
+        if not 0.0 < self.hot_function_fraction <= 1.0:
+            raise ProfileError("hot_function_fraction must be in (0, 1]")
+        if not 0.0 <= self.cold_visit_rate <= 1.0:
+            raise ProfileError("cold_visit_rate must be in [0, 1]")
+        if self.loop_blocks < 1:
+            raise ProfileError("loop_blocks must be >= 1")
+        if self.loop_iter_mean < 1.0:
+            raise ProfileError("loop_iter_mean must be >= 1")
+        if not 0.0 <= self.diamond_rate <= 1.0:
+            raise ProfileError("diamond_rate must be in [0, 1]")
+        if self.function_gap_bytes < 64:
+            raise ProfileError("function_gap_bytes must be >= 64")
+
+
+@dataclass
+class BasicBlock:
+    """One static basic block.
+
+    Attributes:
+        block_id: global block index.
+        function: owning function index.
+        pc_base: address of the first instruction.
+        opclasses: per-slot instruction classes; the final slot is always
+            :attr:`OpClass.BRANCH`.
+        diamond: outcome model when the terminator is data-dependent,
+            else None (terminator outcome follows control flow).
+        memory_slots: (slot index, behavior) pairs for the block's
+            memory instructions.
+    """
+
+    block_id: int
+    function: int
+    pc_base: int
+    opclasses: np.ndarray
+    diamond: Optional[BranchModel] = None
+    memory_slots: List[Tuple[int, AccessBehavior]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.opclasses)
+
+    @property
+    def pcs(self) -> np.ndarray:
+        """Per-slot instruction addresses."""
+        return (
+            np.uint64(self.pc_base)
+            + np.arange(len(self.opclasses), dtype=np.uint64)
+            * np.uint64(INSTRUCTION_BYTES)
+        )
+
+
+@dataclass
+class Loop:
+    """A contiguous run of blocks executed as a loop body."""
+
+    first_block: int
+    last_block: int
+
+    @property
+    def block_ids(self) -> range:
+        return range(self.first_block, self.last_block + 1)
+
+
+@dataclass
+class Function:
+    """A function: an ordered list of loops over contiguous blocks."""
+
+    index: int
+    loops: List[Loop]
+
+    @property
+    def first_block(self) -> int:
+        return self.loops[0].first_block
+
+    @property
+    def last_block(self) -> int:
+        return self.loops[-1].last_block
+
+
+@dataclass
+class StaticCode:
+    """The complete static image of a synthetic program."""
+
+    blocks: List[BasicBlock]
+    functions: List[Function]
+    hot_functions: List[int]
+    cold_functions: List[int]
+    data_bytes_allocated: int
+
+    def block_lengths(self) -> np.ndarray:
+        """Length of every block, indexed by block id."""
+        return np.array([len(block) for block in self.blocks], dtype=np.int64)
+
+    @property
+    def code_bytes(self) -> int:
+        """Static code size from first to last instruction."""
+        last = self.blocks[-1]
+        first = self.blocks[0]
+        return (last.pc_base + len(last) * INSTRUCTION_BYTES) - first.pc_base
+
+
+def _sample_block_length(
+    rng: np.random.Generator, mean_length: float
+) -> int:
+    """Geometric block length with the given mean, minimum 2 slots."""
+    if mean_length <= 2.0:
+        return 2
+    # Shifted geometric: 2 + G where E[G] = mean_length - 2.
+    p = 1.0 / (mean_length - 1.0)
+    return 2 + int(rng.geometric(min(max(p, 1e-6), 1.0))) - 1
+
+
+def _sample_body_class(
+    rng: np.random.Generator, classes: np.ndarray, weights: np.ndarray
+) -> int:
+    return int(rng.choice(classes, p=weights))
+
+
+def build_code(
+    rng: np.random.Generator,
+    spec: CodeSpec,
+    mix,
+    memory_spec,
+    branch_spec,
+) -> StaticCode:
+    """Build the static program image for a profile.
+
+    Args:
+        rng: the benchmark's seeded generator.
+        spec: static-code shape (:class:`CodeSpec`).
+        mix: instruction-mix fractions (:class:`repro.synth.MixSpec`).
+        memory_spec: data-behavior knobs (:class:`repro.synth.MemorySpec`).
+        branch_spec: branch-model knobs (:class:`repro.synth.BranchSpec`).
+
+    Returns:
+        A fully populated :class:`StaticCode`.
+    """
+    branch_fraction = max(mix.branch, 1e-3)
+    mean_block_length = max(2.0, 1.0 / branch_fraction)
+
+    body_classes, body_weights = mix.body_distribution()
+
+    blocks: List[BasicBlock] = []
+    functions: List[Function] = []
+    block_id = 0
+    for function_index in range(spec.num_functions):
+        function_base = CODE_BASE + function_index * spec.function_gap_bytes
+        pc_cursor = function_base
+        loops: List[Loop] = []
+        blocks_remaining = spec.blocks_per_function
+        while blocks_remaining > 0:
+            body_size = min(
+                blocks_remaining,
+                max(1, int(rng.poisson(spec.loop_blocks)) or 1),
+            )
+            first = block_id
+            for position in range(body_size):
+                length = _sample_block_length(rng, mean_block_length)
+                opclasses = np.empty(length, dtype=np.uint8)
+                for slot in range(length - 1):
+                    opclasses[slot] = _sample_body_class(
+                        rng, body_classes, body_weights
+                    )
+                opclasses[length - 1] = int(OpClass.BRANCH)
+                in_body = position < body_size - 1
+                diamond = None
+                if in_body and rng.random() < spec.diamond_rate:
+                    diamond = make_branch_model(
+                        rng,
+                        pattern_fraction=branch_spec.pattern_fraction,
+                        taken_bias=branch_spec.taken_bias,
+                        max_period=branch_spec.max_pattern_period,
+                    )
+                blocks.append(
+                    BasicBlock(
+                        block_id=block_id,
+                        function=function_index,
+                        pc_base=pc_cursor,
+                        opclasses=opclasses,
+                        diamond=diamond,
+                    )
+                )
+                pc_cursor += length * INSTRUCTION_BYTES
+                block_id += 1
+            loops.append(Loop(first_block=first, last_block=block_id - 1))
+            blocks_remaining -= body_size
+        functions.append(Function(index=function_index, loops=loops))
+
+    hot_count = max(1, round(spec.num_functions * spec.hot_function_fraction))
+    order = list(rng.permutation(spec.num_functions))
+    hot_functions = sorted(int(f) for f in order[:hot_count])
+    cold_functions = sorted(int(f) for f in order[hot_count:])
+
+    data_allocated = _assign_memory_behaviors(rng, blocks, memory_spec)
+
+    return StaticCode(
+        blocks=blocks,
+        functions=functions,
+        hot_functions=hot_functions,
+        cold_functions=cold_functions,
+        data_bytes_allocated=data_allocated,
+    )
+
+
+def _assign_memory_behaviors(
+    rng: np.random.Generator,
+    blocks: List[BasicBlock],
+    memory_spec,
+) -> int:
+    """Give every static memory instruction an access behavior.
+
+    The data footprint is divided evenly among the non-scalar behaviors;
+    scalar behaviors get a single slot each.  Returns the total number of
+    data bytes allocated.
+    """
+    load_slots: List[Tuple[BasicBlock, int]] = []
+    store_slots: List[Tuple[BasicBlock, int]] = []
+    for block in blocks:
+        for slot, opclass in enumerate(block.opclasses):
+            if opclass == int(OpClass.LOAD):
+                load_slots.append((block, slot))
+            elif opclass == int(OpClass.STORE):
+                store_slots.append((block, slot))
+
+    plan: List[Tuple[BasicBlock, int, str]] = []
+    for slots, mix in (
+        (load_slots, memory_spec.load_mix),
+        (store_slots, memory_spec.store_mix),
+    ):
+        kinds = list(mix.keys())
+        weights = np.array([mix[kind] for kind in kinds], dtype=float)
+        weights = weights / weights.sum()
+        for block, slot in slots:
+            kind = str(rng.choice(kinds, p=weights))
+            plan.append((block, slot, kind))
+
+    non_scalar = sum(1 for _, _, kind in plan if kind != "scalar")
+    region_bytes = memory_spec.footprint_bytes // max(non_scalar, 1)
+    region_bytes = max(region_bytes, 64)
+
+    cursor = DATA_BASE
+    for block, slot, kind in plan:
+        footprint = 8 if kind == "scalar" else region_bytes
+        behavior = make_behavior(
+            kind,
+            base=cursor,
+            footprint=footprint,
+            rng=rng,
+            stride=memory_spec.stride_bytes,
+        )
+        block.memory_slots.append((slot, behavior))
+        cursor += footprint + REGION_PADDING
+    for block in blocks:
+        block.memory_slots.sort(key=lambda pair: pair[0])
+    return cursor - DATA_BASE

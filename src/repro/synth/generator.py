@@ -1,0 +1,326 @@
+"""Trace generation: execute a :class:`WorkloadProfile`.
+
+Generation proceeds in four phases:
+
+1. **Build** the static code image (:func:`repro.synth.code.build_code`).
+2. **Interpret** control flow: walk functions/loops/diamonds, producing
+   the basic-block visit sequence and, for every visit, the terminator
+   branch outcome (consistent with the visit that follows).
+3. **Expand** the visit sequence into per-instruction columns (PC and
+   opclass come straight from the static blocks; branch outcome/target
+   land in terminator slots; every static memory instruction's behavior
+   emits its vectorized address sequence which is scattered into the
+   positions where that instruction executes).
+4. **Assign registers** with a vectorized recent-producer scheme whose
+   geometric age distribution shapes dependency distances and ILP.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import ProfileError
+from ..isa import NO_REG, OpClass, TRACE_DTYPE
+from ..isa.registers import NUM_INT_REGS
+from ..trace import Trace
+from .code import StaticCode, build_code
+from .profiles import WorkloadProfile
+from .rng import make_rng, stable_seed
+
+#: First rotation register of the integer pool ($1.. — $0 is kept live as
+#: a long-lived value, $31 is the zero register).
+INT_POOL_BASE = 1
+
+#: First rotation register of the FP pool ($f0.. ; $f31 is the zero reg).
+FP_POOL_BASE = NUM_INT_REGS
+
+
+def generate_trace(
+    profile: WorkloadProfile,
+    length: int,
+    seed: int = 0,
+) -> Trace:
+    """Generate a dynamic instruction trace for a workload profile.
+
+    Args:
+        profile: the synthetic benchmark description.
+        length: exact number of dynamic instructions to produce.
+        seed: extra seed component (combined with the profile's own
+            name/seed, so different runs can draw different instances).
+
+    Returns:
+        A validated-by-construction :class:`~repro.trace.Trace` of
+        exactly ``length`` instructions named after the profile.
+
+    Raises:
+        ProfileError: if ``length`` is not positive.
+    """
+    if length <= 0:
+        raise ProfileError("trace length must be positive")
+
+    rng = make_rng("trace", profile.name, profile.seed, seed)
+    code = build_code(
+        rng, profile.code, profile.mix, profile.memory, profile.branches
+    )
+    visits, outcomes = _interpret(rng, code, profile, length)
+    columns = _expand(rng, code, visits, outcomes, length)
+    _assign_registers(rng, columns, profile.registers)
+
+    data = np.empty(length, dtype=TRACE_DTYPE)
+    for name in data.dtype.names:
+        data[name] = columns[name][:length]
+    return Trace(data, name=profile.name)
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: control-flow interpretation
+# ---------------------------------------------------------------------------
+
+
+def _interpret(
+    rng: np.random.Generator,
+    code: StaticCode,
+    profile: WorkloadProfile,
+    length: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Produce the block-visit sequence and per-visit branch outcomes.
+
+    A visit's outcome is True (taken) when control does *not* continue to
+    the static fall-through block: loop back-edges, diamond skips, and
+    function exits are taken; sequential flow is not taken.
+    """
+    spec = profile.code
+    visit_ids: List[int] = []
+    visit_taken: List[bool] = []
+    budget = length
+    block_lengths = code.block_lengths()
+
+    hot = code.hot_functions
+    cold = code.cold_functions
+
+    while budget > 0:
+        use_cold = bool(cold) and rng.random() < spec.cold_visit_rate
+        pool = cold if use_cold else hot
+        function = code.functions[int(rng.choice(pool))]
+        for loop in function.loops:
+            iterations = 1 + int(rng.geometric(1.0 / spec.loop_iter_mean))
+            for iteration in range(iterations):
+                block_index = loop.first_block
+                while block_index <= loop.last_block:
+                    block = code.blocks[block_index]
+                    at_tail = block_index == loop.last_block
+                    if at_tail:
+                        # The back-edge outcome is recorded here; the
+                        # enclosing for-loop performs the actual re-entry
+                        # into the body, so the while always exits.
+                        taken = iteration < iterations - 1
+                        next_index = block_index + 1
+                    elif block.diamond is not None and (
+                        block_index + 2 <= loop.last_block
+                    ):
+                        taken = block.diamond.next_outcome(rng)
+                        next_index = block_index + 2 if taken else block_index + 1
+                    else:
+                        taken = False
+                        next_index = block_index + 1
+                    visit_ids.append(block_index)
+                    visit_taken.append(taken)
+                    budget -= int(block_lengths[block_index])
+                    if budget <= 0:
+                        return (
+                            np.array(visit_ids, dtype=np.int64),
+                            np.array(visit_taken, dtype=bool),
+                        )
+                    block_index = next_index
+            # Function exit after the last loop is a taken jump.
+        if visit_taken:
+            visit_taken[-1] = True
+
+    return np.array(visit_ids, dtype=np.int64), np.array(visit_taken, dtype=bool)
+
+
+# ---------------------------------------------------------------------------
+# Phase 3: expansion into per-instruction columns
+# ---------------------------------------------------------------------------
+
+
+def _expand(
+    rng: np.random.Generator,
+    code: StaticCode,
+    visits: np.ndarray,
+    outcomes: np.ndarray,
+    length: int,
+) -> dict:
+    """Expand visits into columnar per-instruction arrays.
+
+    The returned arrays may be slightly longer than ``length`` (the last
+    visited block may overrun the budget); the caller trims.
+    """
+    block_lengths = code.block_lengths()
+    visit_lengths = block_lengths[visits]
+    starts = np.zeros(len(visits) + 1, dtype=np.int64)
+    np.cumsum(visit_lengths, out=starts[1:])
+    total = int(starts[-1])
+
+    opclass = np.concatenate(
+        [code.blocks[block_id].opclasses for block_id in visits]
+    )
+    pc = np.concatenate([code.blocks[block_id].pcs for block_id in visits])
+
+    taken = np.zeros(total, dtype=np.uint8)
+    target = np.zeros(total, dtype=np.uint64)
+    terminator_positions = starts[1:] - 1
+    taken[terminator_positions] = outcomes.astype(np.uint8)
+
+    # A taken terminator targets the next visited block; the final visit
+    # targets the first block (wrap) to keep targets nonzero.
+    next_base = np.empty(len(visits), dtype=np.uint64)
+    block_bases = np.array(
+        [block.pc_base for block in code.blocks], dtype=np.uint64
+    )
+    next_base[:-1] = block_bases[visits[1:]]
+    next_base[-1] = block_bases[visits[0]]
+    target[terminator_positions] = np.where(outcomes, next_base, 0)
+
+    mem_addr = np.zeros(total, dtype=np.uint64)
+    visit_starts = starts[:-1]
+    for block_id, block in enumerate(code.blocks):
+        if not block.memory_slots:
+            continue
+        visit_indices = np.flatnonzero(visits == block_id)
+        if len(visit_indices) == 0:
+            continue
+        base_positions = visit_starts[visit_indices]
+        for slot, behavior in block.memory_slots:
+            addresses = behavior.generate(rng, len(visit_indices))
+            mem_addr[base_positions + slot] = addresses
+
+    return {
+        "pc": pc,
+        "opclass": opclass,
+        "src1": np.full(total, NO_REG, dtype=np.uint8),
+        "src2": np.full(total, NO_REG, dtype=np.uint8),
+        "dst": np.full(total, NO_REG, dtype=np.uint8),
+        "mem_addr": mem_addr,
+        "taken": taken,
+        "target": target,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Phase 4: register assignment
+# ---------------------------------------------------------------------------
+
+
+def _assign_registers(
+    rng: np.random.Generator, columns: dict, spec
+) -> None:
+    """Assign destination and source registers in place.
+
+    Producers rotate through a register pool; consumers read the value
+    written ``k`` producers ago with ``k`` geometric (mean
+    ``spec.dep_mean``), clipped so the named register still holds that
+    value.  Integer and FP dataflow use disjoint pools.
+    """
+    opclass = columns["opclass"]
+
+    int_producer = np.isin(
+        opclass,
+        [int(OpClass.LOAD), int(OpClass.INT_ALU), int(OpClass.INT_MUL)],
+    )
+    fp_producer = opclass == int(OpClass.FP)
+
+    int_pool = _PoolState(
+        producer_mask=int_producer,
+        pool_base=INT_POOL_BASE,
+        pool_size=spec.int_pool,
+    )
+    fp_pool = _PoolState(
+        producer_mask=fp_producer,
+        pool_base=FP_POOL_BASE,
+        pool_size=spec.fp_pool,
+    )
+
+    columns["dst"][int_pool.positions] = int_pool.destinations
+    columns["dst"][fp_pool.positions] = fp_pool.destinations
+
+    geometric_p = spec.geometric_p
+
+    def int_source(mask: np.ndarray) -> np.ndarray:
+        return int_pool.sample_sources(rng, mask, geometric_p)
+
+    def fp_source(mask: np.ndarray) -> np.ndarray:
+        return fp_pool.sample_sources(rng, mask, geometric_p)
+
+    is_load = opclass == int(OpClass.LOAD)
+    is_store = opclass == int(OpClass.STORE)
+    is_branch = opclass == int(OpClass.BRANCH)
+    is_int_compute = np.isin(
+        opclass, [int(OpClass.INT_ALU), int(OpClass.INT_MUL)]
+    )
+    is_fp = fp_producer
+
+    # Loads: src1 is the address register.
+    columns["src1"][is_load] = int_source(is_load)
+    # Stores: src1 is the value, src2 the address register.
+    columns["src1"][is_store] = int_source(is_store)
+    columns["src2"][is_store] = int_source(is_store)
+    # Branches: src1 is the condition register.
+    columns["src1"][is_branch] = int_source(is_branch)
+
+    # Integer compute: immediate forms skip src1; two-operand forms add src2.
+    compute_positions = np.flatnonzero(is_int_compute)
+    has_src1 = rng.random(len(compute_positions)) >= spec.imm_fraction
+    src1_mask = np.zeros(len(opclass), dtype=bool)
+    src1_mask[compute_positions[has_src1]] = True
+    columns["src1"][src1_mask] = int_source(src1_mask)
+    has_src2 = has_src1 & (
+        rng.random(len(compute_positions)) < spec.two_op_fraction
+    )
+    src2_mask = np.zeros(len(opclass), dtype=bool)
+    src2_mask[compute_positions[has_src2]] = True
+    columns["src2"][src2_mask] = int_source(src2_mask)
+
+    # FP compute: src1 always, src2 with the two-operand probability.
+    columns["src1"][is_fp] = fp_source(is_fp)
+    fp_positions = np.flatnonzero(is_fp)
+    fp_two = rng.random(len(fp_positions)) < spec.two_op_fraction
+    fp_src2_mask = np.zeros(len(opclass), dtype=bool)
+    fp_src2_mask[fp_positions[fp_two]] = True
+    columns["src2"][fp_src2_mask] = fp_source(fp_src2_mask)
+
+
+class _PoolState:
+    """Vectorized bookkeeping for one register rotation pool."""
+
+    def __init__(self, producer_mask: np.ndarray, pool_base: int, pool_size: int):
+        self.pool_base = pool_base
+        self.pool_size = pool_size
+        self.positions = np.flatnonzero(producer_mask)
+        # Number of producers strictly before each instruction.
+        self.producers_before = np.cumsum(producer_mask) - producer_mask
+        self.destinations = (
+            pool_base + (np.arange(len(self.positions)) % pool_size)
+        ).astype(np.uint8)
+
+    def sample_sources(
+        self,
+        rng: np.random.Generator,
+        mask: np.ndarray,
+        geometric_p: float,
+    ) -> np.ndarray:
+        """Registers read by the masked instructions (NO_REG when the
+        pool has produced nothing yet)."""
+        count = int(mask.sum())
+        if count == 0:
+            return np.empty(0, dtype=np.uint8)
+        ages = rng.geometric(geometric_p, size=count)
+        available = self.producers_before[mask]
+        ages = np.minimum(ages, np.minimum(available, self.pool_size))
+        producer_ordinal = available - ages
+        registers = (
+            self.pool_base + (producer_ordinal % self.pool_size)
+        ).astype(np.uint8)
+        return np.where(ages > 0, registers, NO_REG).astype(np.uint8)

@@ -1,0 +1,86 @@
+"""Cheap summary statistics over traces.
+
+These are *descriptive* statistics for humans and sanity checks — the
+full 47-characteristic MICA vector lives in :mod:`repro.mica`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..isa import OpClass
+from .trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Descriptive statistics of a dynamic instruction trace."""
+
+    name: str
+    instruction_count: int
+    load_count: int
+    store_count: int
+    branch_count: int
+    int_alu_count: int
+    int_mul_count: int
+    fp_count: int
+    nop_count: int
+    unique_pcs: int
+    unique_data_addresses: int
+    branch_taken_fraction: float
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of instructions that access memory."""
+        if self.instruction_count == 0:
+            return 0.0
+        return (self.load_count + self.store_count) / self.instruction_count
+
+    @property
+    def branch_fraction(self) -> float:
+        """Fraction of instructions that are control transfers."""
+        if self.instruction_count == 0:
+            return 0.0
+        return self.branch_count / self.instruction_count
+
+    def format(self) -> str:
+        """Multi-line human-readable rendering."""
+        lines = [
+            f"trace {self.name or '<unnamed>'}",
+            f"  instructions        {self.instruction_count:>12,}",
+            f"  loads               {self.load_count:>12,}",
+            f"  stores              {self.store_count:>12,}",
+            f"  branches            {self.branch_count:>12,}"
+            f"  (taken {self.branch_taken_fraction:.1%})",
+            f"  int alu             {self.int_alu_count:>12,}",
+            f"  int mul             {self.int_mul_count:>12,}",
+            f"  fp                  {self.fp_count:>12,}",
+            f"  nops                {self.nop_count:>12,}",
+            f"  unique PCs          {self.unique_pcs:>12,}",
+            f"  unique data addrs   {self.unique_data_addresses:>12,}",
+        ]
+        return "\n".join(lines)
+
+
+def summarize(trace: Trace) -> TraceSummary:
+    """Compute a :class:`TraceSummary` for a trace."""
+    counts = trace.class_counts()
+    outcomes = trace.branch_outcomes
+    taken_fraction = float(outcomes.mean()) if len(outcomes) else 0.0
+    mem_addrs = trace.mem_addr[trace.memory_mask]
+    return TraceSummary(
+        name=trace.name,
+        instruction_count=len(trace),
+        load_count=counts[OpClass.LOAD],
+        store_count=counts[OpClass.STORE],
+        branch_count=counts[OpClass.BRANCH],
+        int_alu_count=counts[OpClass.INT_ALU],
+        int_mul_count=counts[OpClass.INT_MUL],
+        fp_count=counts[OpClass.FP],
+        nop_count=counts[OpClass.NOP],
+        unique_pcs=int(len(np.unique(trace.pc))),
+        unique_data_addresses=int(len(np.unique(mem_addrs))),
+        branch_taken_fraction=taken_fraction,
+    )

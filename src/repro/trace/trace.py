@@ -1,0 +1,165 @@
+"""Columnar trace container.
+
+A :class:`Trace` wraps a numpy structured array of dynamic instruction
+records (dtype :data:`repro.isa.TRACE_DTYPE`).  All MICA analyzers and
+microarchitecture simulators operate on this container.  The wrapper adds
+convenient column views, class masks, and cheap derived streams (load
+addresses, branch outcomes) that several analyzers share.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import TraceError
+from ..isa import TRACE_DTYPE, InstructionRecord, OpClass, record_from_row
+
+
+class Trace:
+    """An immutable dynamic instruction trace.
+
+    Args:
+        data: structured array with dtype :data:`TRACE_DTYPE`.
+        name: optional label (usually ``suite/program/input``).
+
+    The underlying array is marked read-only; build modified traces through
+    :class:`repro.trace.TraceBuilder` or the filter utilities.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        if data.dtype != TRACE_DTYPE:
+            raise TraceError(
+                f"trace data must have TRACE_DTYPE, got {data.dtype}"
+            )
+        if data.ndim != 1:
+            raise TraceError("trace data must be one-dimensional")
+        self._data = data
+        self._data.setflags(write=False)
+        self.name = name
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[InstructionRecord]:
+        for row in self._data:
+            yield record_from_row(row)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(self._data[index].copy(), name=self.name)
+        return record_from_row(self._data[int(index)])
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Trace{label} n={len(self)}>"
+
+    # -- column access -------------------------------------------------------
+
+    @property
+    def data(self) -> np.ndarray:
+        """The raw structured array (read-only)."""
+        return self._data
+
+    @property
+    def pc(self) -> np.ndarray:
+        return self._data["pc"]
+
+    @property
+    def opclass(self) -> np.ndarray:
+        return self._data["opclass"]
+
+    @property
+    def src1(self) -> np.ndarray:
+        return self._data["src1"]
+
+    @property
+    def src2(self) -> np.ndarray:
+        return self._data["src2"]
+
+    @property
+    def dst(self) -> np.ndarray:
+        return self._data["dst"]
+
+    @property
+    def mem_addr(self) -> np.ndarray:
+        return self._data["mem_addr"]
+
+    @property
+    def taken(self) -> np.ndarray:
+        return self._data["taken"]
+
+    @property
+    def target(self) -> np.ndarray:
+        return self._data["target"]
+
+    # -- class masks ----------------------------------------------------------
+
+    def mask(self, opclass: OpClass) -> np.ndarray:
+        """Boolean mask selecting instructions of one class."""
+        return self.opclass == int(opclass)
+
+    @property
+    def load_mask(self) -> np.ndarray:
+        return self.mask(OpClass.LOAD)
+
+    @property
+    def store_mask(self) -> np.ndarray:
+        return self.mask(OpClass.STORE)
+
+    @property
+    def memory_mask(self) -> np.ndarray:
+        return self.load_mask | self.store_mask
+
+    @property
+    def branch_mask(self) -> np.ndarray:
+        return self.mask(OpClass.BRANCH)
+
+    # -- derived streams -------------------------------------------------------
+
+    @property
+    def load_addresses(self) -> np.ndarray:
+        """Effective addresses of loads, in program order."""
+        return self.mem_addr[self.load_mask]
+
+    @property
+    def store_addresses(self) -> np.ndarray:
+        """Effective addresses of stores, in program order."""
+        return self.mem_addr[self.store_mask]
+
+    @property
+    def branch_pcs(self) -> np.ndarray:
+        """PCs of control transfers, in program order."""
+        return self.pc[self.branch_mask]
+
+    @property
+    def branch_outcomes(self) -> np.ndarray:
+        """Taken/not-taken outcomes of control transfers, in program order."""
+        return self.taken[self.branch_mask].astype(bool)
+
+    def class_counts(self) -> "dict[OpClass, int]":
+        """Dynamic instruction count per class."""
+        counts = np.bincount(self.opclass, minlength=len(OpClass))
+        return {op: int(counts[int(op)]) for op in OpClass}
+
+    # -- construction helpers ----------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records, name: str = "") -> "Trace":
+        """Build a trace from an iterable of :class:`InstructionRecord`."""
+        rows = [record.to_row() for record in records]
+        data = np.array(rows, dtype=TRACE_DTYPE)
+        return cls(data, name=name)
+
+    @classmethod
+    def empty(cls, name: str = "") -> "Trace":
+        """A zero-length trace."""
+        return cls(np.empty(0, dtype=TRACE_DTYPE), name=name)
+
+    def concat(self, other: "Trace") -> "Trace":
+        """Concatenate two traces (self first)."""
+        joined = np.concatenate([self._data, other._data])
+        return Trace(joined, name=self.name or other.name)

@@ -1,0 +1,62 @@
+"""Trace invariant validation.
+
+External traces (read through :mod:`repro.trace.io`) come from tooling
+the library does not control, so analyzers assume traces have passed
+:func:`validate_trace` once at the boundary rather than re-checking
+invariants per record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TraceError
+from ..isa import NO_REG, OpClass
+from ..isa.registers import TOTAL_REGS
+from .trace import Trace
+
+
+def validate_trace(trace: Trace) -> None:
+    """Check all trace invariants, raising :class:`TraceError` on the
+    first violation.
+
+    Invariants:
+
+    * every opclass value names a member of :class:`OpClass`;
+    * register fields are either valid flat indices or :data:`NO_REG`;
+    * loads and stores carry a nonzero memory address;
+    * non-memory instructions carry a zero memory address;
+    * only control transfers are marked taken;
+    * taken control transfers carry a nonzero target.
+    """
+    data = trace.data
+    if len(data) == 0:
+        return
+
+    valid_classes = np.array([int(op) for op in OpClass], dtype=np.uint8)
+    if not np.isin(data["opclass"], valid_classes).all():
+        bad = data["opclass"][~np.isin(data["opclass"], valid_classes)][0]
+        raise TraceError(f"invalid opclass value: {int(bad)}")
+
+    for field in ("src1", "src2", "dst"):
+        column = data[field]
+        bad_mask = (column != NO_REG) & (column >= TOTAL_REGS)
+        if bad_mask.any():
+            raise TraceError(
+                f"invalid {field} register index: {int(column[bad_mask][0])}"
+            )
+
+    memory_mask = np.isin(
+        data["opclass"], [int(OpClass.LOAD), int(OpClass.STORE)]
+    )
+    if (data["mem_addr"][memory_mask] == 0).any():
+        raise TraceError("memory instruction with zero address")
+    if (data["mem_addr"][~memory_mask] != 0).any():
+        raise TraceError("non-memory instruction with nonzero address")
+
+    branch_mask = data["opclass"] == int(OpClass.BRANCH)
+    if (data["taken"][~branch_mask] != 0).any():
+        raise TraceError("non-branch instruction marked taken")
+    taken_branches = branch_mask & (data["taken"] != 0)
+    if (data["target"][taken_branches] == 0).any():
+        raise TraceError("taken branch with zero target")

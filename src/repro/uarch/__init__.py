@@ -1,0 +1,46 @@
+"""Microarchitecture simulation substrate.
+
+The paper collects its microarchitecture-dependent data set with DCPI
+hardware performance counters on an Alpha 21164A (EV56, dual-issue
+in-order) plus the IPC on an Alpha 21264A (EV67, four-wide out-of-order).
+Neither machine is available, so this package provides
+structurally-faithful simulators producing the same seven metrics from a
+trace: EV56 IPC, branch misprediction rate, L1 D-cache / L1 I-cache /
+L2 miss rates, D-TLB miss rate, and EV67 IPC.
+"""
+
+from .cache import CacheConfig, SetAssociativeCache, CacheStats
+from .tlb import TLB
+from .branch_predictors import (
+    BranchPredictor,
+    BimodalPredictor,
+    GSharePredictor,
+    LocalHistoryPredictor,
+    TournamentPredictor,
+    simulate_predictor,
+)
+from .configs import MachineConfig, EV56_CONFIG, EV67_CONFIG
+from .inorder import InOrderModel
+from .ooo import OutOfOrderModel
+from .hpc import HPC_METRIC_NAMES, HpcVector, collect_hpc
+
+__all__ = [
+    "CacheConfig",
+    "SetAssociativeCache",
+    "CacheStats",
+    "TLB",
+    "BranchPredictor",
+    "BimodalPredictor",
+    "GSharePredictor",
+    "LocalHistoryPredictor",
+    "TournamentPredictor",
+    "simulate_predictor",
+    "MachineConfig",
+    "EV56_CONFIG",
+    "EV67_CONFIG",
+    "InOrderModel",
+    "OutOfOrderModel",
+    "HPC_METRIC_NAMES",
+    "HpcVector",
+    "collect_hpc",
+]

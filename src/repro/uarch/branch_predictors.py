@@ -1,0 +1,217 @@
+"""Hardware branch predictors.
+
+Unlike the PPM predictors of :mod:`repro.mica.ppm` (theoretical,
+microarchitecture-independent), these are buildable table-based
+predictors used by the microarchitecture-dependent simulators:
+
+* :class:`BimodalPredictor` — per-PC 2-bit saturating counters;
+* :class:`GSharePredictor` — global history XOR PC into 2-bit counters;
+* :class:`LocalHistoryPredictor` — two-level per-PC history (the
+  21164A-style and 21264 local component);
+* :class:`TournamentPredictor` — the Alpha 21264 chooser combining the
+  local and a global (gshare-style) component.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+def _check_power_of_two(value: int, label: str) -> None:
+    if value <= 0 or value & (value - 1):
+        raise SimulationError(f"{label} must be a positive power of two")
+
+
+class BranchPredictor(ABC):
+    """A trainable taken/not-taken predictor."""
+
+    @abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+
+    @abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train on the resolved outcome."""
+
+
+class BimodalPredictor(BranchPredictor):
+    """Per-PC 2-bit saturating counters."""
+
+    def __init__(self, entries: int = 2048):
+        _check_power_of_two(entries, "entries")
+        self._mask = entries - 1
+        self._counters = np.full(entries, 1, dtype=np.int8)  # Weakly NT.
+
+    def predict(self, pc: int) -> bool:
+        return bool(self._counters[(pc >> 2) & self._mask] >= 2)
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = (pc >> 2) & self._mask
+        counter = self._counters[index]
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        elif counter > 0:
+            self._counters[index] = counter - 1
+
+
+class GSharePredictor(BranchPredictor):
+    """Global-history predictor: history XOR PC indexes 2-bit counters."""
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12):
+        _check_power_of_two(entries, "entries")
+        self._mask = entries - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+        self._counters = np.full(entries, 1, dtype=np.int8)
+
+    def predict(self, pc: int) -> bool:
+        index = ((pc >> 2) ^ self._history) & self._mask
+        return bool(self._counters[index] >= 2)
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = ((pc >> 2) ^ self._history) & self._mask
+        counter = self._counters[index]
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        elif counter > 0:
+            self._counters[index] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+
+class LocalHistoryPredictor(BranchPredictor):
+    """Two-level predictor with per-PC local histories.
+
+    Level one records each branch's recent outcome pattern; level two
+    holds saturating counters indexed by that pattern (3-bit counters,
+    as in the 21264 local component).
+    """
+
+    def __init__(self, history_entries: int = 1024, history_bits: int = 10):
+        _check_power_of_two(history_entries, "history_entries")
+        self._entry_mask = history_entries - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._histories = np.zeros(history_entries, dtype=np.int64)
+        self._counters = np.full(1 << history_bits, 3, dtype=np.int8)
+
+    def predict(self, pc: int) -> bool:
+        history = self._histories[(pc >> 2) & self._entry_mask]
+        return bool(self._counters[history] >= 4)
+
+    def update(self, pc: int, taken: bool) -> None:
+        entry = (pc >> 2) & self._entry_mask
+        history = self._histories[entry]
+        counter = self._counters[history]
+        if taken:
+            if counter < 7:
+                self._counters[history] = counter + 1
+        elif counter > 0:
+            self._counters[history] = counter - 1
+        self._histories[entry] = ((history << 1) | int(taken)) & (
+            self._history_mask
+        )
+
+
+class TournamentPredictor(BranchPredictor):
+    """The Alpha 21264 tournament scheme.
+
+    A chooser table of 2-bit counters (indexed by global history) picks
+    between a local two-level component and a global component per
+    prediction; the chooser trains toward whichever component was right.
+    """
+
+    def __init__(
+        self,
+        local_entries: int = 1024,
+        local_history_bits: int = 10,
+        global_entries: int = 4096,
+        global_history_bits: int = 12,
+    ):
+        self._local = LocalHistoryPredictor(local_entries, local_history_bits)
+        self._global = GSharePredictor(global_entries, global_history_bits)
+        self._chooser = np.full(global_entries, 2, dtype=np.int8)
+        self._chooser_mask = global_entries - 1
+        self._history = 0
+        self._history_mask = (1 << global_history_bits) - 1
+
+    def predict(self, pc: int) -> bool:
+        use_global = self._chooser[self._history & self._chooser_mask] >= 2
+        if use_global:
+            return self._global.predict(pc)
+        return self._local.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        local_prediction = self._local.predict(pc)
+        global_prediction = self._global.predict(pc)
+        chooser_index = self._history & self._chooser_mask
+        if local_prediction != global_prediction:
+            counter = self._chooser[chooser_index]
+            if global_prediction == taken:
+                if counter < 3:
+                    self._chooser[chooser_index] = counter + 1
+            elif counter > 0:
+                self._chooser[chooser_index] = counter - 1
+        self._local.update(pc, taken)
+        self._global.update(pc, taken)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+
+@dataclass(frozen=True)
+class PredictorStats:
+    """Outcome of a predictor simulation."""
+
+    branches: int
+    mispredictions: int
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.branches == 0:
+            return 0.0
+        return self.mispredictions / self.branches
+
+
+def simulate_predictor(
+    predictor: BranchPredictor,
+    branch_pcs: np.ndarray,
+    outcomes: np.ndarray,
+    return_mask: bool = False,
+):
+    """Run a predictor over a branch stream.
+
+    Args:
+        predictor: the predictor to drive.
+        branch_pcs: PCs of the dynamic branches, in program order.
+        outcomes: matching taken/not-taken outcomes.
+        return_mask: also return the per-branch mispredict mask (used by
+            the pipeline models to place misprediction bubbles).
+
+    Returns:
+        :class:`PredictorStats`, or ``(stats, mask)`` when
+        ``return_mask`` is set.
+    """
+    n = len(branch_pcs)
+    mask = np.empty(n, dtype=bool) if return_mask else None
+    mispredictions = 0
+    pcs = branch_pcs.tolist()
+    takens = outcomes.tolist()
+    predict = predictor.predict
+    update = predictor.update
+    for position in range(n):
+        pc = pcs[position]
+        taken = bool(takens[position])
+        wrong = predict(pc) != taken
+        if wrong:
+            mispredictions += 1
+        if mask is not None:
+            mask[position] = wrong
+        update(pc, taken)
+    stats = PredictorStats(branches=n, mispredictions=mispredictions)
+    if return_mask:
+        return stats, mask
+    return stats

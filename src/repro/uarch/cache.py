@@ -1,0 +1,169 @@
+"""Set-associative cache simulator with true-LRU replacement.
+
+The simulator is functional (hit/miss accounting only, no data), which
+is all hardware-performance-counter reproduction requires.  The access
+loop is written against preallocated numpy tag/age arrays with local
+variable bindings — profile-guided micro-optimizations that matter when
+simulating hundreds of thousands of accesses per benchmark in pure
+Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    Attributes:
+        name: label used in reports (e.g. ``"L1D"``).
+        size_bytes: total capacity.
+        line_bytes: cache-line size (power of two).
+        associativity: ways per set (1 = direct-mapped).
+    """
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+
+    def __post_init__(self) -> None:
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise SimulationError("line_bytes must be a positive power of two")
+        if self.associativity < 1:
+            raise SimulationError("associativity must be >= 1")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise SimulationError(
+                f"{self.name}: size must be a multiple of line*assoc"
+            )
+        if self.num_sets & (self.num_sets - 1):
+            raise SimulationError(
+                f"{self.name}: number of sets must be a power of two"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+@dataclass
+class CacheStats:
+    """Access/miss counters of one simulated cache."""
+
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (0 when never accessed)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Combined counters of two runs."""
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            misses=self.misses + other.misses,
+        )
+
+
+class SetAssociativeCache:
+    """A single cache level with true-LRU replacement."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+        ways = config.associativity
+        sets = config.num_sets
+        # tag == -1 marks an invalid way.
+        self._tags = np.full((sets, ways), -1, dtype=np.int64)
+        self._ages = np.zeros((sets, ways), dtype=np.int64)
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def reset(self) -> None:
+        """Invalidate all lines and clear statistics."""
+        self._tags.fill(-1)
+        self._ages.fill(0)
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def access(self, address: int) -> bool:
+        """Access one address.  Returns True on hit, False on miss.
+
+        A miss allocates the line (LRU victim within the set).
+        """
+        line = address >> self._line_shift
+        set_index = line & self._set_mask
+        tag = line >> 0  # Full line id as tag (set bits redundant, harmless).
+        tags = self._tags[set_index]
+        ages = self._ages[set_index]
+        self._clock += 1
+        self.stats.accesses += 1
+        hits = np.flatnonzero(tags == tag)
+        if len(hits):
+            ages[hits[0]] = self._clock
+            return True
+        self.stats.misses += 1
+        victim = int(np.argmin(ages))
+        tags[victim] = tag
+        ages[victim] = self._clock
+        return False
+
+    def simulate(self, addresses: np.ndarray) -> np.ndarray:
+        """Simulate a sequence of accesses.
+
+        Returns:
+            Boolean miss mask, one entry per address (True = miss).
+        """
+        n = len(addresses)
+        misses = np.empty(n, dtype=bool)
+        line_shift = self._line_shift
+        set_mask = self._set_mask
+        tags = self._tags
+        ages = self._ages
+        clock = self._clock
+        lines = (addresses.astype(np.int64) >> line_shift)
+        set_indices = (lines & set_mask).tolist()
+        line_list = lines.tolist()
+        ways = self.config.associativity
+        if ways == 1:
+            # Direct-mapped fast path: no LRU bookkeeping needed.
+            flat_tags = tags[:, 0]
+            for position in range(n):
+                set_index = set_indices[position]
+                tag = line_list[position]
+                if flat_tags[set_index] == tag:
+                    misses[position] = False
+                else:
+                    misses[position] = True
+                    flat_tags[set_index] = tag
+            clock += n
+        else:
+            for position in range(n):
+                set_index = set_indices[position]
+                tag = line_list[position]
+                set_tags = tags[set_index]
+                set_ages = ages[set_index]
+                clock += 1
+                hit_ways = np.flatnonzero(set_tags == tag)
+                if len(hit_ways):
+                    set_ages[hit_ways[0]] = clock
+                    misses[position] = False
+                else:
+                    misses[position] = True
+                    victim = int(np.argmin(set_ages))
+                    set_tags[victim] = tag
+                    set_ages[victim] = clock
+        self._clock = clock
+        self.stats.accesses += n
+        self.stats.misses += int(misses.sum())
+        return misses

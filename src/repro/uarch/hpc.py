@@ -1,0 +1,126 @@
+"""Hardware-performance-counter collection (section III-B of the paper).
+
+The microarchitecture-dependent data set: per benchmark, the seven
+metrics the paper reads from DCPI on the Alpha 21164A plus the 21264A
+IPC:
+
+1. IPC on the 21164A (EV56, in-order dual-issue),
+2. branch misprediction rate,
+3. L1 D-cache miss rate,
+4. L1 I-cache miss rate,
+5. L2 cache miss rate,
+6. D-TLB miss rate,
+7. IPC on the 21264A (EV67, out-of-order four-wide).
+
+For case-study figures (the paper's Figure 2) the instruction mix can be
+appended with :meth:`HpcVector.extended_with_mix`, mirroring common
+workload-characterization practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..mica.instruction_mix import instruction_mix
+from ..trace import Trace
+from .configs import EV56_CONFIG, EV67_CONFIG, MachineConfig
+from .inorder import InOrderModel
+from .ooo import OutOfOrderModel
+
+#: Metric names, in vector order.
+HPC_METRIC_NAMES: Tuple[str, ...] = (
+    "ipc_ev56",
+    "branch_mispredict_rate",
+    "l1d_miss_rate",
+    "l1i_miss_rate",
+    "l2_miss_rate",
+    "dtlb_miss_rate",
+    "ipc_ev67",
+)
+
+#: Names appended by :meth:`HpcVector.extended_with_mix`.
+HPC_MIX_NAMES: Tuple[str, ...] = (
+    "mix_loads",
+    "mix_stores",
+    "mix_branches",
+    "mix_arith",
+    "mix_int_mul",
+    "mix_fp",
+)
+
+
+@dataclass(frozen=True)
+class HpcVector:
+    """One benchmark's hardware-performance-counter metrics."""
+
+    name: str
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.shape != (len(HPC_METRIC_NAMES),):
+            raise ValueError(
+                f"expected {len(HPC_METRIC_NAMES)} metrics, "
+                f"got shape {self.values.shape}"
+            )
+
+    def __getitem__(self, key: str) -> float:
+        return float(self.values[HPC_METRIC_NAMES.index(key)])
+
+    def as_dict(self) -> "dict[str, float]":
+        """Metric name -> value, in vector order."""
+        return {
+            name: float(value)
+            for name, value in zip(HPC_METRIC_NAMES, self.values)
+        }
+
+    def format(self) -> str:
+        """Multi-line human-readable rendering."""
+        lines = [f"hardware counters of {self.name or '<unnamed>'}"]
+        for name, value in zip(HPC_METRIC_NAMES, self.values):
+            lines.append(f"  {name:<24} {value:>10.4f}")
+        return "\n".join(lines)
+
+
+def collect_hpc(
+    trace: Trace,
+    inorder_machine: MachineConfig = EV56_CONFIG,
+    ooo_machine: MachineConfig = EV67_CONFIG,
+) -> HpcVector:
+    """Collect the seven HPC metrics for a trace.
+
+    The rate metrics (branch misprediction, cache and TLB miss rates)
+    come from the in-order machine's run, mirroring the paper's use of
+    DCPI on the 21164A; the out-of-order machine contributes its IPC
+    only.
+    """
+    inorder = InOrderModel(inorder_machine)
+    ipc_ev56, events = inorder.run(trace)
+    ooo = OutOfOrderModel(ooo_machine)
+    ipc_ev67, _ = ooo.run(trace)
+
+    values = np.array(
+        [
+            ipc_ev56,
+            events.predictor.misprediction_rate,
+            events.l1d.miss_rate,
+            events.l1i.miss_rate,
+            events.l2.miss_rate,
+            events.tlb.miss_rate,
+            ipc_ev67,
+        ]
+    )
+    return HpcVector(name=trace.name, values=values)
+
+
+def hpc_with_mix(trace: Trace, hpc: HpcVector) -> "tuple[Tuple[str, ...], np.ndarray]":
+    """The HPC vector extended with the instruction mix (Figure 2 style).
+
+    Returns:
+        ``(names, values)`` with the six mix fractions appended.
+    """
+    mix = instruction_mix(trace)
+    names = HPC_METRIC_NAMES + HPC_MIX_NAMES
+    return names, np.concatenate([hpc.values, mix])

@@ -1,0 +1,34 @@
+"""The 122 benchmarks of the paper's Table I.
+
+Six suite modules declare every benchmark/input pair the paper uses,
+with its dynamic instruction count (in millions, from Table I) and a
+synthetic :class:`~repro.synth.WorkloadProfile`.  Profiles are built from
+a per-suite :class:`ProfileTheme` (parameter ranges characteristic of
+the workload domain) plus per-benchmark overrides for the behaviors the
+paper calls out explicitly (blast's huge working set, mcf's pointer
+chasing, adpcm's tiny predictable kernel, ...).
+"""
+
+from .suite import Benchmark, Suite
+from .builder import ProfileTheme, build_profile
+from .registry import (
+    all_benchmarks,
+    all_suites,
+    benchmarks_of,
+    get_benchmark,
+    suite_of,
+    benchmark_names,
+)
+
+__all__ = [
+    "Benchmark",
+    "Suite",
+    "ProfileTheme",
+    "build_profile",
+    "all_benchmarks",
+    "all_suites",
+    "benchmarks_of",
+    "get_benchmark",
+    "suite_of",
+    "benchmark_names",
+]

@@ -1,0 +1,128 @@
+"""BioInfoMark — bioinformatics workloads (12 benchmark/input pairs).
+
+The paper finds blast, fasta, hmmer, phylip (promlk) and predator
+dissimilar from all SPEC CPU2000 benchmarks, with blast isolated by its
+very large working set.  Profiles therefore push working sets well above
+the SPEC range and emphasize sequence-scanning access patterns.
+"""
+
+from __future__ import annotations
+
+from .builder import ProfileTheme
+
+NAME = "bioinfomark"
+DESCRIPTION = "BioInfoMark: bioinformatics workloads"
+
+THEME = ProfileTheme(
+    load=(0.22, 0.3),
+    store=(0.05, 0.1),
+    branch=(0.1, 0.17),
+    int_alu=(0.42, 0.56),
+    int_mul=(0.0, 0.02),
+    fp=(0.0, 0.05),
+    footprint_log2=(23.0, 26.0),  # 8 MB .. 64 MB
+    num_functions=(16.0, 40.0),
+    blocks_per_function=(10.0, 18.0),
+    loop_iter_mean=(10.0, 40.0),
+    dep_mean=(2.5, 5.0),
+    load_mix={"scalar": 0.1, "sequential": 0.55, "strided": 0.15,
+              "random": 0.15, "pointer": 0.05},
+    pattern_fraction=(0.4, 0.65),
+)
+
+_HMMER = {
+    # Profile-HMM dynamic programming: dense strided inner loops.
+    "mix": {"load": 0.3, "store": 0.08, "branch": 0.08, "int_alu": 0.5,
+            "int_mul": 0.02, "fp": 0.02},
+    "loop_iter_mean": 45.0,
+    "load_mix": {"scalar": 0.1, "sequential": 0.45, "strided": 0.4,
+                 "random": 0.05},
+    "stride_bytes": 128,
+    "dep_mean": 5.5,
+    "pattern_fraction": 0.75,
+    "footprint_bytes": 24 << 20,
+}
+
+#: Entries: (program, input label, dynamic icount in millions, overrides).
+ENTRIES = [
+    ("blast", "protein", 81_092, {
+        # Isolated in the paper: enormous instruction + data working set.
+        "footprint_bytes": 192 << 20,
+        "num_functions": 90,
+        "blocks_per_function": 20,
+        "hot_function_fraction": 0.8,
+        "cold_visit_rate": 0.25,
+        "mix": {"load": 0.28, "store": 0.06, "branch": 0.13, "int_alu": 0.51,
+                "int_mul": 0.01, "fp": 0.01},
+        "load_mix": {"scalar": 0.08, "sequential": 0.42, "strided": 0.1,
+                     "random": 0.35, "pointer": 0.05},
+        "store_mix": {"scalar": 0.3, "sequential": 0.3, "random": 0.4},
+        "loop_iter_mean": 14.0,
+        "pattern_fraction": 0.35,
+    }),
+    ("ce", "ce", 4_816, {
+        "footprint_bytes": 10 << 20,
+        "mix": {"load": 0.25, "store": 0.08, "branch": 0.11, "int_alu": 0.4,
+                "int_mul": 0.01, "fp": 0.15},
+        "load_mix": {"scalar": 0.1, "sequential": 0.4, "strided": 0.35,
+                     "random": 0.15},
+    }),
+    ("clustalw", "clustalw", 884_859, {
+        # Multiple sequence alignment: DP matrices, strided sweeps.
+        "footprint_bytes": 48 << 20,
+        "mix": {"load": 0.28, "store": 0.09, "branch": 0.1, "int_alu": 0.5,
+                "int_mul": 0.01, "fp": 0.02},
+        "load_mix": {"scalar": 0.08, "sequential": 0.42, "strided": 0.42,
+                     "random": 0.08},
+        "stride_bytes": 256,
+        "loop_iter_mean": 35.0,
+        "dep_mean": 4.5,
+    }),
+    ("fasta", "fasta34", 759_654, {
+        # Long sequential database scans; dissimilar from SPEC.
+        "footprint_bytes": 128 << 20,
+        "mix": {"load": 0.3, "store": 0.05, "branch": 0.12, "int_alu": 0.52,
+                "int_mul": 0.0, "fp": 0.01},
+        "load_mix": {"scalar": 0.06, "sequential": 0.75, "strided": 0.1,
+                     "random": 0.09},
+        "loop_iter_mean": 50.0,
+        "pattern_fraction": 0.6,
+        "taken_bias": 0.15,
+    }),
+    ("glimmer", "004663", 26_610, {
+        "footprint_bytes": 12 << 20,
+        "load_mix": {"scalar": 0.12, "sequential": 0.5, "strided": 0.18,
+                     "random": 0.15, "pointer": 0.05},
+    }),
+    ("hmmer", "build", 321, dict(_HMMER, footprint_bytes=8 << 20)),
+    ("hmmer", "calibrate", 43_048, _HMMER),
+    ("hmmer", "search-artemia", 47, dict(_HMMER, footprint_bytes=12 << 20)),
+    ("hmmer", "search-sprot", 1_785_862, dict(_HMMER, footprint_bytes=48 << 20)),
+    ("phylip", "dnapenny", 184_557, {
+        "footprint_bytes": 6 << 20,
+        "mix": {"load": 0.26, "store": 0.08, "branch": 0.14, "int_alu": 0.48,
+                "int_mul": 0.0, "fp": 0.04},
+        "loop_iter_mean": 10.0,
+    }),
+    ("phylip", "promlk", 557_514, {
+        # Maximum-likelihood phylogeny: FP-dominated; dissimilar from SPEC.
+        "footprint_bytes": 20 << 20,
+        "mix": {"load": 0.26, "store": 0.07, "branch": 0.07, "int_alu": 0.22,
+                "int_mul": 0.0, "fp": 0.38},
+        "load_mix": {"scalar": 0.1, "sequential": 0.35, "strided": 0.3,
+                     "random": 0.1, "pointer": 0.15},
+        "loop_iter_mean": 25.0,
+        "dep_mean": 3.0,
+        "fp_pool": 26,
+    }),
+    ("predator", "predator", 804_859, {
+        "footprint_bytes": 64 << 20,
+        "num_functions": 60,
+        "cold_visit_rate": 0.2,
+        "mix": {"load": 0.27, "store": 0.1, "branch": 0.12, "int_alu": 0.44,
+                "int_mul": 0.02, "fp": 0.05},
+        "load_mix": {"scalar": 0.1, "sequential": 0.35, "strided": 0.2,
+                     "random": 0.3, "pointer": 0.05},
+        "loop_iter_mean": 12.0,
+    }),
+]

@@ -1,0 +1,80 @@
+"""BioMetricsWorkload — biometric workloads (8 benchmark/input pairs).
+
+The csu face-recognition pipeline is dense FP linear algebra (subspace
+projection / training via PCA and LDA) over image matrices; the paper
+finds csu dissimilar from SPEC CPU2000 (singleton cluster).  ``speak``
+is an integer-dominated speech decoder.
+"""
+
+from __future__ import annotations
+
+from .builder import ProfileTheme
+
+NAME = "biometrics"
+DESCRIPTION = "BioMetricsWorkload: biometric (face/voice) workloads"
+
+THEME = ProfileTheme(
+    load=(0.24, 0.3),
+    store=(0.08, 0.12),
+    branch=(0.04, 0.09),
+    int_alu=(0.2, 0.3),
+    int_mul=(0.0, 0.02),
+    fp=(0.25, 0.4),
+    footprint_log2=(23.0, 25.5),  # 8 MB .. 45 MB
+    num_functions=(8.0, 20.0),
+    blocks_per_function=(8.0, 14.0),
+    loop_iter_mean=(40.0, 90.0),
+    dep_mean=(5.0, 9.0),
+    load_mix={"scalar": 0.06, "sequential": 0.45, "strided": 0.42,
+              "random": 0.07},
+    store_mix={"scalar": 0.1, "sequential": 0.55, "strided": 0.35},
+    stride_choices=(64, 128, 256, 512),
+    pattern_fraction=(0.75, 0.9),
+    taken_bias=(0.08, 0.2),
+    imm_fraction=(0.25, 0.35),
+    fp_pool=(24.0, 30.0),
+    two_op_fraction=(0.7, 0.8),
+)
+
+_SUBSPACE = {
+    # Dense matrix-vector kernels: long strided FP loops.
+    "loop_iter_mean": 80.0,
+    "loop_blocks": 2,
+    "diamond_rate": 0.05,
+}
+
+#: Entries: (program, input label, dynamic icount in millions, overrides).
+ENTRIES = [
+    ("csu", "bayesian-project", 403_313, {
+        "footprint_bytes": 40 << 20,
+        "loop_iter_mean": 70.0,
+    }),
+    ("csu", "bayesian-train", 28_158, {
+        "footprint_bytes": 32 << 20,
+        "loop_iter_mean": 60.0,
+    }),
+    ("csu", "preprocess-normalize", 4_059, {
+        # Image preprocessing: sequential pixel sweeps, lighter FP.
+        "mix": {"load": 0.27, "store": 0.12, "branch": 0.08, "int_alu": 0.33,
+                "int_mul": 0.01, "fp": 0.19},
+        "footprint_bytes": 10 << 20,
+        "load_mix": {"scalar": 0.08, "sequential": 0.75, "strided": 0.12,
+                     "random": 0.05},
+    }),
+    ("csu", "subspace-project-lda", 6_054, dict(_SUBSPACE, footprint_bytes=24 << 20)),
+    ("csu", "subspace-project-pca", 6_098, dict(_SUBSPACE, footprint_bytes=24 << 20)),
+    ("csu", "subspace-train-lda", 51_297, dict(_SUBSPACE, footprint_bytes=36 << 20)),
+    ("csu", "subspace-train-pca", 41_729, dict(_SUBSPACE, footprint_bytes=36 << 20)),
+    ("speak", "decode", 46_648, {
+        # Speech decoding: integer search over lattices.
+        "mix": {"load": 0.28, "store": 0.08, "branch": 0.14, "int_alu": 0.44,
+                "int_mul": 0.02, "fp": 0.04},
+        "footprint_bytes": 8 << 20,
+        "loop_iter_mean": 8.0,
+        "dep_mean": 3.0,
+        "load_mix": {"scalar": 0.15, "sequential": 0.25, "strided": 0.15,
+                     "random": 0.3, "pointer": 0.15},
+        "pattern_fraction": 0.35,
+        "taken_bias": 0.4,
+    }),
+]

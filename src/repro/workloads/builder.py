@@ -1,0 +1,222 @@
+"""Profile construction from suite themes.
+
+A :class:`ProfileTheme` gives, for every workload-profile knob, the range
+that is characteristic of a workload domain.  :func:`build_profile` draws
+a deterministic value within each range (seeded by the benchmark's full
+name, so every benchmark is a stable, distinct point in the range) and
+then applies explicit per-benchmark overrides for behaviors the paper
+calls out.
+
+Override keys accepted by :func:`build_profile`:
+
+``mix``
+    dict of instruction-mix weights (normalized automatically).
+``footprint_bytes``, ``load_mix``, ``store_mix``, ``stride_bytes``
+    :class:`~repro.synth.MemorySpec` fields.
+``num_functions``, ``blocks_per_function``, ``hot_function_fraction``,
+``cold_visit_rate``, ``loop_blocks``, ``loop_iter_mean``,
+``diamond_rate``, ``function_gap_bytes``
+    :class:`~repro.synth.CodeSpec` fields.
+``int_pool``, ``fp_pool``, ``dep_mean``, ``two_op_fraction``,
+``imm_fraction``
+    :class:`~repro.synth.RegisterSpec` fields.
+``pattern_fraction``, ``taken_bias``, ``max_pattern_period``
+    :class:`~repro.synth.BranchSpec` fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import ProfileError
+from ..synth import (
+    BranchSpec,
+    CodeSpec,
+    MemorySpec,
+    MixSpec,
+    RegisterSpec,
+    WorkloadProfile,
+)
+from ..synth.rng import make_rng
+
+Range = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class ProfileTheme:
+    """Per-suite knob ranges.
+
+    Every range field is a ``(low, high)`` tuple; a benchmark's value is
+    drawn uniformly (deterministically per benchmark name) within it.
+    Behavior mixes are given as base weights; per-benchmark jitter
+    multiplies each weight by a factor in ``[1/jitter, jitter]``.
+    """
+
+    # Instruction-mix weight ranges (normalized after sampling).
+    load: Range = (0.18, 0.28)
+    store: Range = (0.06, 0.14)
+    branch: Range = (0.08, 0.16)
+    int_alu: Range = (0.35, 0.55)
+    int_mul: Range = (0.0, 0.03)
+    fp: Range = (0.0, 0.10)
+
+    # Memory.
+    footprint_log2: Range = (17.0, 22.0)  # 128 KB .. 4 MB
+    load_mix: Dict[str, float] = field(
+        default_factory=lambda: {
+            "scalar": 0.2,
+            "sequential": 0.35,
+            "strided": 0.2,
+            "random": 0.2,
+            "pointer": 0.05,
+        }
+    )
+    store_mix: Dict[str, float] = field(
+        default_factory=lambda: {
+            "scalar": 0.35,
+            "sequential": 0.4,
+            "strided": 0.15,
+            "random": 0.1,
+        }
+    )
+    stride_choices: Tuple[int, ...] = (16, 32, 64, 128, 256)
+    behavior_jitter: float = 1.6
+
+    # Code shape.
+    num_functions: Range = (10.0, 28.0)
+    blocks_per_function: Range = (8.0, 18.0)
+    hot_function_fraction: Range = (0.3, 0.7)
+    cold_visit_rate: Range = (0.02, 0.1)
+    loop_blocks: Range = (2.0, 4.0)
+    loop_iter_mean: Range = (6.0, 30.0)
+    diamond_rate: Range = (0.2, 0.45)
+    function_gap_bytes: int = 4096
+
+    # Registers / dataflow.
+    dep_mean: Range = (2.5, 7.0)
+    two_op_fraction: Range = (0.45, 0.7)
+    imm_fraction: Range = (0.1, 0.3)
+    int_pool: Range = (16.0, 28.0)
+    fp_pool: Range = (10.0, 24.0)
+
+    # Branch models.
+    pattern_fraction: Range = (0.3, 0.7)
+    taken_bias: Range = (0.25, 0.5)
+
+
+def _draw(rng: np.random.Generator, value_range: Range) -> float:
+    low, high = value_range
+    if high < low:
+        raise ProfileError(f"invalid range: {value_range}")
+    if high == low:
+        return float(low)
+    return float(rng.uniform(low, high))
+
+
+def _jitter_mix(
+    rng: np.random.Generator, base: Dict[str, float], jitter: float
+) -> Dict[str, float]:
+    result = {}
+    for kind, weight in base.items():
+        factor = float(rng.uniform(1.0 / jitter, jitter))
+        result[kind] = weight * factor
+    total = sum(result.values())
+    return {kind: weight / total for kind, weight in result.items()}
+
+
+_CODE_FIELDS = {spec_field.name for spec_field in dataclass_fields(CodeSpec)}
+_REGISTER_FIELDS = {
+    spec_field.name for spec_field in dataclass_fields(RegisterSpec)
+}
+_BRANCH_FIELDS = {spec_field.name for spec_field in dataclass_fields(BranchSpec)}
+_MEMORY_FIELDS = {"footprint_bytes", "load_mix", "store_mix", "stride_bytes"}
+
+
+def build_profile(
+    theme: ProfileTheme,
+    suite: str,
+    program: str,
+    input_label: str,
+    overrides: "Dict[str, object] | None" = None,
+) -> WorkloadProfile:
+    """Build a benchmark's :class:`WorkloadProfile` from its suite theme.
+
+    Args:
+        theme: the suite's knob ranges.
+        suite, program, input_label: benchmark identity (also the seed).
+        overrides: explicit knob values applied after theme sampling
+            (see module docstring for accepted keys).
+
+    Raises:
+        ProfileError: on an unknown override key.
+    """
+    overrides = dict(overrides or {})
+    name = f"{suite}/{program}/{input_label}"
+    rng = make_rng("profile", name)
+
+    mix_weights = {
+        "load": _draw(rng, theme.load),
+        "store": _draw(rng, theme.store),
+        "branch": _draw(rng, theme.branch),
+        "int_alu": _draw(rng, theme.int_alu),
+        "int_mul": _draw(rng, theme.int_mul),
+        "fp": _draw(rng, theme.fp),
+    }
+    if "mix" in overrides:
+        mix_override = overrides.pop("mix")
+        if not isinstance(mix_override, dict):
+            raise ProfileError("mix override must be a dict of weights")
+        mix_weights.update(mix_override)
+    mix = MixSpec.normalized(**mix_weights)
+
+    memory_kwargs = {
+        "footprint_bytes": int(2 ** _draw(rng, theme.footprint_log2)),
+        "load_mix": _jitter_mix(rng, theme.load_mix, theme.behavior_jitter),
+        "store_mix": _jitter_mix(rng, theme.store_mix, theme.behavior_jitter),
+        "stride_bytes": int(rng.choice(theme.stride_choices)),
+    }
+    code_kwargs = {
+        "num_functions": round(_draw(rng, theme.num_functions)),
+        "blocks_per_function": round(_draw(rng, theme.blocks_per_function)),
+        "hot_function_fraction": _draw(rng, theme.hot_function_fraction),
+        "cold_visit_rate": _draw(rng, theme.cold_visit_rate),
+        "loop_blocks": round(_draw(rng, theme.loop_blocks)),
+        "loop_iter_mean": _draw(rng, theme.loop_iter_mean),
+        "diamond_rate": _draw(rng, theme.diamond_rate),
+        "function_gap_bytes": theme.function_gap_bytes,
+    }
+    register_kwargs = {
+        "int_pool": round(_draw(rng, theme.int_pool)),
+        "fp_pool": round(_draw(rng, theme.fp_pool)),
+        "dep_mean": _draw(rng, theme.dep_mean),
+        "two_op_fraction": _draw(rng, theme.two_op_fraction),
+        "imm_fraction": _draw(rng, theme.imm_fraction),
+    }
+    branch_kwargs = {
+        "pattern_fraction": _draw(rng, theme.pattern_fraction),
+        "taken_bias": _draw(rng, theme.taken_bias),
+    }
+
+    for key, value in overrides.items():
+        if key in _MEMORY_FIELDS:
+            memory_kwargs[key] = value
+        elif key in _CODE_FIELDS:
+            code_kwargs[key] = value
+        elif key in _REGISTER_FIELDS:
+            register_kwargs[key] = value
+        elif key in _BRANCH_FIELDS:
+            branch_kwargs[key] = value
+        else:
+            raise ProfileError(f"unknown profile override: {key!r}")
+
+    return WorkloadProfile(
+        name=name,
+        mix=mix,
+        code=CodeSpec(**code_kwargs),
+        memory=MemorySpec(**memory_kwargs),
+        registers=RegisterSpec(**register_kwargs),
+        branches=BranchSpec(**branch_kwargs),
+    )

@@ -1,0 +1,139 @@
+"""CommBench — telecommunication / network-processor workloads (12 pairs).
+
+Small packet-processing kernels: tiny code and data working sets, high
+branch density for header processing (drr, frag, rtr, tcp) and streaming
+payload transforms (cast, reed, jpeg, zip).  The paper finds drr, frag,
+jpeg and reed dissimilar from SPEC CPU2000.
+"""
+
+from __future__ import annotations
+
+from .builder import ProfileTheme
+
+NAME = "commbench"
+DESCRIPTION = "CommBench: telecom / network-processor workloads"
+
+THEME = ProfileTheme(
+    load=(0.18, 0.26),
+    store=(0.08, 0.14),
+    branch=(0.13, 0.2),
+    int_alu=(0.45, 0.6),
+    int_mul=(0.0, 0.03),
+    fp=(0.0, 0.01),
+    footprint_log2=(12.5, 16.0),  # 6 KB .. 64 KB
+    num_functions=(3.0, 8.0),
+    blocks_per_function=(6.0, 12.0),
+    hot_function_fraction=(0.6, 1.0),
+    cold_visit_rate=(0.0, 0.04),
+    loop_iter_mean=(8.0, 30.0),
+    dep_mean=(2.0, 4.0),
+    load_mix={"scalar": 0.3, "sequential": 0.5, "strided": 0.08,
+              "random": 0.12},
+    store_mix={"scalar": 0.3, "sequential": 0.55, "random": 0.15},
+    stride_choices=(16, 32, 64),
+    pattern_fraction=(0.5, 0.75),
+)
+
+_HEADER_APP = {
+    # Per-packet header processing: branchy, table lookups, tiny loops.
+    "mix": {"load": 0.24, "store": 0.1, "branch": 0.2, "int_alu": 0.45,
+            "int_mul": 0.0, "fp": 0.0},
+    "loop_iter_mean": 4.0,
+    "diamond_rate": 0.5,
+    "pattern_fraction": 0.3,
+    "taken_bias": 0.4,
+    "load_mix": {"scalar": 0.3, "sequential": 0.2, "random": 0.4,
+                 "pointer": 0.1},
+    "dep_mean": 2.0,
+}
+
+#: Entries: (program, input label, dynamic icount in millions, overrides).
+ENTRIES = [
+    ("cast", "decode", 130, {
+        # CAST-128 block cipher: pure ALU streaming with S-box lookups.
+        "mix": {"load": 0.26, "store": 0.08, "branch": 0.08, "int_alu": 0.56,
+                "int_mul": 0.02, "fp": 0.0},
+        "loop_iter_mean": 40.0,
+        "load_mix": {"scalar": 0.15, "sequential": 0.45, "random": 0.4},
+        "footprint_bytes": 32 << 10,
+        "pattern_fraction": 0.85,
+        "dep_mean": 2.2,
+        "imm_fraction": 0.04,
+    }),
+    ("cast", "encode", 130, {
+        "mix": {"load": 0.26, "store": 0.08, "branch": 0.08, "int_alu": 0.56,
+                "int_mul": 0.02, "fp": 0.0},
+        "loop_iter_mean": 40.0,
+        "load_mix": {"scalar": 0.15, "sequential": 0.45, "random": 0.4},
+        "footprint_bytes": 32 << 10,
+        "pattern_fraction": 0.85,
+        "dep_mean": 2.2,
+    }),
+    ("drr", "drr", 235, dict(_HEADER_APP, footprint_bytes=128 << 10)),
+    ("frag", "frag", 49, dict(_HEADER_APP, **{
+        "footprint_bytes": 64 << 10,
+        "mix": {"load": 0.27, "store": 0.15, "branch": 0.18, "int_alu": 0.4,
+                "int_mul": 0.0, "fp": 0.0},
+    })),
+    ("jpeg", "decode", 238, {
+        "mix": {"load": 0.22, "store": 0.12, "branch": 0.1, "int_alu": 0.48,
+                "int_mul": 0.08, "fp": 0.0},
+        "loop_iter_mean": 16.0,
+        "load_mix": {"scalar": 0.1, "sequential": 0.5, "strided": 0.35,
+                     "random": 0.05},
+        "stride_bytes": 64,
+        "footprint_bytes": 512 << 10,
+        "dep_mean": 4.5,
+    }),
+    ("jpeg", "encode", 339, {
+        "mix": {"load": 0.22, "store": 0.1, "branch": 0.1, "int_alu": 0.48,
+                "int_mul": 0.1, "fp": 0.0},
+        "loop_iter_mean": 16.0,
+        "load_mix": {"scalar": 0.1, "sequential": 0.55, "strided": 0.3,
+                     "random": 0.05},
+        "stride_bytes": 64,
+        "footprint_bytes": 512 << 10,
+        "dep_mean": 4.5,
+    }),
+    ("reed", "decode", 1_298, {
+        # Reed-Solomon: Galois-field arithmetic, multiply-heavy.
+        "mix": {"load": 0.25, "store": 0.08, "branch": 0.09, "int_alu": 0.42,
+                "int_mul": 0.16, "fp": 0.0},
+        "loop_iter_mean": 30.0,
+        "load_mix": {"scalar": 0.1, "sequential": 0.45, "random": 0.45},
+        "footprint_bytes": 64 << 10,
+        "dep_mean": 2.5,
+        "pattern_fraction": 0.8,
+        "imm_fraction": 0.05,
+    }),
+    ("reed", "encode", 912, {
+        "mix": {"load": 0.25, "store": 0.08, "branch": 0.09, "int_alu": 0.44,
+                "int_mul": 0.14, "fp": 0.0},
+        "loop_iter_mean": 30.0,
+        "load_mix": {"scalar": 0.1, "sequential": 0.45, "random": 0.45},
+        "footprint_bytes": 64 << 10,
+        "dep_mean": 2.5,
+        "pattern_fraction": 0.8,
+    }),
+    ("rtr", "rtr", 1_137, dict(_HEADER_APP, **{
+        # Radix-tree routing-table lookup.
+        "load_mix": {"scalar": 0.15, "sequential": 0.1, "random": 0.25,
+                     "pointer": 0.5},
+        "footprint_bytes": 2 << 20,
+    })),
+    ("tcp", "tcp", 58, dict(_HEADER_APP, footprint_bytes=96 << 10)),
+    ("zip", "decode", 50, {
+        "mix": {"load": 0.23, "store": 0.09, "branch": 0.14, "int_alu": 0.54,
+                "int_mul": 0.0, "fp": 0.0},
+        "loop_iter_mean": 12.0,
+        "load_mix": {"scalar": 0.15, "sequential": 0.55, "random": 0.3},
+        "footprint_bytes": 384 << 10,
+    }),
+    ("zip", "encode", 322, {
+        "mix": {"load": 0.24, "store": 0.08, "branch": 0.15, "int_alu": 0.53,
+                "int_mul": 0.0, "fp": 0.0},
+        "loop_iter_mean": 10.0,
+        "load_mix": {"scalar": 0.15, "sequential": 0.45, "random": 0.4},
+        "footprint_bytes": 384 << 10,
+    }),
+]

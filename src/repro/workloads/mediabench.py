@@ -1,0 +1,123 @@
+"""MediaBench — multimedia workloads (12 benchmark/input pairs).
+
+Streaming signal-processing kernels with small working sets and regular,
+predictable control flow.  The paper finds most MediaBench benchmarks
+similar to at least some SPEC CPU2000 benchmarks.
+"""
+
+from __future__ import annotations
+
+from .builder import ProfileTheme
+
+NAME = "mediabench"
+DESCRIPTION = "MediaBench: multimedia and communication workloads"
+
+THEME = ProfileTheme(
+    load=(0.2, 0.28),
+    store=(0.08, 0.14),
+    branch=(0.1, 0.16),
+    int_alu=(0.42, 0.56),
+    int_mul=(0.01, 0.05),
+    fp=(0.0, 0.05),
+    footprint_log2=(13.5, 18.0),  # 12 KB .. 256 KB
+    num_functions=(6.0, 16.0),
+    blocks_per_function=(8.0, 14.0),
+    loop_iter_mean=(15.0, 50.0),
+    dep_mean=(2.5, 5.0),
+    load_mix={"scalar": 0.22, "sequential": 0.55, "strided": 0.15,
+              "random": 0.08},
+    store_mix={"scalar": 0.2, "sequential": 0.65, "strided": 0.15},
+    stride_choices=(16, 32, 64, 128),
+    pattern_fraction=(0.6, 0.85),
+    taken_bias=(0.15, 0.35),
+)
+
+_EPIC = {
+    # Wavelet image compression: FP filter banks over images.
+    "mix": {"load": 0.26, "store": 0.1, "branch": 0.08, "int_alu": 0.32,
+            "int_mul": 0.02, "fp": 0.22},
+    "load_mix": {"scalar": 0.08, "sequential": 0.55, "strided": 0.32,
+                 "random": 0.05},
+    "loop_iter_mean": 40.0,
+    "dep_mean": 5.0,
+}
+
+_MESA = {
+    # Software 3D rasterization: FP transforms + strided framebuffer.
+    "mix": {"load": 0.24, "store": 0.13, "branch": 0.09, "int_alu": 0.33,
+            "int_mul": 0.02, "fp": 0.19},
+    "load_mix": {"scalar": 0.12, "sequential": 0.45, "strided": 0.35,
+                 "random": 0.08},
+    "footprint_bytes": 2 << 20,
+    "loop_iter_mean": 30.0,
+}
+
+#: Entries: (program, input label, dynamic icount in millions, overrides).
+ENTRIES = [
+    ("epic", "test1", 205, dict(_EPIC, footprint_bytes=512 << 10)),
+    ("epic", "test2", 2_296, dict(_EPIC, footprint_bytes=1 << 20)),
+    ("unepic", "test1", 35, dict(_EPIC, **{
+        "mix": {"load": 0.25, "store": 0.13, "branch": 0.09, "int_alu": 0.34,
+                "int_mul": 0.02, "fp": 0.17},
+        "footprint_bytes": 512 << 10,
+    })),
+    ("unepic", "test2", 876, dict(_EPIC, **{
+        "mix": {"load": 0.25, "store": 0.13, "branch": 0.09, "int_alu": 0.34,
+                "int_mul": 0.02, "fp": 0.17},
+        "footprint_bytes": 1 << 20,
+    })),
+    ("g721", "decode", 323, {
+        # ADPCM-family voice codec: tight integer kernel.
+        "mix": {"load": 0.2, "store": 0.07, "branch": 0.13, "int_alu": 0.55,
+                "int_mul": 0.05, "fp": 0.0},
+        "footprint_bytes": 64 << 10,
+        "num_functions": 5,
+        "loop_iter_mean": 20.0,
+        "load_mix": {"scalar": 0.35, "sequential": 0.55, "random": 0.1},
+        "dep_mean": 2.0,
+    }),
+    ("g721", "encode", 343, {
+        "mix": {"load": 0.2, "store": 0.07, "branch": 0.13, "int_alu": 0.55,
+                "int_mul": 0.05, "fp": 0.0},
+        "footprint_bytes": 64 << 10,
+        "num_functions": 5,
+        "loop_iter_mean": 20.0,
+        "load_mix": {"scalar": 0.35, "sequential": 0.55, "random": 0.1},
+        "dep_mean": 2.0,
+    }),
+    ("ghostscript", "gs", 868, {
+        # PostScript interpretation: large code, branchy, irregular data.
+        "num_functions": 80,
+        "blocks_per_function": 16,
+        "cold_visit_rate": 0.2,
+        "mix": {"load": 0.25, "store": 0.11, "branch": 0.16, "int_alu": 0.44,
+                "int_mul": 0.01, "fp": 0.03},
+        "footprint_bytes": 4 << 20,
+        "loop_iter_mean": 6.0,
+        "load_mix": {"scalar": 0.2, "sequential": 0.25, "strided": 0.15,
+                     "random": 0.25, "pointer": 0.15},
+        "pattern_fraction": 0.35,
+    }),
+    ("mesa", "mipmap", 32, _MESA),
+    ("mesa", "osdemo", 10, _MESA),
+    ("mesa", "texgen", 86, dict(_MESA, footprint_bytes=4 << 20)),
+    ("mpeg2", "decode", 149, {
+        "mix": {"load": 0.24, "store": 0.12, "branch": 0.1, "int_alu": 0.46,
+                "int_mul": 0.07, "fp": 0.01},
+        "footprint_bytes": 1 << 20,
+        "loop_iter_mean": 24.0,
+        "load_mix": {"scalar": 0.1, "sequential": 0.5, "strided": 0.35,
+                     "random": 0.05},
+        "stride_bytes": 32,
+    }),
+    ("mpeg2", "encode", 1_528, {
+        # Motion estimation: strided block matching, multiply-heavy.
+        "mix": {"load": 0.26, "store": 0.08, "branch": 0.1, "int_alu": 0.45,
+                "int_mul": 0.1, "fp": 0.01},
+        "footprint_bytes": 2 << 20,
+        "loop_iter_mean": 30.0,
+        "load_mix": {"scalar": 0.08, "sequential": 0.45, "strided": 0.42,
+                     "random": 0.05},
+        "stride_bytes": 32,
+    }),
+]

@@ -1,0 +1,290 @@
+"""MiBench — embedded workloads (30 benchmark/input pairs).
+
+Free embedded-domain benchmarks spanning auto/industrial, consumer,
+office, network, security and telecom categories.  The paper finds most
+MiBench benchmarks similar to SPEC CPU2000, with adpcm (a minimal
+predictable kernel) and tiff (strided image transforms) isolated.
+"""
+
+from __future__ import annotations
+
+from .builder import ProfileTheme
+
+NAME = "mibench"
+DESCRIPTION = "MiBench: free embedded benchmarks"
+
+THEME = ProfileTheme(
+    load=(0.18, 0.28),
+    store=(0.07, 0.13),
+    branch=(0.11, 0.18),
+    int_alu=(0.44, 0.58),
+    int_mul=(0.0, 0.04),
+    fp=(0.0, 0.04),
+    footprint_log2=(12.0, 17.0),  # 4 KB .. 128 KB
+    num_functions=(4.0, 14.0),
+    blocks_per_function=(6.0, 14.0),
+    loop_iter_mean=(10.0, 40.0),
+    dep_mean=(1.8, 5.5),
+    load_mix={"scalar": 0.28, "sequential": 0.5, "strided": 0.12,
+              "random": 0.1},
+    store_mix={"scalar": 0.25, "sequential": 0.6, "strided": 0.15},
+    stride_choices=(16, 32, 64),
+    pattern_fraction=(0.5, 0.8),
+    taken_bias=(0.15, 0.35),
+)
+
+_ADPCM = {
+    # Minimal codec kernel: a single tiny loop, near-perfect prediction.
+    # Isolated (with tiff) in the paper's clustering for specific inputs.
+    "mix": {"load": 0.12, "store": 0.04, "branch": 0.12, "int_alu": 0.7,
+            "int_mul": 0.0, "fp": 0.0},
+    "num_functions": 2,
+    "blocks_per_function": 5,
+    "loop_blocks": 2,
+    "loop_iter_mean": 400.0,
+    "diamond_rate": 0.3,
+    "footprint_bytes": 8 << 10,
+    "load_mix": {"scalar": 0.4, "sequential": 0.6},
+    "store_mix": {"scalar": 0.3, "sequential": 0.7},
+    "pattern_fraction": 0.9,
+    "taken_bias": 0.1,
+    "dep_mean": 1.8,
+    "imm_fraction": 0.02,
+    "int_pool": 8,
+}
+
+_TIFF = {
+    # Image transforms: wide strided sweeps with multiplies.
+    "mix": {"load": 0.24, "store": 0.14, "branch": 0.08, "int_alu": 0.42,
+            "int_mul": 0.11, "fp": 0.01},
+    "loop_iter_mean": 60.0,
+    "loop_blocks": 2,
+    "diamond_rate": 0.1,
+    "footprint_bytes": 6 << 20,
+    "load_mix": {"scalar": 0.05, "sequential": 0.4, "strided": 0.52,
+                 "random": 0.03},
+    "store_mix": {"scalar": 0.05, "sequential": 0.45, "strided": 0.5},
+    "stride_bytes": 256,
+    "pattern_fraction": 0.85,
+    "taken_bias": 0.08,
+    "dep_mean": 5.5,
+    "imm_fraction": 0.3,
+}
+
+_FFT = {
+    "mix": {"load": 0.25, "store": 0.09, "branch": 0.07, "int_alu": 0.25,
+            "int_mul": 0.02, "fp": 0.32},
+    "loop_iter_mean": 35.0,
+    "footprint_bytes": 1 << 20,
+    "load_mix": {"scalar": 0.08, "sequential": 0.42, "strided": 0.45,
+                 "random": 0.05},
+    "stride_bytes": 128,
+    "dep_mean": 6.0,
+    "imm_fraction": 0.3,
+    "pattern_fraction": 0.85,
+}
+
+_JPEG = {
+    "mix": {"load": 0.22, "store": 0.11, "branch": 0.1, "int_alu": 0.48,
+            "int_mul": 0.08, "fp": 0.01},
+    "loop_iter_mean": 16.0,
+    "footprint_bytes": 512 << 10,
+    "load_mix": {"scalar": 0.1, "sequential": 0.5, "strided": 0.35,
+                 "random": 0.05},
+    "stride_bytes": 64,
+}
+
+_BLOWFISH = {
+    "mix": {"load": 0.27, "store": 0.07, "branch": 0.08, "int_alu": 0.57,
+            "int_mul": 0.0, "fp": 0.0},
+    "loop_iter_mean": 45.0,
+    "footprint_bytes": 32 << 10,
+    "load_mix": {"scalar": 0.15, "sequential": 0.4, "random": 0.45},
+    "pattern_fraction": 0.85,
+    "dep_mean": 2.2,
+    "imm_fraction": 0.04,
+}
+
+_PGP = {
+    "mix": {"load": 0.24, "store": 0.09, "branch": 0.12, "int_alu": 0.5,
+            "int_mul": 0.05, "fp": 0.0},
+    "footprint_bytes": 256 << 10,
+    "load_mix": {"scalar": 0.2, "sequential": 0.45, "random": 0.35},
+    "dep_mean": 2.5,
+}
+
+_SUSAN = {
+    # Image smoothing/edge detection: sequential pixel window sweeps.
+    "mix": {"load": 0.28, "store": 0.08, "branch": 0.09, "int_alu": 0.48,
+            "int_mul": 0.06, "fp": 0.01},
+    "loop_iter_mean": 50.0,
+    "footprint_bytes": 768 << 10,
+    "load_mix": {"scalar": 0.06, "sequential": 0.7, "strided": 0.2,
+                 "random": 0.04},
+    "pattern_fraction": 0.85,
+    "taken_bias": 0.1,
+}
+
+_GHOSTSCRIPT = {
+    "num_functions": 80,
+    "blocks_per_function": 16,
+    "cold_visit_rate": 0.2,
+    "mix": {"load": 0.25, "store": 0.11, "branch": 0.16, "int_alu": 0.44,
+            "int_mul": 0.01, "fp": 0.03},
+    "footprint_bytes": 4 << 20,
+    "loop_iter_mean": 6.0,
+    "load_mix": {"scalar": 0.2, "sequential": 0.25, "strided": 0.15,
+                 "random": 0.25, "pointer": 0.15},
+    "pattern_fraction": 0.35,
+}
+
+#: Entries: (program, input label, dynamic icount in millions, overrides).
+ENTRIES = [
+    ("CRC32", "large", 612, {
+        "mix": {"load": 0.2, "store": 0.02, "branch": 0.17, "int_alu": 0.61,
+                "int_mul": 0.0, "fp": 0.0},
+        "num_functions": 2,
+        "blocks_per_function": 4,
+        "loop_iter_mean": 500.0,
+        "footprint_bytes": 16 << 10,
+        "load_mix": {"scalar": 0.2, "sequential": 0.5, "random": 0.3},
+        "pattern_fraction": 0.9,
+        "taken_bias": 0.05,
+        "dep_mean": 1.6,
+        "imm_fraction": 0.02,
+        "int_pool": 6,
+    }),
+    ("FFT", "fft-large", 237, _FFT),
+    ("FFT", "fftinv-large", 217, _FFT),
+    ("adpcm", "rawcaudio", 758, _ADPCM),
+    ("adpcm", "rawdaudio", 639, dict(_ADPCM, loop_iter_mean=380.0)),
+    ("basicmath", "large", 1_523, {
+        "mix": {"load": 0.2, "store": 0.08, "branch": 0.1, "int_alu": 0.35,
+                "int_mul": 0.02, "fp": 0.25},
+        "footprint_bytes": 64 << 10,
+        "loop_iter_mean": 15.0,
+        "load_mix": {"scalar": 0.4, "sequential": 0.5, "random": 0.1},
+        "dep_mean": 2.5,
+    }),
+    ("bitcount", "large", 681, {
+        "mix": {"load": 0.14, "store": 0.04, "branch": 0.16, "int_alu": 0.66,
+                "int_mul": 0.0, "fp": 0.0},
+        "num_functions": 4,
+        "footprint_bytes": 8 << 10,
+        "loop_iter_mean": 60.0,
+        "load_mix": {"scalar": 0.5, "sequential": 0.5},
+        "pattern_fraction": 0.7,
+        "dep_mean": 2.0,
+    }),
+    ("blowfish", "decode", 495, _BLOWFISH),
+    ("blowfish", "encode", 498, _BLOWFISH),
+    ("dijkstra", "large", 252, {
+        "mix": {"load": 0.3, "store": 0.1, "branch": 0.16, "int_alu": 0.44,
+                "int_mul": 0.0, "fp": 0.0},
+        "footprint_bytes": 1 << 20,
+        "loop_iter_mean": 12.0,
+        "load_mix": {"scalar": 0.1, "sequential": 0.2, "random": 0.3,
+                     "pointer": 0.4},
+        "dep_mean": 2.0,
+        "imm_fraction": 0.05,
+        "pattern_fraction": 0.35,
+    }),
+    ("ghostscript", "large", 868, _GHOSTSCRIPT),
+    ("ispell", "large", 1_027, {
+        "mix": {"load": 0.26, "store": 0.08, "branch": 0.17, "int_alu": 0.49,
+                "int_mul": 0.0, "fp": 0.0},
+        "footprint_bytes": 1 << 20,
+        "loop_iter_mean": 7.0,
+        "load_mix": {"scalar": 0.15, "sequential": 0.3, "random": 0.25,
+                     "pointer": 0.3},
+        "pattern_fraction": 0.35,
+    }),
+    ("jpeg", "cjpeg", 121, _JPEG),
+    ("jpeg", "djpeg", 24, _JPEG),
+    ("lame", "large", 1_199, {
+        # MP3 encoding: FFT/psychoacoustics — FP heavy for MiBench.
+        "mix": {"load": 0.24, "store": 0.09, "branch": 0.08, "int_alu": 0.3,
+                "int_mul": 0.03, "fp": 0.26},
+        "footprint_bytes": 2 << 20,
+        "loop_iter_mean": 30.0,
+        "load_mix": {"scalar": 0.1, "sequential": 0.55, "strided": 0.3,
+                     "random": 0.05},
+        "dep_mean": 4.5,
+    }),
+    ("mad", "large", 345, {
+        "mix": {"load": 0.23, "store": 0.1, "branch": 0.1, "int_alu": 0.46,
+                "int_mul": 0.1, "fp": 0.01},
+        "footprint_bytes": 512 << 10,
+        "loop_iter_mean": 25.0,
+        "load_mix": {"scalar": 0.12, "sequential": 0.55, "strided": 0.28,
+                     "random": 0.05},
+    }),
+    ("patricia", "large", 399, {
+        "mix": {"load": 0.28, "store": 0.09, "branch": 0.18, "int_alu": 0.45,
+                "int_mul": 0.0, "fp": 0.0},
+        "footprint_bytes": 2 << 20,
+        "loop_iter_mean": 5.0,
+        "load_mix": {"scalar": 0.1, "sequential": 0.1, "random": 0.2,
+                     "pointer": 0.6},
+        "dep_mean": 1.8,
+        "imm_fraction": 0.05,
+        "pattern_fraction": 0.3,
+        "taken_bias": 0.45,
+    }),
+    ("pgp", "decode", 111, _PGP),
+    ("pgp", "encode", 48, dict(_PGP, int_pool=20)),
+    ("qsort", "large", 512, {
+        "mix": {"load": 0.27, "store": 0.12, "branch": 0.16, "int_alu": 0.45,
+                "int_mul": 0.0, "fp": 0.0},
+        "footprint_bytes": 2 << 20,
+        "loop_iter_mean": 8.0,
+        "load_mix": {"scalar": 0.1, "sequential": 0.3, "random": 0.5,
+                     "pointer": 0.1},
+        "pattern_fraction": 0.25,
+        "taken_bias": 0.5,
+        "dep_mean": 2.2,
+    }),
+    ("rsynth", "say-large", 775, {
+        "mix": {"load": 0.22, "store": 0.09, "branch": 0.1, "int_alu": 0.38,
+                "int_mul": 0.02, "fp": 0.19},
+        "footprint_bytes": 512 << 10,
+        "loop_iter_mean": 20.0,
+    }),
+    ("sha", "large", 114, {
+        "mix": {"load": 0.18, "store": 0.06, "branch": 0.08, "int_alu": 0.68,
+                "int_mul": 0.0, "fp": 0.0},
+        "num_functions": 3,
+        "footprint_bytes": 16 << 10,
+        "loop_iter_mean": 80.0,
+        "load_mix": {"scalar": 0.3, "sequential": 0.7},
+        "pattern_fraction": 0.9,
+        "taken_bias": 0.06,
+        "dep_mean": 1.8,
+        "imm_fraction": 0.03,
+    }),
+    ("susan", "corners-large", 29, _SUSAN),
+    ("susan", "edges-large", 73, _SUSAN),
+    ("susan", "smoothing-large", 300, dict(_SUSAN, loop_iter_mean=80.0)),
+    ("tiff", "2bw", 143, _TIFF),
+    ("tiff", "2rgba", 268, dict(_TIFF, footprint_bytes=10 << 20)),
+    ("tiff", "dither", 1_228, dict(_TIFF, **{
+        "mix": {"load": 0.24, "store": 0.12, "branch": 0.1, "int_alu": 0.45,
+                "int_mul": 0.08, "fp": 0.01},
+    })),
+    ("tiff", "median", 763, dict(_TIFF, **{
+        "mix": {"load": 0.27, "store": 0.1, "branch": 0.1, "int_alu": 0.45,
+                "int_mul": 0.07, "fp": 0.01},
+    })),
+    ("typeset", "lout", 609, {
+        "num_functions": 90,
+        "blocks_per_function": 18,
+        "cold_visit_rate": 0.22,
+        "mix": {"load": 0.26, "store": 0.11, "branch": 0.17, "int_alu": 0.45,
+                "int_mul": 0.0, "fp": 0.01},
+        "footprint_bytes": 2 << 20,
+        "loop_iter_mean": 5.0,
+        "load_mix": {"scalar": 0.2, "sequential": 0.2, "strided": 0.1,
+                     "random": 0.25, "pointer": 0.25},
+        "pattern_fraction": 0.3,
+    }),
+]

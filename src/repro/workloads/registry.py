@@ -1,0 +1,143 @@
+"""Benchmark registry: the full 122-benchmark population of Table I.
+
+The registry assembles the six suite modules into :class:`Suite` and
+:class:`Benchmark` objects, memoizes them (profile construction is
+deterministic but not free), and provides lookup by full or partial
+name.
+"""
+
+from __future__ import annotations
+
+import difflib
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from ..errors import UnknownBenchmarkError
+from . import bioinfomark, biometrics, commbench, mediabench, mibench, spec2000
+from .builder import build_profile
+from .suite import Benchmark, Suite
+
+_SUITE_MODULES = (
+    bioinfomark,
+    biometrics,
+    commbench,
+    mediabench,
+    mibench,
+    spec2000,
+)
+
+#: Total number of benchmark/input pairs in the paper's Table I.
+EXPECTED_BENCHMARK_COUNT = 122
+
+
+def _assemble_suite(module) -> Suite:
+    benchmarks = []
+    for program, input_label, icount, overrides in module.ENTRIES:
+        profile = build_profile(
+            module.THEME, module.NAME, program, input_label, overrides
+        )
+        benchmarks.append(
+            Benchmark(
+                suite=module.NAME,
+                program=program,
+                input=input_label,
+                icount_millions=icount,
+                profile=profile,
+            )
+        )
+    return Suite(
+        name=module.NAME,
+        description=module.DESCRIPTION,
+        benchmarks=tuple(benchmarks),
+    )
+
+
+@lru_cache(maxsize=1)
+def all_suites() -> Tuple[Suite, ...]:
+    """All six suites, in alphabetical order."""
+    return tuple(
+        sorted(
+            (_assemble_suite(module) for module in _SUITE_MODULES),
+            key=lambda suite: suite.name,
+        )
+    )
+
+
+@lru_cache(maxsize=1)
+def all_benchmarks() -> Tuple[Benchmark, ...]:
+    """All 122 benchmarks, ordered by suite then declaration order."""
+    benchmarks: List[Benchmark] = []
+    for suite in all_suites():
+        benchmarks.extend(suite.benchmarks)
+    return tuple(benchmarks)
+
+
+@lru_cache(maxsize=1)
+def _benchmark_index() -> Dict[str, Benchmark]:
+    return {benchmark.full_name: benchmark for benchmark in all_benchmarks()}
+
+
+def benchmark_names() -> List[str]:
+    """Full names of all benchmarks."""
+    return list(_benchmark_index().keys())
+
+
+def suite_of(name: str) -> Suite:
+    """Look up a suite by name.
+
+    Raises:
+        UnknownBenchmarkError: if no suite has that name.
+    """
+    for suite in all_suites():
+        if suite.name == name:
+            return suite
+    raise UnknownBenchmarkError(
+        name, candidates=[suite.name for suite in all_suites()]
+    )
+
+
+def benchmarks_of(suite_name: str) -> Tuple[Benchmark, ...]:
+    """All benchmarks of one suite."""
+    return suite_of(suite_name).benchmarks
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up a benchmark by full name (``suite/program/input``).
+
+    A unique partial match on ``program`` or ``program/input`` is also
+    accepted (``"bzip2/graphic"``, ``"mcf"``).
+
+    Raises:
+        UnknownBenchmarkError: when nothing (or more than one partial
+            candidate) matches; the error lists close matches.
+    """
+    index = _benchmark_index()
+    if name in index:
+        return index[name]
+
+    partial = [
+        benchmark
+        for full_name, benchmark in index.items()
+        if full_name.endswith("/" + name)
+        or f"/{name}/" in full_name
+    ]
+    if len(partial) == 1:
+        return partial[0]
+
+    if len(partial) > 1:
+        close = [benchmark.full_name for benchmark in partial][:5]
+    else:
+        # Compare against every naming form so 'bzip3' still suggests
+        # the bzip2 entries.
+        vocabulary: Dict[str, str] = {}
+        for full_name, benchmark in index.items():
+            vocabulary.setdefault(benchmark.program, full_name)
+            vocabulary.setdefault(
+                f"{benchmark.program}/{benchmark.input}", full_name
+            )
+            vocabulary.setdefault(full_name, full_name)
+        matches = difflib.get_close_matches(
+            name, vocabulary.keys(), n=5, cutoff=0.4
+        )
+        close = list(dict.fromkeys(vocabulary[match] for match in matches))
+    raise UnknownBenchmarkError(name, candidates=close)

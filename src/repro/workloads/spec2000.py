@@ -1,0 +1,339 @@
+"""SPEC CPU2000 — general-purpose workloads (48 benchmark/input pairs).
+
+Profile notes mirroring the paper's observations:
+
+* The floating-point core (applu, apsi, fma3d, galgel, lucas, mgrid,
+  sixtrack, swim, wupwise) shares one tight override set
+  (:data:`SPECFP_CORE`): FP-heavy streaming loop nests with long,
+  predictable loops.  The paper finds 9 of the 14 SPECfp benchmarks in a
+  single cluster.
+* ``art`` is an isolated FP streamer: a tiny kernel spinning on small
+  arrays (singleton cluster in the paper).
+* ``mcf`` is pointer-chasing with a large footprint and minimal ILP
+  (singleton cluster in the paper).
+* ``gcc`` has an exceptionally large instruction working set and poorly
+  biased branches (singleton cluster in the paper).
+"""
+
+from __future__ import annotations
+
+from .builder import ProfileTheme
+
+NAME = "spec2000"
+DESCRIPTION = "SPEC CPU2000: general-purpose integer and FP workloads"
+
+THEME = ProfileTheme(
+    load=(0.2, 0.3),
+    store=(0.08, 0.14),
+    branch=(0.1, 0.16),
+    int_alu=(0.4, 0.55),
+    int_mul=(0.0, 0.02),
+    fp=(0.0, 0.06),
+    footprint_log2=(20.0, 24.0),  # 1 MB .. 16 MB
+    num_functions=(24.0, 48.0),
+    blocks_per_function=(10.0, 22.0),
+    loop_iter_mean=(4.0, 16.0),
+    dep_mean=(2.0, 7.0),
+    pattern_fraction=(0.3, 0.7),
+    taken_bias=(0.3, 0.5),
+)
+
+#: Shared overrides for the SPECfp streaming core.
+SPECFP_CORE = {
+    "mix": {
+        "load": 0.27,
+        "store": 0.08,
+        "branch": 0.04,
+        "int_alu": 0.2,
+        "int_mul": 0.004,
+        "fp": 0.41,
+    },
+    "loop_iter_mean": 64.0,
+    "loop_blocks": 2,
+    "diamond_rate": 0.08,
+    "pattern_fraction": 0.85,
+    "taken_bias": 0.12,
+    "dep_mean": 9.0,
+    "imm_fraction": 0.32,
+    "two_op_fraction": 0.75,
+    "fp_pool": 28,
+    "num_functions": 12,
+    "blocks_per_function": 10,
+    "footprint_bytes": 16 << 20,
+    "load_mix": {"scalar": 0.05, "sequential": 0.5, "strided": 0.4, "random": 0.05},
+    "store_mix": {"scalar": 0.08, "sequential": 0.62, "strided": 0.3},
+    "stride_bytes": 64,
+}
+
+#: FP benchmarks with more control flow / mixed behavior than the core.
+_SPECFP_MIXED = {
+    "mix": {
+        "load": 0.26,
+        "store": 0.1,
+        "branch": 0.07,
+        "int_alu": 0.3,
+        "int_mul": 0.01,
+        "fp": 0.26,
+    },
+    "loop_iter_mean": 28.0,
+    "pattern_fraction": 0.7,
+    "dep_mean": 6.0,
+    "imm_fraction": 0.25,
+    "load_mix": {"scalar": 0.1, "sequential": 0.4, "strided": 0.35, "random": 0.15},
+    "footprint_bytes": 12 << 20,
+}
+
+_GCC = {
+    # Very large instruction working set, data-dependent branching.
+    "num_functions": 160,
+    "blocks_per_function": 24,
+    "hot_function_fraction": 0.75,
+    "cold_visit_rate": 0.3,
+    "loop_iter_mean": 3.0,
+    "diamond_rate": 0.5,
+    "pattern_fraction": 0.35,
+    "taken_bias": 0.35,
+    "mix": {"load": 0.24, "store": 0.12, "branch": 0.18, "int_alu": 0.44,
+            "int_mul": 0.005, "fp": 0.01},
+    "load_mix": {"scalar": 0.3, "sequential": 0.2, "strided": 0.1,
+                 "random": 0.25, "pointer": 0.15},
+    "footprint_bytes": 6 << 20,
+    "dep_mean": 2.5,
+}
+
+_PERLBMK = {
+    "num_functions": 90,
+    "blocks_per_function": 18,
+    "cold_visit_rate": 0.2,
+    "loop_iter_mean": 5.0,
+    "diamond_rate": 0.45,
+    "pattern_fraction": 0.35,
+    "mix": {"load": 0.26, "store": 0.13, "branch": 0.16, "int_alu": 0.43,
+            "int_mul": 0.005, "fp": 0.005},
+    "load_mix": {"scalar": 0.25, "sequential": 0.2, "strided": 0.1,
+                 "random": 0.3, "pointer": 0.15},
+}
+
+_BZIP2 = {
+    "mix": {"load": 0.26, "store": 0.09, "branch": 0.12, "int_alu": 0.51,
+            "int_mul": 0.005, "fp": 0.0},
+    "load_mix": {"scalar": 0.15, "sequential": 0.45, "strided": 0.1,
+                 "random": 0.3},
+    "footprint_bytes": 7 << 20,
+    "num_functions": 14,
+    "loop_iter_mean": 18.0,
+    "pattern_fraction": 0.45,
+    "dep_mean": 3.5,
+    "imm_fraction": 0.1,
+}
+
+_GZIP = {
+    "mix": {"load": 0.22, "store": 0.08, "branch": 0.14, "int_alu": 0.55,
+            "int_mul": 0.0, "fp": 0.0},
+    "load_mix": {"scalar": 0.2, "sequential": 0.5, "strided": 0.05,
+                 "random": 0.25},
+    "footprint_bytes": 2 << 20,
+    "num_functions": 12,
+    "loop_iter_mean": 20.0,
+}
+
+_VORTEX = {
+    "num_functions": 110,
+    "blocks_per_function": 16,
+    "cold_visit_rate": 0.22,
+    "mix": {"load": 0.28, "store": 0.16, "branch": 0.15, "int_alu": 0.4,
+            "int_mul": 0.0, "fp": 0.0},
+    "load_mix": {"scalar": 0.2, "sequential": 0.15, "strided": 0.1,
+                 "random": 0.3, "pointer": 0.25},
+    "footprint_bytes": 24 << 20,
+    "loop_iter_mean": 4.0,
+}
+
+#: Entries: (program, input label, dynamic icount in millions, overrides).
+ENTRIES = [
+    ("ammp", "ref", 388_534, dict(_SPECFP_MIXED, footprint_bytes=20 << 20)),
+    ("applu", "ref", 336_798, SPECFP_CORE),
+    ("apsi", "ref", 361_955, SPECFP_CORE),
+    ("art", "ref-110", 77_067, {
+        "mix": {"load": 0.3, "store": 0.05, "branch": 0.06, "int_alu": 0.15,
+                "int_mul": 0.0, "fp": 0.44},
+        "num_functions": 3,
+        "blocks_per_function": 6,
+        "loop_iter_mean": 300.0,
+        "loop_blocks": 2,
+        "diamond_rate": 0.05,
+        "pattern_fraction": 0.95,
+        "taken_bias": 0.05,
+        "dep_mean": 2.0,
+        "imm_fraction": 0.05,
+        "footprint_bytes": 3 << 20,
+        "load_mix": {"sequential": 0.9, "scalar": 0.1},
+        "store_mix": {"sequential": 0.8, "scalar": 0.2},
+        "stride_bytes": 32,
+    }),
+    ("art", "ref-470", 84_660, {
+        "mix": {"load": 0.3, "store": 0.05, "branch": 0.06, "int_alu": 0.15,
+                "int_mul": 0.0, "fp": 0.44},
+        "num_functions": 3,
+        "blocks_per_function": 6,
+        "loop_iter_mean": 280.0,
+        "loop_blocks": 2,
+        "diamond_rate": 0.05,
+        "pattern_fraction": 0.95,
+        "taken_bias": 0.06,
+        "dep_mean": 2.1,
+        "imm_fraction": 0.05,
+        "footprint_bytes": 3 << 20,
+        "load_mix": {"sequential": 0.88, "scalar": 0.12},
+        "store_mix": {"sequential": 0.8, "scalar": 0.2},
+        "stride_bytes": 32,
+    }),
+    ("bzip2", "graphic", 157_003, _BZIP2),
+    ("bzip2", "program", 136_389, dict(_BZIP2, footprint_bytes=6 << 20)),
+    ("bzip2", "source", 122_267, dict(_BZIP2, footprint_bytes=5 << 20)),
+    ("crafty", "ref", 194_311, {
+        "mix": {"load": 0.27, "store": 0.07, "branch": 0.11, "int_alu": 0.5,
+                "int_mul": 0.03, "fp": 0.0},
+        "load_mix": {"scalar": 0.25, "sequential": 0.1, "strided": 0.15,
+                     "random": 0.5},
+        "footprint_bytes": 2 << 20,
+        "num_functions": 40,
+        "dep_mean": 5.0,
+        "pattern_fraction": 0.4,
+    }),
+    ("eon", "cook", 100_552, {
+        "mix": {"load": 0.26, "store": 0.12, "branch": 0.1, "int_alu": 0.32,
+                "int_mul": 0.01, "fp": 0.19},
+        "num_functions": 70,
+        "cold_visit_rate": 0.15,
+        "footprint_bytes": 1 << 20,
+        "load_mix": {"scalar": 0.3, "sequential": 0.25, "strided": 0.2,
+                     "random": 0.15, "pointer": 0.1},
+    }),
+    ("eon", "kajiya", 131_268, {
+        "mix": {"load": 0.26, "store": 0.12, "branch": 0.1, "int_alu": 0.3,
+                "int_mul": 0.01, "fp": 0.21},
+        "num_functions": 70,
+        "cold_visit_rate": 0.15,
+        "footprint_bytes": 1 << 20,
+        "load_mix": {"scalar": 0.3, "sequential": 0.25, "strided": 0.2,
+                     "random": 0.15, "pointer": 0.1},
+    }),
+    ("eon", "rush", 73_139, {
+        "mix": {"load": 0.26, "store": 0.12, "branch": 0.1, "int_alu": 0.31,
+                "int_mul": 0.01, "fp": 0.2},
+        "num_functions": 70,
+        "cold_visit_rate": 0.15,
+        "footprint_bytes": 1 << 20,
+        "load_mix": {"scalar": 0.3, "sequential": 0.25, "strided": 0.2,
+                     "random": 0.15, "pointer": 0.1},
+    }),
+    ("equake", "ref", 158_071, dict(_SPECFP_MIXED, **{
+        "load_mix": {"scalar": 0.1, "sequential": 0.35, "strided": 0.25,
+                     "random": 0.1, "pointer": 0.2},
+        "footprint_bytes": 24 << 20,
+    })),
+    ("facerec", "ref", 249_735, dict(_SPECFP_MIXED, footprint_bytes=10 << 20)),
+    ("fma3d", "ref", 312_960, SPECFP_CORE),
+    ("galgel", "ref", 326_916, SPECFP_CORE),
+    ("gap", "ref", 310_323, {
+        "mix": {"load": 0.24, "store": 0.12, "branch": 0.13, "int_alu": 0.48,
+                "int_mul": 0.02, "fp": 0.0},
+        "num_functions": 60,
+        "load_mix": {"scalar": 0.2, "sequential": 0.25, "strided": 0.1,
+                     "random": 0.25, "pointer": 0.2},
+        "footprint_bytes": 20 << 20,
+    }),
+    ("gcc", "166", 46_614, _GCC),
+    ("gcc", "200", 106_339, dict(_GCC, footprint_bytes=8 << 20)),
+    ("gcc", "expr", 11_847, dict(_GCC, footprint_bytes=4 << 20)),
+    ("gcc", "integrate", 13_019, dict(_GCC, footprint_bytes=4 << 20)),
+    ("gcc", "scilab", 60_784, dict(_GCC, footprint_bytes=7 << 20)),
+    ("gzip", "graphic", 113_400, _GZIP),
+    ("gzip", "log", 42_506, dict(_GZIP, footprint_bytes=1 << 20)),
+    ("gzip", "program", 161_726, _GZIP),
+    ("gzip", "random", 91_961, dict(_GZIP, taken_bias=0.5, pattern_fraction=0.2)),
+    ("gzip", "source", 84_366, dict(_GZIP, footprint_bytes=1 << 20)),
+    ("lucas", "ref", 134_753, SPECFP_CORE),
+    ("mcf", "ref", 59_800, {
+        "mix": {"load": 0.32, "store": 0.09, "branch": 0.19, "int_alu": 0.4,
+                "int_mul": 0.0, "fp": 0.0},
+        "num_functions": 6,
+        "blocks_per_function": 10,
+        "loop_iter_mean": 8.0,
+        "dep_mean": 1.6,
+        "pattern_fraction": 0.2,
+        "taken_bias": 0.45,
+        "imm_fraction": 0.03,
+        "footprint_bytes": 96 << 20,
+        "load_mix": {"pointer": 0.5, "random": 0.2, "scalar": 0.3},
+        "store_mix": {"pointer": 0.5, "random": 0.2, "scalar": 0.3},
+    }),
+    ("mesa", "ref", 314_449, {
+        "mix": {"load": 0.24, "store": 0.12, "branch": 0.08, "int_alu": 0.33,
+                "int_mul": 0.01, "fp": 0.22},
+        "num_functions": 50,
+        "loop_iter_mean": 24.0,
+        "load_mix": {"scalar": 0.15, "sequential": 0.45, "strided": 0.3,
+                     "random": 0.1},
+        "footprint_bytes": 6 << 20,
+    }),
+    ("mgrid", "ref", 440_934, SPECFP_CORE),
+    ("parser", "ref", 530_784, {
+        "mix": {"load": 0.24, "store": 0.1, "branch": 0.17, "int_alu": 0.48,
+                "int_mul": 0.0, "fp": 0.0},
+        "num_functions": 55,
+        "loop_iter_mean": 4.5,
+        "diamond_rate": 0.45,
+        "pattern_fraction": 0.3,
+        "load_mix": {"scalar": 0.2, "sequential": 0.15, "strided": 0.05,
+                     "random": 0.3, "pointer": 0.3},
+        "footprint_bytes": 16 << 20,
+        "dep_mean": 2.2,
+        "imm_fraction": 0.06,
+    }),
+    ("perlbmk", "splitmail.535", 69_857, _PERLBMK),
+    ("perlbmk", "splitmail.704", 73_966, _PERLBMK),
+    ("perlbmk", "splitmail.850", 142_509, _PERLBMK),
+    ("perlbmk", "splitmail.957", 122_893, _PERLBMK),
+    ("perlbmk", "diffmail", 43_327, dict(_PERLBMK, footprint_bytes=3 << 20)),
+    ("perlbmk", "makerand", 2_055, dict(_PERLBMK, **{
+        "footprint_bytes": 256 << 10,
+        "num_functions": 20,
+        "loop_iter_mean": 30.0,
+    })),
+    ("perlbmk", "perfect", 29_791, dict(_PERLBMK, footprint_bytes=2 << 20)),
+    ("sixtrack", "ref", 452_446, SPECFP_CORE),
+    ("swim", "ref", 221_868, SPECFP_CORE),
+    ("twolf", "ref", 397_222, {
+        "mix": {"load": 0.27, "store": 0.08, "branch": 0.14, "int_alu": 0.47,
+                "int_mul": 0.01, "fp": 0.03},
+        "num_functions": 30,
+        "loop_iter_mean": 6.0,
+        "load_mix": {"scalar": 0.2, "sequential": 0.15, "strided": 0.15,
+                     "random": 0.35, "pointer": 0.15},
+        "footprint_bytes": 2 << 20,
+        "dep_mean": 2.8,
+        "imm_fraction": 0.08,
+    }),
+    ("vortex", "ref1", 129_793, _VORTEX),
+    ("vortex", "ref2", 151_475, _VORTEX),
+    ("vortex", "ref3", 145_113, _VORTEX),
+    ("vpr", "place", 117_001, {
+        "mix": {"load": 0.26, "store": 0.1, "branch": 0.13, "int_alu": 0.44,
+                "int_mul": 0.01, "fp": 0.06},
+        "num_functions": 25,
+        "load_mix": {"scalar": 0.2, "sequential": 0.2, "strided": 0.15,
+                     "random": 0.35, "pointer": 0.1},
+        "footprint_bytes": 4 << 20,
+    }),
+    ("vpr", "route", 82_351, {
+        "mix": {"load": 0.28, "store": 0.09, "branch": 0.14, "int_alu": 0.42,
+                "int_mul": 0.01, "fp": 0.06},
+        "num_functions": 25,
+        "load_mix": {"scalar": 0.15, "sequential": 0.15, "strided": 0.1,
+                     "random": 0.3, "pointer": 0.3},
+        "footprint_bytes": 8 << 20,
+    }),
+    ("wupwise", "ref", 337_770, SPECFP_CORE),
+]

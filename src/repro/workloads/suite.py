@@ -1,0 +1,62 @@
+"""Benchmark and suite descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..synth import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One benchmark/input pair from the paper's Table I.
+
+    Attributes:
+        suite: suite name (e.g. ``"spec2000"``).
+        program: program name (e.g. ``"bzip2"``).
+        input: input label (e.g. ``"graphic"``).
+        icount_millions: dynamic instruction count of the real benchmark
+            in millions (Table I metadata; the synthetic trace length is
+            set by the experiment configuration, not by this value).
+        profile: synthetic workload profile standing in for the binary.
+    """
+
+    suite: str
+    program: str
+    input: str
+    icount_millions: int
+    profile: WorkloadProfile
+
+    @property
+    def full_name(self) -> str:
+        """Canonical identifier: ``suite/program/input``."""
+        return f"{self.suite}/{self.program}/{self.input}"
+
+    @property
+    def short_name(self) -> str:
+        """Compact label: ``program.input`` (used on plots)."""
+        return f"{self.program}.{self.input}"
+
+    def __str__(self) -> str:
+        return self.full_name
+
+
+@dataclass(frozen=True)
+class Suite:
+    """A named collection of benchmarks."""
+
+    name: str
+    description: str
+    benchmarks: "tuple[Benchmark, ...]"
+
+    def __len__(self) -> int:
+        return len(self.benchmarks)
+
+    def programs(self) -> List[str]:
+        """Distinct program names, in declaration order."""
+        seen: List[str] = []
+        for benchmark in self.benchmarks:
+            if benchmark.program not in seen:
+                seen.append(benchmark.program)
+        return seen

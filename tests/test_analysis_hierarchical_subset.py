@@ -1,0 +1,157 @@
+"""Tests for hierarchical clustering and benchmark subsetting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis import (
+    LINKAGE_METHODS,
+    format_subset,
+    hierarchical_cluster,
+    kmeans,
+    select_representatives,
+)
+
+
+def make_blobs(k=3, per_cluster=8, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-10.0, 10.0, size=(k, 3))
+    points = np.vstack(
+        [c + rng.normal(scale=0.05, size=(per_cluster, 3)) for c in centers]
+    )
+    names = [f"blob{i // per_cluster}-{i % per_cluster}"
+             for i in range(k * per_cluster)]
+    labels = np.repeat(np.arange(k), per_cluster)
+    return points, names, labels
+
+
+class TestHierarchical:
+    def test_cut_recovers_blobs(self):
+        points, names, labels = make_blobs()
+        result = hierarchical_cluster(points, names)
+        groups = result.cut(3)
+        assert len(groups) == 3
+        for members in groups.values():
+            prefixes = {name.split("-")[0] for name in members}
+            assert len(prefixes) == 1
+
+    def test_all_linkage_methods_run(self):
+        points, names, _ = make_blobs()
+        for method in LINKAGE_METHODS:
+            result = hierarchical_cluster(points, names, method=method)
+            assert result.linkage_matrix.shape == (len(points) - 1, 4)
+
+    def test_unknown_method_rejected(self):
+        points, names, _ = make_blobs()
+        with pytest.raises(AnalysisError):
+            hierarchical_cluster(points, names, method="centroid-ish")
+
+    def test_name_count_checked(self):
+        points, _, _ = make_blobs()
+        with pytest.raises(AnalysisError):
+            hierarchical_cluster(points, ["a"])
+
+    def test_cut_bounds(self):
+        points, names, _ = make_blobs()
+        result = hierarchical_cluster(points, names)
+        with pytest.raises(AnalysisError):
+            result.cut(0)
+        with pytest.raises(AnalysisError):
+            result.cut(len(points) + 1)
+
+    def test_cut_one_is_everything(self):
+        points, names, _ = make_blobs()
+        result = hierarchical_cluster(points, names)
+        groups = result.cut(1)
+        assert sorted(groups[0]) == sorted(names)
+
+    def test_merge_heights_ascending(self):
+        points, names, _ = make_blobs()
+        result = hierarchical_cluster(points, names)
+        heights = result.merge_heights()
+        assert (np.diff(heights) >= -1e-9).all()
+
+    def test_dendrogram_renders_all_names(self):
+        points, names, _ = make_blobs(k=2, per_cluster=4)
+        result = hierarchical_cluster(points, names)
+        art = result.format_dendrogram()
+        for name in names:
+            assert name in art
+
+    def test_blob_structure_visible_in_dendrogram(self):
+        # Within-blob merges happen at low heights, cross-blob at high.
+        points, names, labels = make_blobs()
+        result = hierarchical_cluster(points, names)
+        heights = result.merge_heights()
+        low = heights[: len(points) - 3]   # All but the last k-1 merges.
+        high = heights[-2:]                # Cross-blob merges.
+        assert high.min() > low.max() * 5
+
+
+class TestSubsetting:
+    def test_one_representative_per_cluster(self):
+        points, names, labels = make_blobs(k=3)
+        clustering = kmeans(points, 3, seed=1)
+        subset = select_representatives(points, clustering)
+        assert subset.size == 3
+        rep_clusters = {
+            int(clustering.assignments[r]) for r in subset.representatives
+        }
+        assert len(rep_clusters) == 3
+
+    def test_representative_is_nearest_to_centroid(self):
+        points, names, labels = make_blobs(k=2, per_cluster=10, seed=3)
+        clustering = kmeans(points, 2, seed=1)
+        subset = select_representatives(points, clustering)
+        for representative in subset.representatives:
+            cluster = int(clustering.assignments[representative])
+            members = np.flatnonzero(clustering.assignments == cluster)
+            center = clustering.centers[cluster]
+            distances = np.linalg.norm(points[members] - center, axis=1)
+            best = members[int(np.argmin(distances))]
+            assert representative == best
+
+    def test_weights_sum_to_one(self):
+        points, _, _ = make_blobs(k=3)
+        clustering = kmeans(points, 3, seed=2)
+        subset = select_representatives(points, clustering)
+        assert subset.weights.sum() == pytest.approx(1.0)
+
+    def test_tight_clusters_have_small_distances(self):
+        points, _, _ = make_blobs(k=3)
+        clustering = kmeans(points, 3, seed=1)
+        subset = select_representatives(points, clustering)
+        assert subset.max_distance < 1.0  # Blob spread is 0.05.
+
+    def test_weighted_estimate_exact_for_constant_metric(self):
+        points, _, _ = make_blobs(k=3)
+        clustering = kmeans(points, 3, seed=1)
+        subset = select_representatives(points, clustering)
+        metrics = np.full((len(points), 2), 7.0)
+        estimate = subset.weighted_estimate(metrics)
+        assert np.allclose(estimate, 7.0)
+        assert np.allclose(subset.estimation_error(metrics), 0.0)
+
+    def test_estimation_error_detects_bias(self):
+        points, _, _ = make_blobs(k=2, per_cluster=10, seed=4)
+        clustering = kmeans(points, 2, seed=1)
+        subset = select_representatives(points, clustering)
+        rng = np.random.default_rng(5)
+        metrics = rng.uniform(1.0, 2.0, size=(len(points), 1))
+        errors = subset.estimation_error(metrics)
+        assert (errors >= 0.0).all()
+
+    def test_metrics_shape_checked(self):
+        points, _, _ = make_blobs()
+        clustering = kmeans(points, 2, seed=1)
+        subset = select_representatives(points, clustering)
+        with pytest.raises(AnalysisError):
+            subset.weighted_estimate(np.ones((3, 2)))
+
+    def test_format_lists_representatives(self):
+        points, names, _ = make_blobs(k=2, per_cluster=5)
+        clustering = kmeans(points, 2, seed=1)
+        subset = select_representatives(points, clustering)
+        text = format_subset(subset, names)
+        for representative in subset.representatives:
+            assert names[representative] in text

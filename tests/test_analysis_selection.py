@@ -1,0 +1,146 @@
+"""Tests for correlation elimination and the genetic selector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis import (
+    GeneticSelector,
+    correlation_elimination_order,
+    pairwise_distances,
+    pearson,
+    retain_by_correlation,
+    zscore,
+)
+
+
+def make_correlated_data(n=40, seed=0):
+    """Six columns: 0-2 nearly identical, 3-5 independent."""
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=n)
+    columns = [
+        base,
+        base + rng.normal(scale=0.01, size=n),
+        base + rng.normal(scale=0.01, size=n),
+        rng.normal(size=n),
+        rng.normal(size=n),
+        rng.normal(size=n),
+    ]
+    return zscore(np.column_stack(columns))
+
+
+class TestCorrelationElimination:
+    def test_order_covers_all_columns(self):
+        data = make_correlated_data()
+        order = correlation_elimination_order(data)
+        assert sorted(order) == list(range(6))
+
+    def test_redundant_columns_removed_first(self):
+        data = make_correlated_data()
+        order = correlation_elimination_order(data)
+        # Two of the three near-duplicates must go first.
+        assert set(order[:2]) <= {0, 1, 2}
+
+    def test_retain_keeps_independents(self):
+        data = make_correlated_data()
+        retained = retain_by_correlation(data, keep=4)
+        assert {3, 4, 5} <= set(retained)
+        assert len(set(retained) & {0, 1, 2}) == 1
+
+    def test_retain_bounds(self):
+        data = make_correlated_data()
+        with pytest.raises(AnalysisError):
+            retain_by_correlation(data, keep=0)
+        with pytest.raises(AnalysisError):
+            retain_by_correlation(data, keep=7)
+
+    def test_max_ranking_variant(self):
+        data = make_correlated_data()
+        order = correlation_elimination_order(data, ranking="max")
+        assert sorted(order) == list(range(6))
+        assert set(order[:2]) <= {0, 1, 2}
+
+    def test_unknown_ranking_rejected(self):
+        with pytest.raises(AnalysisError):
+            correlation_elimination_order(make_correlated_data(),
+                                          ranking="median")
+
+    def test_reduced_space_keeps_distance_structure(self):
+        data = make_correlated_data()
+        full = pairwise_distances(data)
+        retained = retain_by_correlation(data, keep=4)
+        reduced = pairwise_distances(data[:, retained])
+        assert pearson(full, reduced) > 0.85
+
+
+class TestGeneticSelector:
+    def test_deterministic_given_seed(self):
+        data = make_correlated_data()
+        a = GeneticSelector(population=16, generations=10, seed=7).select(data)
+        b = GeneticSelector(population=16, generations=10, seed=7).select(data)
+        assert a.selected == b.selected
+        assert a.fitness == b.fitness
+
+    def test_selects_nonempty_subset(self):
+        data = make_correlated_data()
+        result = GeneticSelector(population=16, generations=10).select(data)
+        assert 1 <= result.n_selected <= 6
+        assert all(0 <= i < 6 for i in result.selected)
+
+    def test_avoids_redundant_duplicates(self):
+        data = make_correlated_data()
+        result = GeneticSelector(
+            population=32, generations=25, seed=1
+        ).select(data)
+        # At most one of the three near-identical columns is worth
+        # keeping under the size penalty.
+        assert len(set(result.selected) & {0, 1, 2}) <= 1
+
+    def test_rho_matches_recomputation(self):
+        data = make_correlated_data()
+        result = GeneticSelector(population=16, generations=10).select(data)
+        full = pairwise_distances(data)
+        subset = pairwise_distances(data[:, list(result.selected)])
+        assert result.rho == pytest.approx(pearson(full, subset))
+
+    def test_fitness_formula(self):
+        data = make_correlated_data()
+        result = GeneticSelector(population=16, generations=10).select(data)
+        expected = result.rho * (1.0 - result.n_selected / 6)
+        assert result.fitness == pytest.approx(expected)
+
+    def test_size_penalty_off_prefers_more_features(self):
+        data = make_correlated_data()
+        with_penalty = GeneticSelector(
+            population=24, generations=15, seed=3
+        ).select(data)
+        without_penalty = GeneticSelector(
+            population=24, generations=15, seed=3, size_penalty=False
+        ).select(data)
+        assert without_penalty.n_selected >= with_penalty.n_selected
+        assert without_penalty.fitness == pytest.approx(without_penalty.rho)
+
+    def test_history_is_monotone(self):
+        data = make_correlated_data()
+        result = GeneticSelector(population=16, generations=12).select(data)
+        history = np.array(result.history)
+        assert (np.diff(history) >= -1e-12).all()
+
+    def test_patience_stops_early(self):
+        data = make_correlated_data()
+        result = GeneticSelector(
+            population=16, generations=500, patience=3, seed=2
+        ).select(data)
+        assert result.generations_run < 500
+
+    def test_parameter_validation(self):
+        with pytest.raises(AnalysisError):
+            GeneticSelector(population=1)
+        with pytest.raises(AnalysisError):
+            GeneticSelector(generations=0)
+        with pytest.raises(AnalysisError):
+            GeneticSelector(population=4, elite=4)
+
+    def test_needs_enough_rows(self):
+        with pytest.raises(AnalysisError):
+            GeneticSelector().select(np.ones((2, 4)))

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for command in ("list", "dataset", "fig1", "table3", "fig2-3",
+                        "fig4", "fig5", "table4", "fig6", "all"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_benchmark_argument(self):
+        args = build_parser().parse_args(["characterize", "mcf"])
+        assert args.benchmark == "mcf"
+
+    def test_trace_length_flag(self):
+        args = build_parser().parse_args(
+            ["--trace-length", "1234", "list"]
+        )
+        assert args.trace_length == 1234
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "122 benchmarks" in out
+        assert "bzip2" in out
+
+    def test_characterize(self, capsys):
+        code = main(["--trace-length", "3000", "characterize", "mcf"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[instruction mix]" in out
+        assert "ppm_PAs" in out
+
+    def test_hpc(self, capsys):
+        code = main(["--trace-length", "3000", "hpc", "adpcm/rawcaudio"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ipc_ev56" in out
+
+    def test_unknown_benchmark_is_error(self, capsys):
+        code = main(["--trace-length", "3000", "characterize", "nonesuch"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,81 @@
+"""Tests for the extension CLI commands.
+
+These commands build a full dataset, which is expensive; the tests
+point the cache at a temp directory and use a tiny trace length so the
+122-benchmark build stays fast, then share it across commands.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def cache_env(tmp_path_factory):
+    import os
+
+    cache_dir = tmp_path_factory.mktemp("cli-cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield cache_dir
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
+ARGS = ["--trace-length", "2000"]
+
+
+class TestParserExtensions:
+    def test_export_requires_space(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export"])
+
+    def test_export_space_choices(self):
+        args = build_parser().parse_args(["export", "mica"])
+        assert args.space == "mica"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export", "nonsense"])
+
+    def test_dendro_method_choices(self):
+        args = build_parser().parse_args(["dendro", "--method", "average"])
+        assert args.method == "average"
+
+    def test_new_commands_parse(self):
+        for command in ("subset", "sensitivity"):
+            assert build_parser().parse_args([command]).command == command
+
+
+@pytest.mark.slow
+class TestExtensionCommands:
+    def test_export_csv(self, cache_env, capsys):
+        assert main(ARGS + ["export", "mica"]) == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[0]
+        assert header.startswith("benchmark,")
+        assert len(out.splitlines()) == 123  # Header + 122 rows.
+
+    def test_export_json(self, cache_env, capsys):
+        assert main(ARGS + ["export", "hpc", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["benchmarks"]) == 122
+        assert payload["metadata"]["space"] == "hpc"
+
+    def test_sensitivity(self, cache_env, capsys):
+        assert main(ARGS + ["sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "separation" in out
+        assert "bzip2" in out
+
+    def test_subset(self, cache_env, capsys):
+        assert main(ARGS + ["subset"]) == 0
+        out = capsys.readouterr().out
+        assert "representative subset" in out
+
+    def test_dendro(self, cache_env, capsys):
+        assert main(ARGS + ["dendro"]) == 0
+        out = capsys.readouterr().out
+        assert "spec2000/mcf/ref" in out

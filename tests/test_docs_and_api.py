@@ -1,0 +1,104 @@
+"""Meta tests: public-API shape and documentation coverage.
+
+Every public item (exported through a package's ``__all__``) must carry
+a docstring, and every ``__all__`` entry must resolve — guarding the
+"doc comments on every public item" deliverable mechanically.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.isa",
+    "repro.trace",
+    "repro.synth",
+    "repro.workloads",
+    "repro.mica",
+    "repro.uarch",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.phases",
+    "repro.reporting",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+class TestPublicApi:
+    def test_module_docstring(self, package_name):
+        module = importlib.import_module(package_name)
+        assert module.__doc__ and module.__doc__.strip()
+
+    def test_all_entries_resolve(self, package_name):
+        module = importlib.import_module(package_name)
+        exported = getattr(module, "__all__", [])
+        for name in exported:
+            assert hasattr(module, name), f"{package_name}.{name} missing"
+
+    def test_public_items_documented(self, package_name):
+        module = importlib.import_module(package_name)
+        exported = getattr(module, "__all__", [])
+        undocumented = []
+        for name in exported:
+            item = getattr(module, name)
+            if inspect.isfunction(item) or inspect.isclass(item):
+                if not (item.__doc__ and item.__doc__.strip()):
+                    undocumented.append(name)
+        assert not undocumented, (
+            f"{package_name}: missing docstrings on {undocumented}"
+        )
+
+    def test_public_classes_document_public_methods(self, package_name):
+        module = importlib.import_module(package_name)
+        exported = getattr(module, "__all__", [])
+        undocumented = []
+        for name in exported:
+            item = getattr(module, name)
+            if not inspect.isclass(item):
+                continue
+            for method_name, method in inspect.getmembers(
+                item, inspect.isfunction
+            ):
+                if method_name.startswith("_"):
+                    continue
+                if method.__qualname__.split(".")[0] != item.__name__:
+                    continue  # Inherited (e.g. from dataclasses).
+                if method.__doc__ and method.__doc__.strip():
+                    continue
+                # An override of a documented base method inherits its
+                # contract (and its documentation).
+                base_documented = any(
+                    getattr(base, method_name, None) is not None
+                    and getattr(base, method_name).__doc__
+                    for base in item.__mro__[1:]
+                )
+                if not base_documented:
+                    undocumented.append(f"{name}.{method_name}")
+        assert not undocumented, (
+            f"{package_name}: missing method docstrings on {undocumented}"
+        )
+
+
+class TestVersioning:
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestGzipTraces:
+    def test_gz_round_trip(self, tmp_path, small_trace):
+        import numpy as np
+
+        from repro.trace import read_trace, write_trace
+
+        plain = tmp_path / "t.mtf"
+        compressed = tmp_path / "t.mtf.gz"
+        write_trace(small_trace, plain)
+        write_trace(small_trace, compressed)
+        assert np.array_equal(
+            read_trace(compressed).data, small_trace.data
+        )
+        assert compressed.stat().st_size < plain.stat().st_size

@@ -1,0 +1,82 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are a deliverable; these tests execute them as subprocesses
+with small trace lengths and an isolated dataset cache so they stay
+fast and leave no state behind.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(tmp_path, script, args=()):
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=420,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_all_examples_present(self):
+        scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+        assert scripts == [
+            "compare_emerging_suite.py",
+            "external_trace.py",
+            "phase_analysis.py",
+            "pitfall_case_study.py",
+            "quickstart.py",
+            "select_key_characteristics.py",
+        ]
+
+    def test_quickstart(self, tmp_path):
+        out = run_example(tmp_path, "quickstart.py", ["mcf", "3000"])
+        assert "characteristics of spec2000/mcf/ref" in out
+        assert "ipc_ev56" in out
+
+    def test_external_trace(self, tmp_path):
+        out = run_example(tmp_path, "external_trace.py")
+        assert "all invariants hold" in out
+        assert "identical" in out
+
+    def test_phase_analysis(self, tmp_path):
+        out = run_example(
+            tmp_path, "phase_analysis.py", ["gcc/166", "30000"]
+        )
+        assert "phase timeline" in out
+        assert "simulation points" in out
+
+    @pytest.mark.slow
+    def test_pitfall_case_study(self, tmp_path):
+        out = run_example(tmp_path, "pitfall_case_study.py", ["2000"])
+        assert "correlation coefficient" in out
+        assert "Table III" in out
+        assert "Figures 2-3 case study" in out
+
+    @pytest.mark.slow
+    def test_select_key_characteristics(self, tmp_path):
+        out = run_example(
+            tmp_path, "select_key_characteristics.py", ["2000"]
+        )
+        assert "Table IV" in out
+        assert "method comparison" in out
+
+    @pytest.mark.slow
+    def test_compare_emerging_suite(self, tmp_path):
+        out = run_example(
+            tmp_path, "compare_emerging_suite.py", ["2000"]
+        )
+        assert "nearest existing benchmarks" in out
+        assert "emerging/ml/gemm" in out

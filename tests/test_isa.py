@@ -1,0 +1,152 @@
+"""Tests for the repro.isa package."""
+
+import numpy as np
+import pytest
+
+from repro.isa import (
+    InstructionRecord,
+    NO_REG,
+    OpClass,
+    TRACE_DTYPE,
+    is_valid_register,
+    is_zero_register,
+    record_from_row,
+    register_name,
+)
+from repro.isa.registers import (
+    FP_ZERO_REG,
+    INT_ZERO_REG,
+    NUM_INT_REGS,
+    TOTAL_REGS,
+)
+
+
+class TestOpClass:
+    def test_values_are_stable(self):
+        # On-disk format depends on these; never renumber.
+        assert int(OpClass.LOAD) == 0
+        assert int(OpClass.STORE) == 1
+        assert int(OpClass.BRANCH) == 2
+        assert int(OpClass.INT_ALU) == 3
+        assert int(OpClass.INT_MUL) == 4
+        assert int(OpClass.FP) == 5
+        assert int(OpClass.NOP) == 6
+
+    def test_memory_property(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        assert not OpClass.BRANCH.is_memory
+        assert not OpClass.INT_ALU.is_memory
+
+    def test_control_property(self):
+        assert OpClass.BRANCH.is_control
+        assert not OpClass.LOAD.is_control
+
+    def test_compute_property(self):
+        for op in (OpClass.INT_ALU, OpClass.INT_MUL, OpClass.FP):
+            assert op.is_compute
+        for op in (OpClass.LOAD, OpClass.STORE, OpClass.BRANCH, OpClass.NOP):
+            assert not op.is_compute
+
+    def test_short_name_round_trip(self):
+        for op in OpClass:
+            assert OpClass.from_short_name(op.short_name) is op
+
+    def test_unknown_short_name_raises(self):
+        with pytest.raises(KeyError):
+            OpClass.from_short_name("xyz")
+
+
+class TestRegisters:
+    def test_counts(self):
+        assert TOTAL_REGS == 64
+        assert NUM_INT_REGS == 32
+
+    def test_zero_registers(self):
+        assert is_zero_register(INT_ZERO_REG)
+        assert is_zero_register(FP_ZERO_REG)
+        assert not is_zero_register(0)
+        assert not is_zero_register(30)
+
+    def test_register_names(self):
+        assert register_name(0) == "$0"
+        assert register_name(31) == "$31"
+        assert register_name(32) == "$f0"
+        assert register_name(63) == "$f31"
+        assert register_name(NO_REG) == "-"
+
+    def test_register_name_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            register_name(64)
+
+    def test_validity(self):
+        assert is_valid_register(0)
+        assert is_valid_register(63)
+        assert is_valid_register(NO_REG)
+        assert not is_valid_register(64)
+        assert not is_valid_register(-1)
+
+
+class TestInstructionRecord:
+    def test_load_record(self):
+        record = InstructionRecord(
+            pc=0x1000, opclass=OpClass.LOAD, src1=2, dst=3, mem_addr=0x2000
+        )
+        assert record.source_registers == (2,)
+        assert record.has_destination
+
+    def test_memory_requires_address(self):
+        with pytest.raises(ValueError):
+            InstructionRecord(pc=0x1000, opclass=OpClass.LOAD, dst=1)
+
+    def test_non_memory_rejects_address(self):
+        with pytest.raises(ValueError):
+            InstructionRecord(
+                pc=0x1000, opclass=OpClass.INT_ALU, dst=1, mem_addr=0x2000
+            )
+
+    def test_only_branches_taken(self):
+        with pytest.raises(ValueError):
+            InstructionRecord(pc=0x1000, opclass=OpClass.INT_ALU, taken=True)
+
+    def test_invalid_register_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionRecord(pc=0x1000, opclass=OpClass.INT_ALU, dst=100)
+
+    def test_row_round_trip(self):
+        record = InstructionRecord(
+            pc=0x4000,
+            opclass=OpClass.BRANCH,
+            src1=5,
+            taken=True,
+            target=0x5000,
+        )
+        row = np.array([record.to_row()], dtype=TRACE_DTYPE)[0]
+        assert record_from_row(row) == record
+
+    def test_str_contains_fields(self):
+        record = InstructionRecord(
+            pc=0x1000, opclass=OpClass.LOAD, src1=2, dst=3, mem_addr=0x2000
+        )
+        text = str(record)
+        assert "ld" in text
+        assert "$3" in text
+        assert "0x2000" in text
+
+    def test_two_source_registers(self):
+        record = InstructionRecord(
+            pc=0x1000, opclass=OpClass.INT_ALU, src1=1, src2=2, dst=3
+        )
+        assert record.source_registers == (1, 2)
+
+
+class TestTraceDtype:
+    def test_field_order(self):
+        assert TRACE_DTYPE.names == (
+            "pc", "opclass", "src1", "src2", "dst",
+            "mem_addr", "taken", "target",
+        )
+
+    def test_itemsize_is_compact(self):
+        # 8 + 1 + 1 + 1 + 1 + 8 + 1 + 8 = 29 bytes unaligned.
+        assert TRACE_DTYPE.itemsize == 29

@@ -1,0 +1,134 @@
+"""Tests for the Table II schema and the full characterization driver."""
+
+import numpy as np
+import pytest
+
+from repro.config import ReproConfig
+from repro.errors import CharacterizationError
+from repro.trace import Trace
+from repro.mica import (
+    CHARACTERISTICS,
+    CharacteristicVector,
+    NUM_CHARACTERISTICS,
+    category_slices,
+    characteristic_by_key,
+    characteristic_names,
+    characterize,
+)
+
+
+class TestSchema:
+    def test_exactly_47(self):
+        assert NUM_CHARACTERISTICS == 47
+
+    def test_indices_match_paper_order(self):
+        assert [c.index for c in CHARACTERISTICS] == list(range(1, 48))
+
+    def test_categories_match_table2_counts(self):
+        slices = category_slices()
+        sizes = {
+            category: s.stop - s.start for category, s in slices.items()
+        }
+        assert sizes == {
+            "instruction mix": 6,
+            "ILP": 4,
+            "register traffic": 9,
+            "working set size": 4,
+            "data stream strides": 20,
+            "branch predictability": 4,
+        }
+
+    def test_keys_unique(self):
+        keys = characteristic_names()
+        assert len(keys) == len(set(keys)) == 47
+
+    def test_lookup_by_key(self):
+        characteristic = characteristic_by_key("ilp_w256")
+        assert characteristic.index == 10
+        assert characteristic.category == "ILP"
+
+    def test_paper_landmarks(self):
+        # Spot-check the Table II numbering used by Table IV.
+        assert characteristic_by_key("mix_loads").index == 1
+        assert characteristic_by_key("reg_input_operands").index == 11
+        assert characteristic_by_key("reg_dep_le8").index == 16
+        assert characteristic_by_key("ws_data_pages").index == 21
+        assert characteristic_by_key("stride_local_load_le64").index == 26
+        assert characteristic_by_key("stride_global_load_le512").index == 32
+        assert characteristic_by_key("stride_local_store_le4096").index == 38
+        assert characteristic_by_key("ppm_GAg").index == 44
+        assert characteristic_by_key("ppm_PAs").index == 47
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            characteristic_by_key("mix_teleport")
+
+
+class TestCharacterize:
+    def test_full_vector_shape(self, small_trace):
+        vector = characterize(small_trace)
+        assert vector.values.shape == (47,)
+        assert np.isfinite(vector.values).all()
+
+    def test_deterministic(self, small_trace):
+        a = characterize(small_trace).values
+        b = characterize(small_trace).values
+        assert np.array_equal(a, b)
+
+    def test_sections_match_analyzers(self, small_trace, test_config):
+        from repro.mica import (
+            ilp_ipc,
+            instruction_mix,
+            ppm_predictabilities,
+            register_traffic,
+            stride_profile,
+            working_set,
+        )
+
+        vector = characterize(small_trace, test_config).values
+        assert np.allclose(vector[0:6], instruction_mix(small_trace))
+        assert np.allclose(
+            vector[6:10],
+            ilp_ipc(small_trace, test_config.ilp_window_sizes),
+        )
+        assert np.allclose(
+            vector[10:19],
+            register_traffic(small_trace, test_config.reg_dep_thresholds),
+        )
+        assert np.allclose(vector[19:23], working_set(small_trace))
+        assert np.allclose(vector[23:43], stride_profile(small_trace))
+        assert np.allclose(
+            vector[43:47],
+            ppm_predictabilities(small_trace, test_config.ppm_max_order),
+        )
+
+    def test_getitem_by_key(self, small_trace):
+        vector = characterize(small_trace)
+        assert vector["mix_loads"] == vector.values[0]
+        assert vector["ppm_PAs"] == vector.values[46]
+
+    def test_as_dict_ordered(self, small_trace):
+        vector = characterize(small_trace)
+        keys = list(vector.as_dict().keys())
+        assert keys == characteristic_names()
+
+    def test_format_contains_categories(self, small_trace):
+        text = characterize(small_trace).format()
+        assert "[instruction mix]" in text
+        assert "[branch predictability]" in text
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(CharacterizationError):
+            CharacteristicVector(name="x", values=np.zeros(10))
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(CharacterizationError):
+            characterize(Trace.empty())
+
+    def test_distinct_profiles_distinct_vectors(self, serial_profile,
+                                                fp_heavy_profile):
+        from repro.synth import generate_trace
+
+        a = characterize(generate_trace(serial_profile, 5_000)).values
+        b = characterize(generate_trace(fp_heavy_profile, 5_000)).values
+        assert not np.allclose(a, b)

@@ -1,0 +1,147 @@
+"""Tests for the PPM branch-predictability analyzers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CharacterizationError
+from repro.trace import Trace, TraceBuilder
+from repro.mica import PPMPredictor, ppm_predictabilities
+
+
+def branch_trace(pcs_and_outcomes):
+    builder = TraceBuilder()
+    for index, (pc, taken) in enumerate(pcs_and_outcomes):
+        builder.branch(pc, cond_reg=1, taken=taken, target=0x9000)
+    return builder.build()
+
+
+class TestPPMPredictor:
+    def test_constant_branch_learned(self):
+        predictor = PPMPredictor(max_order=4)
+        for _ in range(100):
+            predictor.predict_and_update(0x1000, True)
+        assert predictor.accuracy > 0.95
+
+    def test_alternating_pattern_learned(self):
+        predictor = PPMPredictor(max_order=4)
+        for index in range(400):
+            predictor.predict_and_update(0x1000, index % 2 == 0)
+        assert predictor.accuracy > 0.9
+
+    def test_period_four_pattern_learned(self):
+        predictor = PPMPredictor(max_order=4)
+        pattern = [True, True, False, True]
+        for index in range(800):
+            predictor.predict_and_update(0x1000, pattern[index % 4])
+        assert predictor.accuracy > 0.85
+
+    def test_random_branch_near_chance(self):
+        rng = np.random.default_rng(3)
+        predictor = PPMPredictor(max_order=4)
+        for outcome in rng.random(3000) < 0.5:
+            predictor.predict_and_update(0x1000, bool(outcome))
+        assert 0.4 < predictor.accuracy < 0.6
+
+    def test_biased_branch_tracks_bias(self):
+        rng = np.random.default_rng(4)
+        predictor = PPMPredictor(max_order=2)
+        outcomes = rng.random(3000) < 0.9
+        for outcome in outcomes:
+            predictor.predict_and_update(0x1000, bool(outcome))
+        assert predictor.accuracy > 0.85
+
+    def test_order_must_be_positive(self):
+        with pytest.raises(CharacterizationError):
+            PPMPredictor(max_order=0)
+
+    def test_accuracy_zero_when_unused(self):
+        assert PPMPredictor().accuracy == 0.0
+
+    def test_shared_table_aliases_branches(self):
+        """With one shared table and global history, two branches with
+        opposite behavior interfere; per-address tables separate them."""
+        shared = PPMPredictor(max_order=1, global_history=False,
+                              shared_table=True)
+        separate = PPMPredictor(max_order=1, global_history=False,
+                                shared_table=False)
+        for _ in range(300):
+            for predictor in (shared, separate):
+                predictor.predict_and_update(0x1000, True)
+                predictor.predict_and_update(0x2000, False)
+        assert separate.accuracy > shared.accuracy
+
+    def test_global_history_captures_correlation(self):
+        """A branch perfectly correlated with the previous branch's
+        outcome is predictable with global history, not with local."""
+        rng = np.random.default_rng(5)
+        with_global = PPMPredictor(max_order=4, global_history=True)
+        with_local = PPMPredictor(max_order=4, global_history=False)
+        correct_global = 0
+        correct_local = 0
+        n = 2000
+        for _ in range(n):
+            first = bool(rng.random() < 0.5)
+            # Branch A: random; branch B: copies branch A.
+            with_global.predict_and_update(0x1000, first)
+            with_local.predict_and_update(0x1000, first)
+            correct_global += with_global.predict_and_update(0x2000, first)
+            correct_local += with_local.predict_and_update(0x2000, first)
+        assert correct_global / n > 0.9
+        assert correct_local / n < 0.7
+
+
+class TestPpmPredictabilities:
+    def test_returns_four_accuracies(self, small_trace):
+        values = ppm_predictabilities(small_trace)
+        assert values.shape == (4,)
+        assert ((values >= 0.0) & (values <= 1.0)).all()
+
+    def test_no_branches_gives_zeros(self):
+        builder = TraceBuilder()
+        builder.alu(0x1000, dst=1)
+        values = ppm_predictabilities(builder.build())
+        assert (values == 0.0).all()
+
+    def test_loop_branches_highly_predictable(self):
+        # 20-iteration loops: taken 19x then not-taken, repeatedly.
+        sequence = []
+        for _ in range(40):
+            sequence.extend([(0x1000, True)] * 19)
+            sequence.append((0x1000, False))
+        values = ppm_predictabilities(branch_trace(sequence))
+        assert values.max() > 0.9
+
+    def test_predictability_knob(self):
+        from repro.synth import (
+            BranchSpec,
+            CodeSpec,
+            WorkloadProfile,
+            generate_trace,
+        )
+
+        # Short loops + many diamonds so data-dependent branches
+        # dominate the branch stream; then the model knob decides.
+        code = CodeSpec(loop_iter_mean=3.0, diamond_rate=0.7, loop_blocks=4)
+        predictable = generate_trace(
+            WorkloadProfile(
+                name="t/br/easy",
+                code=code,
+                branches=BranchSpec(pattern_fraction=0.95, taken_bias=0.05),
+            ),
+            10_000,
+        )
+        unpredictable = generate_trace(
+            WorkloadProfile(
+                name="t/br/hard",
+                code=code,
+                branches=BranchSpec(pattern_fraction=0.0, taken_bias=0.5),
+            ),
+            10_000,
+        )
+        easy = ppm_predictabilities(predictable)
+        hard = ppm_predictabilities(unpredictable)
+        assert easy.mean() > hard.mean() + 0.03
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(CharacterizationError):
+            ppm_predictabilities(Trace.empty())

@@ -1,0 +1,143 @@
+"""Tests for the phase-analysis package."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.phases import (
+    basic_block_vectors,
+    detect_phases,
+    interval_mix,
+    phase_homogeneity,
+    simulation_points,
+    split_intervals,
+)
+from repro.trace import Trace, TraceBuilder
+
+
+def two_phase_trace(phase_length=4000, interval_pc_a=0x1000,
+                    interval_pc_b=0x9000):
+    """A trace alternating between two code regions with distinct
+    behavior: region A is ALU-only, region B is load-heavy."""
+    builder = TraceBuilder(name="phased")
+    for phase in range(4):
+        base = interval_pc_a if phase % 2 == 0 else interval_pc_b
+        for index in range(phase_length):
+            pc = base + 4 * (index % 50)
+            if phase % 2 == 0:
+                builder.alu(pc, dst=1 + index % 8)
+            elif index % 2 == 0:
+                builder.load(pc, dst=1, addr_reg=2,
+                             mem_addr=0x100000 + 8 * (index % 4096))
+            else:
+                builder.alu(pc, dst=1 + index % 8)
+    return builder.build()
+
+
+class TestIntervals:
+    def test_split_counts(self, small_trace):
+        intervals = split_intervals(small_trace, 1000)
+        assert len(intervals) == 5
+        assert all(len(chunk) == 1000 for chunk in intervals)
+
+    def test_split_too_short_rejected(self, small_trace):
+        with pytest.raises(AnalysisError):
+            split_intervals(small_trace, len(small_trace))
+
+    def test_split_bad_interval(self, small_trace):
+        with pytest.raises(AnalysisError):
+            split_intervals(small_trace, 0)
+
+    def test_bbv_rows_sum_to_one(self, small_trace):
+        vectors = basic_block_vectors(small_trace, 1000)
+        assert np.allclose(vectors.sum(axis=1), 1.0)
+
+    def test_bbv_separates_code_regions(self):
+        trace = two_phase_trace()
+        vectors = basic_block_vectors(trace, 4000)
+        # Intervals 0/2 (region A) identical support; 1/3 (region B).
+        support_a = vectors[0] > 0
+        support_b = vectors[1] > 0
+        assert not (support_a & support_b).any()
+        assert np.allclose(vectors[0], vectors[2])
+
+    def test_bbv_region_bytes_validated(self, small_trace):
+        with pytest.raises(AnalysisError):
+            basic_block_vectors(small_trace, 1000, region_bytes=100)
+
+    def test_interval_mix_matches_global_mix(self, small_trace):
+        from repro.mica import instruction_mix
+
+        vectors = interval_mix(small_trace, 1000)
+        overall = instruction_mix(small_trace)
+        assert np.allclose(vectors.mean(axis=0), overall, atol=0.02)
+
+    def test_interval_mix_row_sums(self, small_trace):
+        vectors = interval_mix(small_trace, 1000)
+        assert (vectors.sum(axis=1) <= 1.0 + 1e-9).all()
+
+
+class TestPhaseDetection:
+    def test_two_phases_detected(self):
+        trace = two_phase_trace()
+        result = detect_phases(trace, interval=4000, seed=1)
+        assert result.k == 2
+        # Alternating phase labels.
+        assert result.assignments[0] == result.assignments[2]
+        assert result.assignments[1] == result.assignments[3]
+        assert result.assignments[0] != result.assignments[1]
+
+    def test_uniform_trace_one_phase(self):
+        builder = TraceBuilder()
+        for index in range(8000):
+            builder.alu(0x1000 + 4 * (index % 32), dst=1 + index % 4)
+        result = detect_phases(builder.build(), interval=1000, seed=1)
+        assert result.k == 1
+
+    def test_simulation_points_one_per_phase(self):
+        trace = two_phase_trace()
+        result = detect_phases(trace, interval=4000, seed=1)
+        points = simulation_points(result)
+        assert len(points) == result.k
+        labels = {int(result.assignments[p]) for p in points}
+        assert len(labels) == result.k
+
+    def test_timeline_renders(self):
+        trace = two_phase_trace()
+        result = detect_phases(trace, interval=4000, seed=1)
+        timeline = result.format_timeline()
+        assert len(timeline.replace("\n", "")) == 4
+
+    def test_phase_sizes_sum(self):
+        trace = two_phase_trace()
+        result = detect_phases(trace, interval=2000, seed=1)
+        assert result.phase_sizes().sum() == len(result.assignments)
+
+
+class TestPhaseHomogeneity:
+    def test_within_phase_variation_smaller(self):
+        trace = two_phase_trace()
+        result = detect_phases(trace, interval=4000, seed=1)
+
+        def load_fraction(chunk: Trace) -> float:
+            return float(chunk.load_mask.mean())
+
+        within, overall = phase_homogeneity(trace, result, load_fraction)
+        assert within < overall * 0.5
+
+    def test_mismatched_trace_rejected(self, small_trace):
+        trace = two_phase_trace()
+        result = detect_phases(trace, interval=4000, seed=1)
+        with pytest.raises(AnalysisError):
+            phase_homogeneity(small_trace, result, lambda c: 0.0)
+
+    def test_homogeneity_on_synthetic_benchmark(self, small_trace):
+        result = detect_phases(small_trace, interval=500, seed=1)
+
+        def branch_fraction(chunk: Trace) -> float:
+            return float(chunk.branch_mask.mean())
+
+        within, overall = phase_homogeneity(
+            small_trace, result, branch_fraction
+        )
+        assert within <= overall + 1e-9

@@ -1,0 +1,112 @@
+"""Tests for ASCII tables, plots and exporters."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.reporting import (
+    ascii_lines,
+    ascii_scatter,
+    dataset_to_json,
+    format_table,
+    matrix_to_csv,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "--" in lines[1]
+        assert len(lines) == 4
+
+    def test_right_alignment(self):
+        text = format_table(
+            ["k", "v"], [["x", 1], ["y", 100]], align_right=[False, True]
+        )
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("  1")
+        assert rows[1].endswith("100")
+
+    def test_title(self):
+        text = format_table(["a"], [["x"]], title="caption:")
+        assert text.splitlines()[0] == "caption:"
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_align_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x"]], align_right=[True, False])
+
+    def test_column_width_adapts(self):
+        text = format_table(["h"], [["a-very-long-cell"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("a-very-long-cell")
+
+
+class TestAsciiPlots:
+    def test_scatter_renders_markers(self):
+        rng = np.random.default_rng(0)
+        art = ascii_scatter(rng.uniform(size=200), rng.uniform(size=200))
+        assert any(ch in art for ch in ".:*@")
+        assert "x:" in art
+
+    def test_scatter_density_escalates(self):
+        x = np.zeros(100)
+        y = np.zeros(100)
+        art = ascii_scatter(x, y)
+        assert "@" in art  # 100 overlapping points.
+
+    def test_scatter_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_scatter(np.empty(0), np.empty(0))
+
+    def test_scatter_subsamples_large_input(self):
+        rng = np.random.default_rng(1)
+        n = 100_000
+        art = ascii_scatter(rng.uniform(size=n), rng.uniform(size=n),
+                            max_points=1000)
+        assert isinstance(art, str)
+
+    def test_lines_renders_legend(self):
+        x = np.linspace(0.0, 1.0, 20)
+        art = ascii_lines({"up": (x, x), "down": (x, 1 - x)})
+        assert "u = up" in art
+        assert "d = down" in art
+
+    def test_lines_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_lines({})
+
+
+class TestExport:
+    def test_csv_round_trip_values(self):
+        matrix = np.array([[1.5, 2.0], [3.25, 4.0]])
+        text = matrix_to_csv(["a", "b"], ["x", "y"], matrix)
+        lines = text.strip().splitlines()
+        assert lines[0] == "benchmark,x,y"
+        assert lines[1].split(",") == ["a", "1.5", "2"]
+
+    def test_csv_escapes_commas(self):
+        text = matrix_to_csv(["a,b"], ["x"], np.array([[1.0]]))
+        assert '"a,b"' in text
+
+    def test_csv_validates_shapes(self):
+        with pytest.raises(ValueError):
+            matrix_to_csv(["a"], ["x", "y"], np.array([[1.0]]))
+        with pytest.raises(ValueError):
+            matrix_to_csv(["a", "b"], ["x"], np.array([[1.0]]))
+
+    def test_json_round_trip(self):
+        matrix = np.array([[1.0, 2.0]])
+        text = dataset_to_json(["a"], ["x", "y"], matrix,
+                               metadata={"k": "v"})
+        payload = json.loads(text)
+        assert payload["benchmarks"] == ["a"]
+        assert payload["columns"] == ["x", "y"]
+        assert payload["values"] == [[1.0, 2.0]]
+        assert payload["metadata"] == {"k": "v"}

@@ -1,0 +1,259 @@
+"""Tests for the repro.trace package (container, builder, filters,
+stats, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.isa import NO_REG, OpClass, TRACE_DTYPE
+from repro.trace import (
+    Trace,
+    TraceBuilder,
+    head,
+    sample_interval,
+    sample_random,
+    split_windows,
+    summarize,
+    validate_trace,
+)
+
+
+def build_mixed_trace(n: int = 60) -> Trace:
+    builder = TraceBuilder(name="mixed")
+    for index in range(n):
+        pc = 0x1000 + 4 * index
+        kind = index % 5
+        if kind == 0:
+            builder.load(pc, dst=1, addr_reg=2, mem_addr=0x2000 + 8 * index)
+        elif kind == 1:
+            builder.store(pc, value_reg=1, addr_reg=2,
+                          mem_addr=0x3000 + 8 * index)
+        elif kind == 2:
+            builder.branch(pc, cond_reg=1, taken=index % 2 == 0,
+                           target=0x1000)
+        elif kind == 3:
+            builder.alu(pc, dst=3, src1=1, src2=2)
+        else:
+            builder.fp(pc, dst=33, src1=34)
+    return builder.build()
+
+
+class TestTraceContainer:
+    def test_length_and_iteration(self):
+        trace = build_mixed_trace(25)
+        assert len(trace) == 25
+        records = list(trace)
+        assert len(records) == 25
+        assert records[0].opclass == OpClass.LOAD
+
+    def test_indexing_returns_record(self):
+        trace = build_mixed_trace(10)
+        record = trace[3]
+        assert record.opclass == OpClass.INT_ALU
+
+    def test_slicing_returns_trace(self):
+        trace = build_mixed_trace(20)
+        sliced = trace[5:10]
+        assert isinstance(sliced, Trace)
+        assert len(sliced) == 5
+
+    def test_data_is_read_only(self):
+        trace = build_mixed_trace(10)
+        with pytest.raises((ValueError, RuntimeError)):
+            trace.data["pc"][0] = 7
+
+    def test_masks_partition_memory(self):
+        trace = build_mixed_trace(50)
+        assert (trace.load_mask & trace.store_mask).sum() == 0
+        assert (trace.load_mask | trace.store_mask).sum() == (
+            trace.memory_mask.sum()
+        )
+
+    def test_branch_streams_align(self):
+        trace = build_mixed_trace(50)
+        assert len(trace.branch_pcs) == len(trace.branch_outcomes)
+        assert len(trace.branch_pcs) == int(trace.branch_mask.sum())
+
+    def test_class_counts_sum_to_length(self):
+        trace = build_mixed_trace(37)
+        assert sum(trace.class_counts().values()) == 37
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(np.zeros(4, dtype=np.int64))
+
+    def test_from_records_round_trip(self):
+        trace = build_mixed_trace(8)
+        rebuilt = Trace.from_records(list(trace), name="copy")
+        assert np.array_equal(trace.data, rebuilt.data)
+
+    def test_concat(self):
+        a = build_mixed_trace(5)
+        b = build_mixed_trace(7)
+        joined = a.concat(b)
+        assert len(joined) == 12
+        assert np.array_equal(joined.data[:5], a.data)
+
+    def test_empty(self):
+        trace = Trace.empty()
+        assert len(trace) == 0
+        assert list(trace) == []
+
+
+class TestTraceBuilder:
+    def test_typed_helpers_set_classes(self):
+        builder = TraceBuilder()
+        builder.load(0x0, dst=1, addr_reg=2, mem_addr=0x100)
+        builder.store(0x4, value_reg=1, addr_reg=2, mem_addr=0x108)
+        builder.branch(0x8, cond_reg=1, taken=True, target=0x0)
+        builder.jump(0xC, target=0x0)
+        builder.alu(0x10, dst=1)
+        builder.mul(0x14, dst=1, src1=2, src2=3)
+        builder.fp(0x18, dst=33)
+        builder.nop(0x1C)
+        trace = builder.build()
+        classes = [record.opclass for record in trace]
+        assert classes == [
+            OpClass.LOAD, OpClass.STORE, OpClass.BRANCH, OpClass.BRANCH,
+            OpClass.INT_ALU, OpClass.INT_MUL, OpClass.FP, OpClass.NOP,
+        ]
+
+    def test_grows_beyond_initial_capacity(self):
+        builder = TraceBuilder(capacity=2)
+        for index in range(100):
+            builder.alu(4 * index, dst=1)
+        assert len(builder.build()) == 100
+
+    def test_rejects_memory_without_address(self):
+        builder = TraceBuilder()
+        with pytest.raises(TraceError):
+            builder.append(0x0, OpClass.LOAD, dst=1)
+
+    def test_rejects_bad_register(self):
+        builder = TraceBuilder()
+        with pytest.raises(TraceError):
+            builder.alu(0x0, dst=200)
+
+    def test_build_is_snapshot(self):
+        builder = TraceBuilder()
+        builder.alu(0x0, dst=1)
+        first = builder.build()
+        builder.alu(0x4, dst=1)
+        second = builder.build()
+        assert len(first) == 1
+        assert len(second) == 2
+
+
+class TestFilters:
+    def test_head(self):
+        trace = build_mixed_trace(30)
+        assert len(head(trace, 10)) == 10
+        assert len(head(trace, 100)) == 30
+
+    def test_head_negative_rejected(self):
+        with pytest.raises(TraceError):
+            head(build_mixed_trace(5), -1)
+
+    def test_sample_interval(self):
+        trace = build_mixed_trace(100)
+        sampled = sample_interval(trace, period=10, length=3)
+        assert len(sampled) == 30
+
+    def test_sample_interval_validation(self):
+        trace = build_mixed_trace(10)
+        with pytest.raises(TraceError):
+            sample_interval(trace, period=2, length=5)
+        with pytest.raises(TraceError):
+            sample_interval(trace, period=0, length=1)
+
+    def test_sample_random_fraction_bounds(self):
+        trace = build_mixed_trace(10)
+        with pytest.raises(TraceError):
+            sample_random(trace, 0.0)
+        with pytest.raises(TraceError):
+            sample_random(trace, 1.5)
+
+    def test_sample_random_is_seeded(self):
+        trace = build_mixed_trace(200)
+        a = sample_random(trace, 0.5, seed=3)
+        b = sample_random(trace, 0.5, seed=3)
+        assert np.array_equal(a.data, b.data)
+
+    def test_split_windows_drop_last(self):
+        trace = build_mixed_trace(25)
+        windows = split_windows(trace, 10)
+        assert [len(w) for w in windows] == [10, 10]
+
+    def test_split_windows_keep_last(self):
+        trace = build_mixed_trace(25)
+        windows = split_windows(trace, 10, drop_last=False)
+        assert [len(w) for w in windows] == [10, 10, 5]
+
+
+class TestStatsAndValidate:
+    def test_summary_counts(self):
+        trace = build_mixed_trace(50)
+        summary = summarize(trace)
+        assert summary.instruction_count == 50
+        counts = trace.class_counts()
+        assert summary.load_count == counts[OpClass.LOAD]
+        assert summary.branch_count == counts[OpClass.BRANCH]
+        assert 0.0 <= summary.branch_taken_fraction <= 1.0
+        assert summary.memory_fraction == pytest.approx(
+            (summary.load_count + summary.store_count) / 50
+        )
+
+    def test_summary_format_renders(self):
+        text = summarize(build_mixed_trace(10)).format()
+        assert "instructions" in text
+
+    def test_validate_accepts_good_trace(self, small_trace):
+        validate_trace(small_trace)
+
+    def test_validate_rejects_bad_opclass(self):
+        data = np.zeros(1, dtype=TRACE_DTYPE)
+        data["opclass"] = 99
+        with pytest.raises(TraceError):
+            validate_trace(Trace(data))
+
+    def test_validate_rejects_bad_register(self):
+        data = np.zeros(1, dtype=TRACE_DTYPE)
+        data["opclass"] = int(OpClass.INT_ALU)
+        data["src1"] = 99
+        data["src2"] = NO_REG
+        data["dst"] = NO_REG
+        with pytest.raises(TraceError):
+            validate_trace(Trace(data))
+
+    def test_validate_rejects_memory_without_address(self):
+        data = np.zeros(1, dtype=TRACE_DTYPE)
+        data["opclass"] = int(OpClass.LOAD)
+        data["src1"] = NO_REG
+        data["src2"] = NO_REG
+        data["dst"] = 1
+        with pytest.raises(TraceError):
+            validate_trace(Trace(data))
+
+    def test_validate_rejects_taken_non_branch(self):
+        data = np.zeros(1, dtype=TRACE_DTYPE)
+        data["opclass"] = int(OpClass.INT_ALU)
+        data["src1"] = NO_REG
+        data["src2"] = NO_REG
+        data["dst"] = 1
+        data["taken"] = 1
+        with pytest.raises(TraceError):
+            validate_trace(Trace(data))
+
+    def test_validate_rejects_taken_branch_without_target(self):
+        data = np.zeros(1, dtype=TRACE_DTYPE)
+        data["opclass"] = int(OpClass.BRANCH)
+        data["src1"] = NO_REG
+        data["src2"] = NO_REG
+        data["dst"] = NO_REG
+        data["taken"] = 1
+        data["target"] = 0
+        with pytest.raises(TraceError):
+            validate_trace(Trace(data))
+
+    def test_validate_empty_trace_ok(self):
+        validate_trace(Trace.empty())

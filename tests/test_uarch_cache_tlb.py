@@ -1,0 +1,139 @@
+"""Tests for the cache and TLB simulators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.uarch import CacheConfig, SetAssociativeCache, TLB
+
+
+def config(size=1024, line=32, assoc=2, name="T"):
+    return CacheConfig(name=name, size_bytes=size, line_bytes=line,
+                       associativity=assoc)
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        assert config(size=1024, line=32, assoc=2).num_sets == 16
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(SimulationError):
+            config(line=48)
+
+    def test_rejects_zero_assoc(self):
+        with pytest.raises(SimulationError):
+            config(assoc=0)
+
+    def test_rejects_non_multiple_size(self):
+        with pytest.raises(SimulationError):
+            CacheConfig(name="X", size_bytes=1000, line_bytes=32,
+                        associativity=2)
+
+
+class TestSetAssociativeCache:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(config())
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+        assert cache.access(0x101F) is True   # Same 32-byte line.
+        assert cache.access(0x1020) is False  # Next line.
+
+    def test_lru_eviction_order(self):
+        # Direct-mapped 2-line cache: conflicting addresses thrash.
+        cache = SetAssociativeCache(config(size=64, line=32, assoc=1))
+        a, b = 0x0, 0x40  # Same set (2 sets, both map to set 0).
+        assert cache.access(a) is False
+        assert cache.access(b) is False  # Evicts a.
+        assert cache.access(a) is False  # Miss again.
+
+    def test_associativity_absorbs_conflict(self):
+        cache = SetAssociativeCache(config(size=64, line=32, assoc=2))
+        a, b = 0x0, 0x40
+        cache.access(a)
+        cache.access(b)
+        assert cache.access(a) is True
+        assert cache.access(b) is True
+
+    def test_true_lru_within_set(self):
+        cache = SetAssociativeCache(config(size=64, line=32, assoc=2))
+        a, b, c = 0x0, 0x40, 0x80  # All in the single set... 1 set x 2 ways.
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)        # a is now MRU.
+        cache.access(c)        # Evicts b (LRU).
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_simulate_matches_access(self):
+        rng = np.random.default_rng(0)
+        addresses = rng.integers(0, 1 << 14, size=500).astype(np.uint64)
+        one = SetAssociativeCache(config())
+        two = SetAssociativeCache(config())
+        mask = one.simulate(addresses)
+        singles = np.array([not two.access(int(a)) for a in addresses])
+        assert np.array_equal(mask, singles)
+
+    def test_simulate_direct_mapped_fast_path(self):
+        rng = np.random.default_rng(1)
+        addresses = rng.integers(0, 1 << 14, size=500).astype(np.uint64)
+        dm = SetAssociativeCache(config(assoc=1))
+        reference = SetAssociativeCache(config(assoc=1))
+        mask = dm.simulate(addresses)
+        singles = np.array([not reference.access(int(a)) for a in addresses])
+        assert np.array_equal(mask, singles)
+
+    def test_stats_accumulate(self):
+        cache = SetAssociativeCache(config())
+        cache.simulate(np.array([0x0, 0x0, 0x40], dtype=np.uint64))
+        assert cache.stats.accesses == 3
+        assert cache.stats.misses == 2
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_reset(self):
+        cache = SetAssociativeCache(config())
+        cache.access(0x1000)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.access(0x1000) is False
+
+    def test_working_set_larger_than_cache_misses(self):
+        cache = SetAssociativeCache(config(size=1024))
+        # Cycle over 4 KB with 32-byte steps, twice: capacity misses.
+        addresses = np.tile(
+            np.arange(0, 4096, 32, dtype=np.uint64), 2
+        )
+        mask = cache.simulate(addresses)
+        assert mask.all()
+
+    def test_working_set_smaller_than_cache_hits(self):
+        cache = SetAssociativeCache(config(size=4096, assoc=4))
+        addresses = np.tile(np.arange(0, 1024, 32, dtype=np.uint64), 4)
+        mask = cache.simulate(addresses)
+        assert not mask[32:].any()  # Only cold misses.
+
+    def test_miss_rate_zero_when_unused(self):
+        assert SetAssociativeCache(config()).stats.miss_rate == 0.0
+
+
+class TestTLB:
+    def test_page_granularity(self):
+        tlb = TLB(entries=4, page_bytes=8192)
+        assert tlb.access(0x0000) is False
+        assert tlb.access(0x1FFF) is True   # Same 8 KB page.
+        assert tlb.access(0x2000) is False  # Next page.
+
+    def test_capacity_lru(self):
+        tlb = TLB(entries=2, page_bytes=8192)
+        tlb.access(0x0000)
+        tlb.access(0x2000)
+        tlb.access(0x4000)  # Evicts page 0.
+        assert tlb.access(0x0000) is False
+        assert tlb.access(0x4000) is True
+
+    def test_simulate_and_stats(self):
+        tlb = TLB(entries=64)
+        addresses = np.arange(0, 64 * 8192, 8192, dtype=np.uint64)
+        mask = tlb.simulate(np.tile(addresses, 2))
+        assert mask[:64].all()
+        assert not mask[64:].any()
+        assert tlb.stats.miss_rate == pytest.approx(0.5)

@@ -1,0 +1,133 @@
+"""Tests for the hardware branch predictors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.uarch import (
+    BimodalPredictor,
+    GSharePredictor,
+    LocalHistoryPredictor,
+    TournamentPredictor,
+    simulate_predictor,
+)
+
+
+def run(predictor, pcs, outcomes):
+    stats = simulate_predictor(
+        predictor,
+        np.asarray(pcs, dtype=np.uint64),
+        np.asarray(outcomes, dtype=bool),
+    )
+    return 1.0 - stats.misprediction_rate
+
+
+class TestBimodal:
+    def test_learns_constant_branch(self):
+        accuracy = run(BimodalPredictor(), [0x1000] * 500, [True] * 500)
+        assert accuracy > 0.95
+
+    def test_struggles_with_alternation(self):
+        outcomes = [i % 2 == 0 for i in range(500)]
+        accuracy = run(BimodalPredictor(), [0x1000] * 500, outcomes)
+        assert accuracy < 0.7  # No history: alternation defeats 2-bit.
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(SimulationError):
+            BimodalPredictor(entries=1000)
+
+    def test_saturating_counters_resist_noise(self):
+        # One not-taken glitch in a taken stream costs at most one
+        # following misprediction.
+        outcomes = [True] * 100 + [False] + [True] * 100
+        accuracy = run(BimodalPredictor(), [0x1000] * 201, outcomes)
+        assert accuracy > 0.97
+
+
+class TestGShare:
+    def test_learns_alternation(self):
+        outcomes = [i % 2 == 0 for i in range(1000)]
+        accuracy = run(GSharePredictor(), [0x1000] * 1000, outcomes)
+        assert accuracy > 0.9
+
+    def test_learns_cross_branch_correlation(self):
+        rng = np.random.default_rng(0)
+        predictor = GSharePredictor()
+        correct = 0
+        n = 2000
+        for _ in range(n):
+            first = bool(rng.random() < 0.5)
+            predictor.update(0x1000, first)
+            if predictor.predict(0x2000) == first:
+                correct += 1
+            predictor.update(0x2000, first)
+        assert correct / n > 0.8
+
+
+class TestLocalHistory:
+    def test_learns_periodic_pattern(self):
+        pattern = [True, True, False]
+        outcomes = [pattern[i % 3] for i in range(1500)]
+        accuracy = run(LocalHistoryPredictor(), [0x1000] * 1500, outcomes)
+        assert accuracy > 0.9
+
+    def test_separate_histories_per_pc(self):
+        predictor = LocalHistoryPredictor()
+        # Branch A alternates, branch B always taken; interleaved.
+        correct_b = 0
+        for index in range(1000):
+            predictor.update(0x1000, index % 2 == 0)
+            if predictor.predict(0x2000):
+                correct_b += 1
+            predictor.update(0x2000, True)
+        assert correct_b / 1000 > 0.85
+
+
+class TestTournament:
+    def test_beats_components_on_mixed_workload(self):
+        # Mix of a local-friendly periodic branch and a globally
+        # correlated pair; the tournament should do well on both.
+        rng = np.random.default_rng(2)
+        tournament = TournamentPredictor()
+        pcs = []
+        outcomes = []
+        for index in range(1500):
+            pcs.append(0x1000)
+            outcomes.append(index % 2 == 0)  # Alternating.
+            lead = bool(rng.random() < 0.5)
+            pcs.append(0x2000)
+            outcomes.append(lead)
+            pcs.append(0x3000)
+            outcomes.append(lead)  # Copies the previous branch.
+        accuracy = run(tournament, pcs, outcomes)
+        assert accuracy > 0.8
+
+    def test_chooser_picks_better_component(self):
+        # Purely periodic per-branch patterns: local component wins and
+        # the tournament should converge to near-local accuracy.
+        pattern = [True, False, False, True]
+        outcomes = [pattern[i % 4] for i in range(2000)]
+        tournament_accuracy = run(
+            TournamentPredictor(), [0x1000] * 2000, outcomes
+        )
+        assert tournament_accuracy > 0.85
+
+
+class TestSimulatePredictor:
+    def test_mask_matches_stats(self):
+        rng = np.random.default_rng(3)
+        pcs = np.full(300, 0x1000, dtype=np.uint64)
+        outcomes = rng.random(300) < 0.7
+        stats, mask = simulate_predictor(
+            BimodalPredictor(), pcs, outcomes, return_mask=True
+        )
+        assert mask.sum() == stats.mispredictions
+        assert stats.branches == 300
+
+    def test_empty_stream(self):
+        stats = simulate_predictor(
+            BimodalPredictor(),
+            np.empty(0, dtype=np.uint64),
+            np.empty(0, dtype=bool),
+        )
+        assert stats.misprediction_rate == 0.0

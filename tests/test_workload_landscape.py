@@ -1,0 +1,125 @@
+"""Landscape tests: the characteristic relationships the paper's
+narrative depends on must hold between the synthetic benchmarks.
+
+These are the load-bearing facts behind Figures 3 and 6 — if any of
+them drifts, the clustering story (isolated blast/mcf/adpcm, grouped
+SPECfp) silently falls apart, so they are pinned here as tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ReproConfig
+from repro.mica import characterize
+from repro.synth import generate_trace
+from repro.workloads import get_benchmark
+
+CONFIG = ReproConfig(trace_length=20_000)
+
+_VECTORS = {}
+
+
+def vector(name):
+    if name not in _VECTORS:
+        benchmark = get_benchmark(name)
+        trace = generate_trace(benchmark.profile, CONFIG.trace_length)
+        _VECTORS[name] = characterize(trace, CONFIG)
+    return _VECTORS[name]
+
+
+class TestWorkingSetLandscape:
+    def test_blast_has_the_largest_data_working_set(self):
+        blast = vector("blast")["ws_data_pages"]
+        for other in ("bzip2/graphic", "adpcm/rawcaudio", "swim",
+                      "gzip/log", "cast/decode"):
+            assert blast > vector(other)["ws_data_pages"]
+
+    def test_adpcm_has_a_tiny_working_set(self):
+        adpcm = vector("adpcm/rawcaudio")
+        assert adpcm["ws_data_pages"] <= 4
+        assert adpcm["ws_instr_pages"] <= 2
+
+    def test_gcc_has_the_largest_instruction_working_set(self):
+        gcc = vector("gcc/166")["ws_instr_blocks"]
+        for other in ("bzip2/graphic", "swim", "mcf", "adpcm/rawcaudio"):
+            assert gcc > vector(other)["ws_instr_blocks"]
+
+
+class TestIlpLandscape:
+    def test_specfp_core_has_high_ilp(self):
+        assert vector("swim")["ilp_w256"] > 2 * vector("mcf")["ilp_w256"]
+
+    def test_mcf_is_serial(self):
+        mcf = vector("mcf")
+        assert mcf["reg_dep_le8"] > 0.9  # Short dependencies dominate.
+
+    def test_specfp_has_long_dependencies(self):
+        swim = vector("swim")
+        mcf = vector("mcf")
+        assert swim["reg_dep_le4"] < mcf["reg_dep_le4"]
+
+
+class TestBranchLandscape:
+    def test_kernels_are_most_predictable(self):
+        adpcm = vector("adpcm/rawcaudio")["ppm_PAs"]
+        gcc = vector("gcc/166")["ppm_PAs"]
+        assert adpcm > gcc + 0.05
+
+    def test_specfp_branches_predictable(self):
+        swim = vector("swim")["ppm_GAg"]
+        parser = vector("parser")["ppm_GAg"]
+        assert swim > parser
+
+    def test_branch_fraction_contrast(self):
+        # Header-processing CommBench is branchy; SPECfp is not.
+        drr = vector("drr")["mix_branches"]
+        swim = vector("swim")["mix_branches"]
+        assert drr > 2 * swim
+
+
+class TestStrideLandscape:
+    def test_streaming_benchmarks_have_small_local_strides(self):
+        fasta = vector("fasta")
+        mcf = vector("mcf")
+        assert fasta["stride_local_load_le8"] > mcf["stride_local_load_le8"]
+
+    def test_tiff_uses_large_strides(self):
+        tiff = vector("tiff/2bw")
+        # Strided accesses beyond 64 bytes but within 512.
+        jump = tiff["stride_local_load_le512"] - tiff["stride_local_load_le64"]
+        assert jump > 0.1
+
+    def test_fp_fraction_contrast(self):
+        swim = vector("swim")["mix_fp"]
+        gzip = vector("gzip/log")["mix_fp"]
+        assert swim > 0.3
+        assert gzip < 0.02
+
+
+class TestHpcLandscape:
+    """Spot checks on the microarchitecture-dependent side."""
+
+    @pytest.fixture(scope="class")
+    def hpc(self):
+        from repro.uarch import collect_hpc
+
+        def compute(name):
+            benchmark = get_benchmark(name)
+            trace = generate_trace(benchmark.profile, CONFIG.trace_length)
+            return collect_hpc(trace)
+
+        return compute
+
+    def test_kernel_ipc_beats_pointer_chaser(self, hpc):
+        assert hpc("adpcm/rawcaudio")["ipc_ev56"] > 4 * hpc("mcf")["ipc_ev56"]
+
+    def test_mcf_thrashes_the_tlb(self, hpc):
+        assert hpc("mcf")["dtlb_miss_rate"] > 0.3
+        assert hpc("adpcm/rawcaudio")["dtlb_miss_rate"] < 0.01
+
+    def test_ooo_speedup_higher_for_ilp_rich_code(self, hpc):
+        swim = hpc("swim")
+        mcf = hpc("mcf")
+        swim_speedup = swim["ipc_ev67"] / swim["ipc_ev56"]
+        mcf_speedup = mcf["ipc_ev67"] / mcf["ipc_ev56"]
+        assert swim_speedup > mcf_speedup

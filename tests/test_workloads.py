@@ -1,0 +1,157 @@
+"""Tests for the repro.workloads package (Table I registry)."""
+
+import pytest
+
+from repro.errors import ProfileError, UnknownBenchmarkError
+from repro.workloads import (
+    ProfileTheme,
+    all_benchmarks,
+    all_suites,
+    benchmark_names,
+    benchmarks_of,
+    build_profile,
+    get_benchmark,
+    suite_of,
+)
+from repro.workloads.registry import EXPECTED_BENCHMARK_COUNT
+
+
+class TestRegistry:
+    def test_total_is_122(self):
+        assert len(all_benchmarks()) == EXPECTED_BENCHMARK_COUNT == 122
+
+    def test_suite_sizes_match_table1(self):
+        sizes = {suite.name: len(suite) for suite in all_suites()}
+        assert sizes == {
+            "bioinfomark": 12,
+            "biometrics": 8,
+            "commbench": 12,
+            "mediabench": 12,
+            "mibench": 30,
+            "spec2000": 48,
+        }
+
+    def test_names_are_unique(self):
+        names = benchmark_names()
+        assert len(names) == len(set(names))
+
+    def test_profiles_have_matching_names(self):
+        for benchmark in all_benchmarks():
+            assert benchmark.profile.name == benchmark.full_name
+
+    def test_icounts_positive(self):
+        assert all(b.icount_millions > 0 for b in all_benchmarks())
+
+    def test_known_icounts_from_table1(self):
+        assert get_benchmark("spec2000/mcf/ref").icount_millions == 59_800
+        assert get_benchmark("bioinfomark/blast/protein").icount_millions == (
+            81_092
+        )
+        assert get_benchmark(
+            "mibench/adpcm/rawcaudio"
+        ).icount_millions == 758
+
+    def test_spec_has_48_entries(self):
+        assert len(benchmarks_of("spec2000")) == 48
+
+    def test_suite_programs(self):
+        programs = suite_of("commbench").programs()
+        assert programs == [
+            "cast", "drr", "frag", "jpeg", "reed", "rtr", "tcp", "zip",
+        ]
+
+
+class TestLookup:
+    def test_full_name(self):
+        assert get_benchmark("spec2000/bzip2/graphic").program == "bzip2"
+
+    def test_partial_program(self):
+        assert get_benchmark("mcf").full_name == "spec2000/mcf/ref"
+
+    def test_partial_program_input(self):
+        assert get_benchmark("bzip2/source").input == "source"
+
+    def test_unknown_raises_with_candidates(self):
+        with pytest.raises(UnknownBenchmarkError) as excinfo:
+            get_benchmark("bzip3")
+        assert excinfo.value.candidates
+
+    def test_ambiguous_partial_raises(self):
+        with pytest.raises(UnknownBenchmarkError):
+            get_benchmark("bzip2")  # Three inputs.
+
+    def test_unknown_suite(self):
+        with pytest.raises(UnknownBenchmarkError):
+            suite_of("spec2017")
+
+
+class TestBuildProfile:
+    def test_deterministic(self):
+        theme = ProfileTheme()
+        a = build_profile(theme, "s", "p", "i")
+        b = build_profile(theme, "s", "p", "i")
+        assert a == b
+
+    def test_name_changes_sampled_values(self):
+        theme = ProfileTheme()
+        a = build_profile(theme, "s", "p", "i1")
+        b = build_profile(theme, "s", "p", "i2")
+        assert a.code != b.code or a.mix != b.mix
+
+    def test_override_memory(self):
+        profile = build_profile(
+            ProfileTheme(), "s", "p", "i",
+            {"footprint_bytes": 12345_600},
+        )
+        assert profile.memory.footprint_bytes == 12345_600
+
+    def test_override_mix(self):
+        profile = build_profile(
+            ProfileTheme(), "s", "p", "i",
+            {"mix": {"load": 0.5, "store": 0.1, "branch": 0.1,
+                     "int_alu": 0.3, "int_mul": 0.0, "fp": 0.0}},
+        )
+        assert profile.mix.load == pytest.approx(0.5)
+
+    def test_override_registers_and_branches(self):
+        profile = build_profile(
+            ProfileTheme(), "s", "p", "i",
+            {"dep_mean": 7.5, "pattern_fraction": 0.9},
+        )
+        assert profile.registers.dep_mean == 7.5
+        assert profile.branches.pattern_fraction == 0.9
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ProfileError):
+            build_profile(ProfileTheme(), "s", "p", "i", {"warp_speed": 9})
+
+    def test_theme_ranges_respected(self):
+        theme = ProfileTheme(dep_mean=(3.0, 3.5), loop_iter_mean=(9.0, 9.0))
+        for label in ("a", "b", "c"):
+            profile = build_profile(theme, "s", "p", label)
+            assert 3.0 <= profile.registers.dep_mean <= 3.5
+            assert profile.code.loop_iter_mean == 9.0
+
+
+class TestProfileDiversity:
+    def test_paper_outliers_are_extreme(self):
+        """The benchmarks the paper isolates must sit at knob extremes."""
+        blast = get_benchmark("blast").profile
+        adpcm = get_benchmark("adpcm/rawcaudio").profile
+        mcf = get_benchmark("mcf").profile
+        others = [
+            b.profile.memory.footprint_bytes
+            for b in all_benchmarks()
+            if b.program not in ("blast", "mcf")
+        ]
+        assert blast.memory.footprint_bytes > max(others) * 0.5
+        assert adpcm.memory.footprint_bytes < 64 << 10
+        assert mcf.memory.load_mix.get("pointer", 0) >= 0.5
+
+    def test_specfp_core_is_tight(self):
+        """The nine SPECfp-core benchmarks share their mix (the paper
+        finds 9 of 14 SPECfp in one cluster)."""
+        core = ["applu", "apsi", "fma3d", "galgel", "lucas", "mgrid",
+                "sixtrack", "swim", "wupwise"]
+        mixes = {get_benchmark(p).profile.mix for p in core}
+        assert len(mixes) == 1

@@ -1,0 +1,106 @@
+"""Structural tests over the suite definition modules.
+
+Every suite module must declare well-formed entries whose overrides
+construct valid profiles; Table I totals and spot values are pinned.
+"""
+
+import pytest
+
+from repro.workloads import (
+    bioinfomark,
+    biometrics,
+    commbench,
+    mediabench,
+    mibench,
+    spec2000,
+)
+from repro.workloads.builder import build_profile
+
+SUITE_MODULES = [
+    bioinfomark, biometrics, commbench, mediabench, mibench, spec2000,
+]
+
+
+@pytest.mark.parametrize(
+    "module", SUITE_MODULES, ids=lambda m: m.NAME
+)
+class TestSuiteModules:
+    def test_entries_unique(self, module):
+        pairs = [(program, label) for program, label, _, _ in module.ENTRIES]
+        assert len(pairs) == len(set(pairs))
+
+    def test_icounts_positive(self, module):
+        assert all(icount > 0 for _, _, icount, _ in module.ENTRIES)
+
+    def test_overrides_build_valid_profiles(self, module):
+        for program, label, _, overrides in module.ENTRIES:
+            profile = build_profile(
+                module.THEME, module.NAME, program, label, overrides
+            )
+            assert profile.name == f"{module.NAME}/{program}/{label}"
+
+    def test_theme_ranges_well_formed(self, module):
+        theme = module.THEME
+        for field in ("load", "store", "branch", "int_alu", "int_mul",
+                      "fp", "footprint_log2", "num_functions",
+                      "loop_iter_mean", "dep_mean", "pattern_fraction",
+                      "taken_bias"):
+            low, high = getattr(theme, field)
+            assert low <= high, f"{module.NAME}.{field}"
+
+    def test_descriptions_present(self, module):
+        assert module.NAME
+        assert module.DESCRIPTION
+
+
+class TestTable1Pinned:
+    """Pin the per-suite sizes and a sample of I-counts to Table I."""
+
+    def test_sizes(self):
+        sizes = {module.NAME: len(module.ENTRIES)
+                 for module in SUITE_MODULES}
+        assert sizes == {
+            "bioinfomark": 12,
+            "biometrics": 8,
+            "commbench": 12,
+            "mediabench": 12,
+            "mibench": 30,
+            "spec2000": 48,
+        }
+
+    @pytest.mark.parametrize(
+        "module,program,label,icount",
+        [
+            (bioinfomark, "hmmer", "search-sprot", 1_785_862),
+            (bioinfomark, "clustalw", "clustalw", 884_859),
+            (biometrics, "csu", "subspace-train-lda", 51_297),
+            (commbench, "reed", "decode", 1_298),
+            (mediabench, "mpeg2", "encode", 1_528),
+            (mibench, "basicmath", "large", 1_523),
+            (mibench, "tiff", "dither", 1_228),
+            (spec2000, "parser", "ref", 530_784),
+            (spec2000, "sixtrack", "ref", 452_446),
+            (spec2000, "perlbmk", "makerand", 2_055),
+        ],
+    )
+    def test_spot_icounts(self, module, program, label, icount):
+        match = [
+            entry_icount
+            for entry_program, entry_label, entry_icount, _ in module.ENTRIES
+            if entry_program == program and entry_label == label
+        ]
+        assert match == [icount]
+
+    def test_footprints_reflect_suite_scale(self):
+        """Embedded suites must sit below bioinformatics footprints."""
+        def median_footprint(module):
+            values = sorted(
+                build_profile(module.THEME, module.NAME, program, label,
+                              overrides).memory.footprint_bytes
+                for program, label, _, overrides in module.ENTRIES
+            )
+            return values[len(values) // 2]
+
+        assert median_footprint(commbench) < median_footprint(spec2000)
+        assert median_footprint(mibench) < median_footprint(bioinfomark)
+        assert median_footprint(spec2000) < median_footprint(bioinfomark)
