@@ -6,15 +6,20 @@ Subcommands::
     characterize BENCH      print a benchmark's 47 MICA characteristics
     hpc BENCH               print a benchmark's simulated HPC metrics
     dataset                 build (and cache) the full workload data set
+    bench                   run the MICA perf harness (BENCH_mica.json)
     fig1|table3|fig2-3|fig4|fig5|table4|fig6
                             reproduce one table/figure
     all                     the full report
+
+Global flags ``--jobs`` and ``--cache-dir`` control dataset-build
+parallelism and the characterization cache location.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .config import DEFAULT_CONFIG
 from .errors import ReproError
@@ -29,6 +34,16 @@ def _make_config(args: argparse.Namespace):
     return DEFAULT_CONFIG.with_overrides(**overrides) if overrides else (
         DEFAULT_CONFIG
     )
+
+
+def _dataset_kwargs(args: argparse.Namespace) -> dict:
+    """build_dataset keywords shared by every dataset-consuming command."""
+    kwargs = {"use_cache": not args.no_cache}
+    if getattr(args, "jobs", None):
+        kwargs["jobs"] = args.jobs
+    if getattr(args, "cache_dir", None):
+        kwargs["cache_dir"] = Path(args.cache_dir)
+    return kwargs
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -80,11 +95,29 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     from .experiments import build_dataset
 
     config = _make_config(args)
-    dataset = build_dataset(config, progress=True, use_cache=not args.no_cache)
+    dataset = build_dataset(config, progress=True, **_dataset_kwargs(args))
     print(
         f"dataset ready: {len(dataset)} benchmarks, "
         f"MICA {dataset.mica.shape}, HPC {dataset.hpc.shape}"
     )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf import run_mica_bench, write_bench_json
+
+    config = _make_config(args)
+    result = run_mica_bench(
+        config=config,
+        trace_length=args.trace_length or None,
+        profile_name=args.profile,
+        repeats=args.repeats,
+        include_reference=not args.no_reference,
+    )
+    print(result.format())
+    if args.output:
+        path = write_bench_json(result, args.output)
+        print(f"wrote {path}")
     return 0
 
 
@@ -93,7 +126,7 @@ def _run_single(args: argparse.Namespace, runner_name: str) -> int:
 
     config = _make_config(args)
     dataset = experiments.build_dataset(
-        config, use_cache=not args.no_cache, progress=args.verbose
+        config, progress=args.verbose, **_dataset_kwargs(args)
     )
     runner = getattr(experiments, runner_name)
     result = runner(dataset) if runner_name in (
@@ -107,7 +140,14 @@ def _cmd_all(args: argparse.Namespace) -> int:
     from .experiments import run_all
 
     config = _make_config(args)
-    report = run_all(config, progress=args.verbose)
+    kwargs = _dataset_kwargs(args)
+    report = run_all(
+        config,
+        progress=args.verbose,
+        jobs=kwargs.get("jobs"),
+        cache_dir=kwargs.get("cache_dir"),
+        use_cache=kwargs["use_cache"],
+    )
     print(report.format(kiviat_plots=args.kiviat))
     return 0
 
@@ -118,7 +158,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
     config = _make_config(args)
     dataset = build_dataset(
-        config, use_cache=not args.no_cache, progress=args.verbose
+        config, progress=args.verbose, **_dataset_kwargs(args)
     )
     if args.space == "mica":
         columns, matrix = dataset.mica_columns, dataset.mica
@@ -147,7 +187,7 @@ def _cmd_dendrogram(args: argparse.Namespace) -> int:
 
     config = _make_config(args)
     dataset = build_dataset(
-        config, use_cache=not args.no_cache, progress=args.verbose
+        config, progress=args.verbose, **_dataset_kwargs(args)
     )
     normalized = dataset.mica_normalized()
     selector = GeneticSelector(
@@ -172,7 +212,7 @@ def _cmd_subset(args: argparse.Namespace) -> int:
 
     config = _make_config(args)
     dataset = build_dataset(
-        config, use_cache=not args.no_cache, progress=args.verbose
+        config, progress=args.verbose, **_dataset_kwargs(args)
     )
     print(run_subsetting(dataset, config).format())
     return 0
@@ -183,7 +223,7 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
 
     config = _make_config(args)
     dataset = build_dataset(
-        config, use_cache=not args.no_cache, progress=args.verbose
+        config, progress=args.verbose, **_dataset_kwargs(args)
     )
     print(run_input_sensitivity(dataset).format())
     return 0
@@ -206,6 +246,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="bypass the dataset cache"
     )
     parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes for dataset builds (default: cpu count)",
+    )
+    parser.add_argument(
+        "--cache-dir", default="", metavar="DIR",
+        help="characterization cache directory (default: .mica_cache)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="print progress while building"
     )
     commands = parser.add_subparsers(dest="command", required=True)
@@ -221,6 +269,26 @@ def build_parser() -> argparse.ArgumentParser:
                          "'spec2000/bzip2/graphic'")
 
     commands.add_parser("dataset", help="build and cache the data set")
+
+    bench_parser = commands.add_parser(
+        "bench", help="time the MICA analyzers; write BENCH_mica.json"
+    )
+    bench_parser.add_argument(
+        "--output", default="BENCH_mica.json", metavar="PATH",
+        help="result file ('' to skip writing)",
+    )
+    bench_parser.add_argument(
+        "--profile", default="spec2000/vpr/place",
+        help="registry benchmark supplying the workload profile",
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repetitions per analyzer (best is kept)",
+    )
+    bench_parser.add_argument(
+        "--no-reference", action="store_true",
+        help="skip the slow scalar reference timings",
+    )
     commands.add_parser("fig1", help="Figure 1: distance scatter")
     commands.add_parser("table3", help="Table III: quadrant fractions")
     commands.add_parser("fig2-3", help="Figures 2-3: bzip2 vs blast")
@@ -266,6 +334,7 @@ _DISPATCH = {
     "characterize": _cmd_characterize,
     "hpc": _cmd_hpc,
     "dataset": _cmd_dataset,
+    "bench": _cmd_bench,
     "all": _cmd_all,
     "export": _cmd_export,
     "dendro": _cmd_dendrogram,

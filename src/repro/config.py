@@ -99,6 +99,28 @@ class ReproConfig:
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 
+    def characterization_fingerprint(self) -> str:
+        """Stable hex digest of the fields that shape a MICA vector.
+
+        Two configs with the same fingerprint produce identical
+        47-dimensional vectors for the same trace, so the digest (plus a
+        trace content hash) keys the on-disk characterization cache in
+        :mod:`repro.perf`.  Fields that only affect trace *generation*
+        or downstream analyses (trace length, seeds, GA knobs) are
+        deliberately excluded.
+        """
+        import hashlib
+
+        payload = repr((
+            self.block_bytes,
+            self.page_bytes,
+            tuple(self.ilp_window_sizes),
+            tuple(self.reg_dep_thresholds),
+            tuple(self.stride_thresholds),
+            self.ppm_max_order,
+        ))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
 
 #: A conservative configuration for fast tests.
 SMOKE_CONFIG = ReproConfig(

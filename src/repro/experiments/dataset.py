@@ -100,19 +100,22 @@ class WorkloadDataset:
         return list(HPC_METRIC_NAMES)
 
 
-def _characterize_one(args: "Tuple[str, int, int, dict]"):
+def _characterize_one(args: "Tuple[str, int, int, dict, str | None]"):
     """Worker: build one benchmark's MICA and HPC vectors.
 
     Runs in a separate process, so it re-resolves the benchmark from
-    the registry by name (profiles are deterministic).
+    the registry by name (profiles are deterministic).  When a cache
+    directory is given, the 47-dimensional vector goes through the
+    per-trace :mod:`repro.perf` cache, shared across workers and runs.
     """
-    name, trace_length, seed, config_kwargs = args
-    from ..workloads import get_benchmark  # Local import for workers.
+    name, trace_length, seed, config_kwargs, cache_dir = args
+    from ..perf import cached_characterize  # Local import for workers.
+    from ..workloads import get_benchmark
 
     config = ReproConfig(**config_kwargs)
     benchmark = get_benchmark(name)
     trace = generate_trace(benchmark.profile, trace_length, seed=seed)
-    mica_vector = characterize(trace, config).values
+    mica_vector = cached_characterize(trace, config, cache_dir).values
     hpc_vector = collect_hpc(trace).values
     return name, mica_vector, hpc_vector
 
@@ -150,6 +153,8 @@ def clear_dataset_cache(cache_dir: "Path | None" = None) -> int:
     Returns:
         Number of disk cache files removed.
     """
+    from ..perf import CharacterizationCache
+
     _MEMORY_CACHE.clear()
     directory = cache_dir or default_cache_dir()
     removed = 0
@@ -157,6 +162,7 @@ def clear_dataset_cache(cache_dir: "Path | None" = None) -> int:
         for path in directory.glob("dataset-*.npz"):
             path.unlink()
             removed += 1
+        removed += CharacterizationCache(directory).clear()
     return removed
 
 
@@ -165,6 +171,7 @@ def build_dataset(
     benchmarks: "Optional[Sequence[Benchmark]]" = None,
     cache_dir: "Path | None" = None,
     use_cache: bool = True,
+    jobs: "int | None" = None,
     workers: "int | None" = None,
     progress: bool = False,
 ) -> WorkloadDataset:
@@ -174,11 +181,18 @@ def build_dataset(
         config: trace length, seeds and characterization parameters.
         benchmarks: population to characterize (default: all 122).
         cache_dir: disk cache location (default: repo-local
-            ``.mica_cache``; override with ``REPRO_CACHE_DIR``).
+            ``.mica_cache``; override with ``REPRO_CACHE_DIR``).  Holds
+            both the dataset-level matrices and the per-trace
+            :mod:`repro.perf` characterization entries.
         use_cache: consult/populate the caches.
-        workers: process count (default: ``os.cpu_count()``, capped at
-            the benchmark count).
+        jobs: worker-process count (default: ``os.cpu_count()``, capped
+            at the benchmark count; 1 runs serially in-process).
+        workers: deprecated alias for ``jobs``.
         progress: print one line per completed benchmark.
+
+    The result is identical — bit-for-bit — whether built serially with
+    cold caches or with ``jobs=N`` against warm caches; workers are pure
+    functions of (benchmark name, config).
     """
     population = tuple(benchmarks if benchmarks is not None else all_benchmarks())
     names = tuple(benchmark.full_name for benchmark in population)
@@ -202,26 +216,30 @@ def build_dataset(
         _MEMORY_CACHE[key] = dataset
         return dataset
 
-    jobs = [
-        (name, config.trace_length, 0, _config_kwargs(config))
+    trace_cache_dir = str(directory) if use_cache else None
+    pending = [
+        (name, config.trace_length, 0, _config_kwargs(config),
+         trace_cache_dir)
         for name in names
     ]
     results: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
-    worker_count = min(workers or os.cpu_count() or 1, len(jobs))
+    if jobs is None:
+        jobs = workers
+    worker_count = min(jobs or os.cpu_count() or 1, len(pending))
     if worker_count > 1:
         with ProcessPoolExecutor(max_workers=worker_count) as pool:
             for name, mica_vector, hpc_vector in pool.map(
-                _characterize_one, jobs
+                _characterize_one, pending
             ):
                 results[name] = (mica_vector, hpc_vector)
                 if progress:
-                    print(f"  [{len(results):>3}/{len(jobs)}] {name}")
+                    print(f"  [{len(results):>3}/{len(pending)}] {name}")
     else:
-        for job in jobs:
+        for job in pending:
             name, mica_vector, hpc_vector = _characterize_one(job)
             results[name] = (mica_vector, hpc_vector)
             if progress:
-                print(f"  [{len(results):>3}/{len(jobs)}] {name}")
+                print(f"  [{len(results):>3}/{len(pending)}] {name}")
 
     mica = np.vstack([results[name][0] for name in names])
     hpc = np.vstack([results[name][1] for name in names])

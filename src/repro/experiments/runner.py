@@ -65,14 +65,25 @@ def run_all(
     dataset: "WorkloadDataset | None" = None,
     progress: bool = False,
     include_extensions: bool = False,
+    jobs: "int | None" = None,
+    cache_dir=None,
+    use_cache: bool = True,
 ) -> FullReport:
     """Build the data set (or reuse one) and run every experiment.
 
     With ``include_extensions`` the input-sensitivity and subsetting
-    analyses (which have no paper counterpart) are appended.
+    analyses (which have no paper counterpart) are appended.  ``jobs``,
+    ``cache_dir`` and ``use_cache`` are forwarded to
+    :func:`build_dataset`.
     """
     if dataset is None:
-        dataset = build_dataset(config, progress=progress)
+        dataset = build_dataset(
+            config,
+            progress=progress,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+        )
 
     selector = GeneticSelector(
         population=config.ga_population,

@@ -30,6 +30,7 @@ from .instruction import (
     TRACE_DTYPE,
     InstructionRecord,
     record_from_row,
+    unchecked_record,
 )
 
 __all__ = [
@@ -51,4 +52,5 @@ __all__ = [
     "TRACE_DTYPE",
     "InstructionRecord",
     "record_from_row",
+    "unchecked_record",
 ]

@@ -115,3 +115,34 @@ def record_from_row(row: np.void) -> InstructionRecord:
         taken=bool(row["taken"]),
         target=int(row["target"]),
     )
+
+
+def unchecked_record(
+    pc: int,
+    opclass: OpClass,
+    src1: int,
+    src2: int,
+    dst: int,
+    mem_addr: int,
+    taken: bool,
+    target: int,
+) -> InstructionRecord:
+    """Build an :class:`InstructionRecord` without field validation.
+
+    Bulk paths (trace iteration) materialize millions of records from
+    data that was validated when the trace was built; re-running
+    ``__post_init__`` per row dominates their cost, so this constructor
+    bypasses it.  Only use on rows read back from a :data:`TRACE_DTYPE`
+    array.
+    """
+    record = object.__new__(InstructionRecord)
+    fields = record.__dict__
+    fields["pc"] = pc
+    fields["opclass"] = opclass
+    fields["src1"] = src1
+    fields["src2"] = src2
+    fields["dst"] = dst
+    fields["mem_addr"] = mem_addr
+    fields["taken"] = taken
+    fields["target"] = target
+    return record

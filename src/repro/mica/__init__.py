@@ -14,11 +14,15 @@ from .characteristics import (
     category_slices,
 )
 from .instruction_mix import instruction_mix
-from .ilp import ilp_ipc, producer_indices
+from .ilp import ilp_ipc, ilp_ipc_reference, producer_indices
 from .register_traffic import register_traffic
 from .working_set import working_set
 from .strides import stride_profile
-from .ppm import PPMPredictor, ppm_predictabilities
+from .ppm import (
+    PPMPredictor,
+    ppm_predictabilities,
+    ppm_predictabilities_reference,
+)
 from .characterize import CharacteristicVector, characterize
 
 __all__ = [
@@ -30,12 +34,14 @@ __all__ = [
     "category_slices",
     "instruction_mix",
     "ilp_ipc",
+    "ilp_ipc_reference",
     "producer_indices",
     "register_traffic",
     "working_set",
     "stride_profile",
     "PPMPredictor",
     "ppm_predictabilities",
+    "ppm_predictabilities_reference",
     "CharacteristicVector",
     "characterize",
 ]

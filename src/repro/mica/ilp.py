@@ -13,11 +13,24 @@ Register dataflow is recovered from the trace with
 :func:`producer_indices`, which maps every source operand to the dynamic
 index of the instruction that produced the value (the most recent writer
 of that architected register).
+
+Two critical-path implementations are provided:
+
+* :func:`window_cycle_counts` — the production path.  Windows of one
+  size are mutually independent, so instead of walking the trace once
+  per window size it walks window-relative *offsets* once (0..max(W)-1)
+  and, at each offset, updates the dataflow depth of that position in
+  **every** window of **every** requested size with array gathers.  A
+  producer always precedes its consumer, so by the time offset ``j`` is
+  processed every in-window producer (offset < ``j``) already has its
+  final depth.
+* :func:`ilp_ipc_reference` — the original per-instruction scalar loop,
+  retained as the executable specification for the equivalence tests.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -74,10 +87,13 @@ def producer_indices(trace: Trace) -> Tuple[np.ndarray, np.ndarray]:
     return producers[0], producers[1]
 
 
-def _window_critical_paths(
+def _window_critical_paths_reference(
     producer1: np.ndarray, producer2: np.ndarray, window: int
 ) -> int:
-    """Total cycles: sum of dataflow critical paths over W-sized windows."""
+    """Scalar critical-path walk — the executable specification.
+
+    Total cycles: sum of dataflow critical paths over W-sized windows.
+    """
     n = len(producer1)
     level = np.ones(n, dtype=np.int32)
     p1 = producer1
@@ -102,12 +118,81 @@ def _window_critical_paths(
     return total_cycles
 
 
+def window_cycle_counts(
+    producer1: np.ndarray,
+    producer2: np.ndarray,
+    window_sizes: Sequence[int],
+) -> List[int]:
+    """Summed per-window critical-path cycles for every window size.
+
+    One traversal over window-relative offsets computes the dataflow
+    depth of every instruction for **all** window sizes: at offset ``j``
+    the instructions ``starts + j`` (one per window) gather their
+    producers' already-final depths, zeroing producers outside their own
+    window.  Per-window critical paths then fall out of a segmented max.
+
+    Returns:
+        Total cycles per entry of ``window_sizes`` (same order).
+    """
+    n = len(producer1)
+    unique_sizes = sorted({int(window) for window in window_sizes})
+    levels: Dict[int, np.ndarray] = {}
+    starts: Dict[int, np.ndarray] = {}
+    for window in unique_sizes:
+        # Offset-0 instructions have no in-window producer: depth 1.
+        levels[window] = np.ones(n, dtype=np.int64)
+        starts[window] = np.arange(0, n, window, dtype=np.int64)
+
+    for offset in range(1, max(unique_sizes, default=1)):
+        for window in unique_sizes:
+            if offset >= window:
+                continue
+            window_starts = starts[window]
+            # starts are ascending, so the windows still holding an
+            # instruction at this offset form a prefix.
+            count = int(
+                np.searchsorted(window_starts, n - offset, side="left")
+            )
+            if count == 0:
+                continue
+            window_starts = window_starts[:count]
+            indices = window_starts + offset
+            level = levels[window]
+            gather1 = producer1[indices]
+            gather2 = producer2[indices]
+            depth1 = np.where(
+                gather1 >= window_starts, level[gather1], 0
+            )
+            depth2 = np.where(
+                gather2 >= window_starts, level[gather2], 0
+            )
+            level[indices] = np.maximum(depth1, depth2) + 1
+
+    cycles = {
+        window: int(np.maximum.reduceat(levels[window], starts[window]).sum())
+        for window in unique_sizes
+    }
+    return [cycles[int(window)] for window in window_sizes]
+
+
+def _validate_ilp_inputs(trace: Trace, window_sizes: Sequence[int]) -> None:
+    if len(trace) == 0:
+        raise CharacterizationError("cannot compute ILP of an empty trace")
+    for window in window_sizes:
+        if window < 1:
+            raise CharacterizationError(f"invalid window size: {window}")
+
+
 def ilp_ipc(
     trace: Trace,
     window_sizes: Sequence[int] = (32, 64, 128, 256),
     producers: "Tuple[np.ndarray, np.ndarray] | None" = None,
 ) -> np.ndarray:
     """Idealized-processor IPC for each window size.
+
+    Vectorized: all window sizes are computed from one offset-major
+    traversal (see :func:`window_cycle_counts`), producing exactly the
+    same cycle counts as :func:`ilp_ipc_reference`.
 
     Args:
         trace: the dynamic instruction trace.
@@ -121,17 +206,35 @@ def ilp_ipc(
     Raises:
         CharacterizationError: for an empty trace or bad window size.
     """
-    if len(trace) == 0:
-        raise CharacterizationError("cannot compute ILP of an empty trace")
-    for window in window_sizes:
-        if window < 1:
-            raise CharacterizationError(f"invalid window size: {window}")
+    _validate_ilp_inputs(trace, window_sizes)
+    if producers is None:
+        producers = producer_indices(trace)
+    producer1, producer2 = producers
+    n = len(trace)
+    cycle_counts = window_cycle_counts(producer1, producer2, window_sizes)
+    result = np.empty(len(window_sizes), dtype=float)
+    for position, cycles in enumerate(cycle_counts):
+        result[position] = n / cycles if cycles else 0.0
+    return result
+
+
+def ilp_ipc_reference(
+    trace: Trace,
+    window_sizes: Sequence[int] = (32, 64, 128, 256),
+    producers: "Tuple[np.ndarray, np.ndarray] | None" = None,
+) -> np.ndarray:
+    """Scalar ILP — re-walks the trace once per window size.
+
+    The executable specification the vectorized :func:`ilp_ipc` is
+    tested against; produces identical values.
+    """
+    _validate_ilp_inputs(trace, window_sizes)
     if producers is None:
         producers = producer_indices(trace)
     producer1, producer2 = producers
     n = len(trace)
     result = np.empty(len(window_sizes), dtype=float)
     for position, window in enumerate(window_sizes):
-        cycles = _window_critical_paths(producer1, producer2, window)
+        cycles = _window_critical_paths_reference(producer1, producer2, window)
         result[position] = n / cycles if cycles else 0.0
     return result

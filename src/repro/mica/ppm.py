@@ -22,6 +22,20 @@ PAg    per-branch local   one shared table
 GAs    global             separate tables per branch (PC)
 PAs    per-branch local   separate tables per branch (PC)
 =====  =================  ====================================
+
+Two implementations are provided:
+
+* :func:`ppm_predictabilities` — the production path.  It never walks
+  the branch stream in Python.  The key observation is that PPM's
+  context histories depend only on *actual* branch outcomes (never on
+  predictions), so every (table key, context) pair each branch consults
+  can be materialized up front as a packed integer key stream shared by
+  all four variants, and the count-table state any branch observes is
+  simply the number of earlier occurrences of its key with each
+  outcome — a grouped exclusive prefix sum.
+* :func:`ppm_predictabilities_reference` — the original scalar
+  predictor loop, retained as the executable specification that the
+  equivalence tests check the vectorized path against.
 """
 
 from __future__ import annotations
@@ -41,6 +55,11 @@ VARIANTS: Tuple[Tuple[str, bool, bool], ...] = (
     ("GAs", True, False),
     ("PAs", False, False),
 )
+
+#: Longest history the packed-key engine supports: context bits plus the
+#: dense PC index must fit one uint64 key (beyond this the scalar
+#: reference path is used; paper orders are tiny).
+MAX_VECTOR_ORDER = 24
 
 
 class PPMPredictor:
@@ -136,10 +155,139 @@ class PPMPredictor:
             counts[index] += 1
 
 
-def ppm_predictabilities(trace: Trace, max_order: int = 4) -> np.ndarray:
-    """Accuracies of the four PPM variants, in Table II order.
+# -- vectorized engine ----------------------------------------------------
 
-    Traces without branches yield zeros for all four characteristics.
+
+def _history_streams(
+    pcs: np.ndarray, outcomes: np.ndarray, max_order: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Global and per-PC local history bits seen by each branch.
+
+    Bit ``k-1`` of the history at branch ``t`` is the outcome of the
+    ``k``-th most recent prior branch (of any PC for the global stream,
+    of the same PC for the local stream), matching the shift-register
+    update of :class:`PPMPredictor`.
+    """
+    n = len(outcomes)
+    bits = outcomes.astype(np.uint64)
+    global_history = np.zeros(n, dtype=np.uint64)
+    for k in range(1, max_order + 1):
+        if k >= n:
+            break
+        global_history[k:] |= bits[:-k] << np.uint64(k - 1)
+
+    # Local histories: group the stream by PC (stable sort keeps time
+    # order within each group) and apply the same shifted-OR trick
+    # without crossing group boundaries.
+    order = np.argsort(pcs, kind="stable")
+    sorted_bits = bits[order]
+    new_group = np.ones(n, dtype=bool)
+    new_group[1:] = pcs[order][1:] != pcs[order][:-1]
+    positions = np.arange(n, dtype=np.int64)
+    group_ids = np.cumsum(new_group) - 1
+    group_start = positions[new_group][group_ids]
+    in_group = positions - group_start
+
+    local_sorted = np.zeros(n, dtype=np.uint64)
+    for k in range(1, max_order + 1):
+        valid = in_group >= k
+        if not valid.any():
+            break
+        local_sorted[valid] |= sorted_bits[positions[valid] - k] << np.uint64(
+            k - 1
+        )
+    local_history = np.empty(n, dtype=np.uint64)
+    local_history[order] = local_sorted
+    return global_history, local_history
+
+
+def _prior_outcome_counts(
+    keys: np.ndarray, outcomes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per branch: how many earlier branches shared its key, by outcome.
+
+    Equivalent to replaying the stream through a count table keyed by
+    ``keys`` and reading the entry just before each update, but computed
+    as a grouped exclusive prefix sum over the key-sorted stream.
+
+    Returns:
+        ``(taken_before, not_taken_before)`` int64 arrays.
+    """
+    n = len(keys)
+    # numpy's stable sort is a radix sort for <= 16-bit integers, several
+    # times faster than the 64-bit merge sort; key domains here are tiny
+    # (contexts, or dense PC ranks times contexts), so narrow when we can.
+    key_ceiling = int(keys.max()) if n else 0
+    if key_ceiling < (1 << 16):
+        keys = keys.astype(np.uint16)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_taken = outcomes[order].astype(np.int64)
+
+    new_group = np.ones(n, dtype=bool)
+    new_group[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    positions = np.arange(n, dtype=np.int64)
+    group_start = np.maximum.accumulate(np.where(new_group, positions, 0))
+
+    exclusive = np.cumsum(sorted_taken) - sorted_taken
+    taken_sorted = exclusive - exclusive[group_start]
+    not_taken_sorted = (positions - group_start) - taken_sorted
+
+    taken_before = np.empty(n, dtype=np.int64)
+    not_taken_before = np.empty(n, dtype=np.int64)
+    taken_before[order] = taken_sorted
+    not_taken_before[order] = not_taken_sorted
+    return taken_before, not_taken_before
+
+
+def _variant_correct_count(
+    history: np.ndarray,
+    pc_keys: "np.ndarray | None",
+    outcomes: np.ndarray,
+    max_order: int,
+    order0_counts,
+) -> int:
+    """Number of correct predictions for one variant, fully vectorized.
+
+    Walks orders longest-first exactly like :meth:`PPMPredictor._predict`
+    (unseen and tied contexts both escape; the cold default predicts
+    taken), deciding each branch at the first informative order.
+
+    ``order0_counts()`` supplies the order-0 table state, which ignores
+    history and is therefore shared by both variants of a table scheme.
+    """
+    n = len(outcomes)
+    prediction = np.ones(n, dtype=bool)
+    undecided = np.ones(n, dtype=bool)
+    for order in range(max_order, -1, -1):
+        if not undecided.any():
+            break
+        if order == 0:
+            taken_before, not_taken_before = order0_counts()
+        else:
+            keys = history & np.uint64((1 << order) - 1)
+            if pc_keys is not None:
+                keys = keys | pc_keys
+            taken_before, not_taken_before = _prior_outcome_counts(
+                keys, outcomes
+            )
+        informative = undecided & (taken_before != not_taken_before)
+        prediction[informative] = (
+            taken_before[informative] > not_taken_before[informative]
+        )
+        undecided &= ~informative
+    return int((prediction == outcomes).sum())
+
+
+def ppm_predictabilities_reference(
+    trace: Trace, max_order: int = 4
+) -> np.ndarray:
+    """Scalar PPM accuracies — the executable specification.
+
+    Runs the four :class:`PPMPredictor` instances over the branch stream
+    one branch at a time.  Slow (per-instruction Python dict traffic)
+    but trivially auditable; the vectorized
+    :func:`ppm_predictabilities` must match it exactly.
     """
     if len(trace) == 0:
         raise CharacterizationError(
@@ -162,3 +310,69 @@ def ppm_predictabilities(trace: Trace, max_order: int = 4) -> np.ndarray:
         for pc, taken in zip(pcs, takens):
             predict(pc, taken)
     return np.array([predictor.accuracy for predictor in predictors])
+
+
+def ppm_predictabilities(trace: Trace, max_order: int = 4) -> np.ndarray:
+    """Accuracies of the four PPM variants, in Table II order.
+
+    Single-pass vectorized implementation: the global and local history
+    streams are materialized once, each (variant, order) context is
+    packed into one integer key per branch, and the count-table state a
+    branch would observe is recovered with grouped exclusive prefix
+    sums — no per-branch Python loop.  Produces bit-identical values to
+    :func:`ppm_predictabilities_reference`.
+
+    Traces without branches yield zeros for all four characteristics.
+    """
+    if len(trace) == 0:
+        raise CharacterizationError(
+            "cannot compute predictability of an empty trace"
+        )
+    if max_order < 1:
+        raise CharacterizationError("max_order must be >= 1")
+    if max_order > MAX_VECTOR_ORDER:
+        return ppm_predictabilities_reference(trace, max_order)
+
+    pcs = trace.branch_pcs
+    outcomes = trace.branch_outcomes
+    n = len(outcomes)
+    if n == 0:
+        return np.zeros(len(VARIANTS))
+
+    global_history, local_history = _history_streams(pcs, outcomes, max_order)
+    # Dense PC ranks, packed above the (<= max_order) context bits so a
+    # (table key, context) pair is one uint64 for every order at once.
+    _, pc_ids = np.unique(pcs, return_inverse=True)
+    pc_keys = (pc_ids.astype(np.uint64) + np.uint64(1)) << np.uint64(max_order)
+
+    # Order-0 contexts ignore history, so their table state is shared
+    # by the G/P variants of each table scheme; the single shared table
+    # needs no sort at all (its counts are global running totals).
+    order0_cache: Dict[bool, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def order0_counts(shared_table: bool):
+        counts = order0_cache.get(shared_table)
+        if counts is None:
+            if shared_table:
+                taken_before = np.cumsum(outcomes) - outcomes
+                not_taken_before = (
+                    np.arange(n, dtype=np.int64) - taken_before
+                )
+                counts = (taken_before, not_taken_before)
+            else:
+                counts = _prior_outcome_counts(pc_keys, outcomes)
+            order0_cache[shared_table] = counts
+        return counts
+
+    accuracies = np.empty(len(VARIANTS), dtype=float)
+    for position, (_, use_global, shared_table) in enumerate(VARIANTS):
+        history = global_history if use_global else local_history
+        correct = _variant_correct_count(
+            history,
+            None if shared_table else pc_keys,
+            outcomes,
+            max_order,
+            lambda shared=shared_table: order0_counts(shared),
+        )
+        accuracies[position] = correct / n
+    return accuracies

@@ -1,0 +1,42 @@
+"""Performance subsystem: characterization caching and benchmarking.
+
+The ROADMAP north star is "as fast as the hardware allows".  This
+package holds the two pieces that are about *speed* rather than paper
+semantics:
+
+* :mod:`repro.perf.cache` — an on-disk characterization cache keyed by
+  trace **content** hash plus the configuration fingerprint, so a
+  benchmark whose trace has not changed is never re-analyzed, across
+  processes and across runs.
+* :mod:`repro.perf.timing` — the MICA benchmark harness: it times every
+  analyzer (and the retained scalar reference implementations of PPM
+  and ILP) on a standard trace and emits the machine-readable
+  ``BENCH_mica.json`` that tracks the performance trajectory across
+  PRs.
+
+Both are consumed by :func:`repro.experiments.build_dataset` (per-trace
+cache under parallel workers) and the CLI (``--jobs``, ``--cache-dir``,
+``python -m repro bench``).
+"""
+
+from .cache import (
+    CharacterizationCache,
+    cached_characterize,
+    trace_fingerprint,
+)
+from .timing import (
+    AnalyzerTiming,
+    MicaBenchResult,
+    run_mica_bench,
+    write_bench_json,
+)
+
+__all__ = [
+    "CharacterizationCache",
+    "cached_characterize",
+    "trace_fingerprint",
+    "AnalyzerTiming",
+    "MicaBenchResult",
+    "run_mica_bench",
+    "write_bench_json",
+]

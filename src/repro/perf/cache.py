@@ -1,0 +1,138 @@
+"""On-disk characterization cache.
+
+Characterizing one trace is pure: the 47-dimensional MICA vector (and
+the 7-dimensional HPC vector) depend only on the trace contents and the
+characterization fields of :class:`~repro.config.ReproConfig`.  The
+cache therefore keys entries by::
+
+    sha256(trace bytes) + config.characterization_fingerprint() + version
+
+and stores one small ``.npz`` per trace.  Entries survive process
+restarts, are shared by parallel dataset workers, and stay valid under
+population changes (unlike the dataset-level cache, which is keyed by
+the full benchmark name list).
+
+Bump :data:`CHAR_CACHE_VERSION` whenever analyzer semantics change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import DEFAULT_CONFIG, ReproConfig
+from ..mica import CharacteristicVector, characterize
+from ..trace import Trace
+
+#: Bump when any analyzer changes its output for the same trace/config.
+CHAR_CACHE_VERSION = 1
+
+
+def trace_fingerprint(trace: Trace) -> str:
+    """Content hash of a trace (independent of its name).
+
+    Two traces with identical instruction streams hash identically, so
+    renamed or regenerated-but-equal traces share cache entries.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(trace.data.dtype).encode())
+    digest.update(trace.data.tobytes())
+    return digest.hexdigest()[:32]
+
+
+def _entry_key(trace: Trace, config: ReproConfig) -> str:
+    payload = (
+        f"{CHAR_CACHE_VERSION}:{trace_fingerprint(trace)}:"
+        f"{config.characterization_fingerprint()}"
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+class CharacterizationCache:
+    """Directory of per-trace characterization results.
+
+    Args:
+        directory: cache root; created lazily on first store.
+
+    Entries are written atomically (temp file + rename) so concurrent
+    workers characterizing the same trace cannot corrupt each other.
+    """
+
+    def __init__(self, directory: "Path | str"):
+        self.directory = Path(directory)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"char-{key}.npz"
+
+    def load(
+        self, trace: Trace, config: ReproConfig = DEFAULT_CONFIG
+    ) -> "Optional[np.ndarray]":
+        """The cached 47-dimensional vector, or None on a miss."""
+        path = self._path(_entry_key(trace, config))
+        if not path.is_file():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                return archive["values"]
+        except (OSError, ValueError, KeyError):
+            # A truncated or foreign file is a miss, not an error.
+            return None
+
+    def store(
+        self,
+        trace: Trace,
+        config: ReproConfig,
+        values: np.ndarray,
+    ) -> Path:
+        """Persist one characterization result; returns the entry path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(_entry_key(trace, config))
+        # Keep the .npz suffix so np.savez does not rename the file.
+        temporary = path.with_name(f"{path.stem}.tmp{os.getpid()}.npz")
+        np.savez(temporary, values=values)
+        os.replace(temporary, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete all entries; returns the number removed."""
+        if not self.directory.is_dir():
+            return 0
+        removed = 0
+        for path in self.directory.glob("char-*.npz"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("char-*.npz"))
+
+
+def cached_characterize(
+    trace: Trace,
+    config: ReproConfig = DEFAULT_CONFIG,
+    cache_dir: "Path | str | None" = None,
+) -> CharacteristicVector:
+    """:func:`repro.mica.characterize` behind the on-disk cache.
+
+    With ``cache_dir=None`` this is exactly ``characterize``; otherwise
+    hits skip every analyzer and misses populate the cache.
+
+    Returns:
+        The trace's :class:`~repro.mica.CharacteristicVector` (cached
+        values are re-wrapped with the trace's current name).
+    """
+    if cache_dir is None:
+        return characterize(trace, config)
+    cache = CharacterizationCache(cache_dir)
+    values = cache.load(trace, config)
+    if values is None:
+        vector = characterize(trace, config)
+        cache.store(trace, config, vector.values)
+        return vector
+    return CharacteristicVector(name=trace.name, values=values)

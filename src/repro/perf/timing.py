@@ -1,0 +1,241 @@
+"""MICA benchmark harness: per-analyzer wall time and throughput.
+
+:func:`run_mica_bench` times every Table II analyzer — and the retained
+scalar reference implementations of the two historically dominant ones
+(PPM and ILP) — on one synthetic trace, reporting the best-of-N wall
+time and the instructions-per-second throughput for each.  The result
+serializes to the repo-level ``BENCH_mica.json`` so each PR can record
+its point on the performance trajectory.
+
+How to read the output:
+
+* ``analyzers.<name>.seconds`` — best-of-``repeats`` wall time of one
+  full-trace analysis.
+* ``analyzers.<name>.instructions_per_second`` — trace length divided
+  by that time (the honest cross-machine comparable).
+* ``speedups.ppm`` / ``speedups.ilp`` — reference time over vectorized
+  time for the same work; the acceptance floor for this engine is 10x
+  (PPM) and 5x (ILP).
+* ``characterize`` — one end-to-end 47-characteristic vector, the
+  number dataset builds actually feel per benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+from ..config import DEFAULT_CONFIG, ReproConfig
+from ..mica import characterize
+from ..mica.ilp import ilp_ipc, ilp_ipc_reference, producer_indices
+from ..mica.instruction_mix import instruction_mix
+from ..mica.ppm import ppm_predictabilities, ppm_predictabilities_reference
+from ..mica.register_traffic import register_traffic
+from ..mica.strides import stride_profile
+from ..mica.working_set import working_set
+from ..trace import Trace
+
+#: Default benchmark workload: a registry profile with a typical mix.
+DEFAULT_BENCH_PROFILE = "spec2000/vpr/place"
+
+
+@dataclass(frozen=True)
+class AnalyzerTiming:
+    """Best-of-N wall time for one analyzer over one trace."""
+
+    name: str
+    seconds: float
+    instructions: int
+
+    @property
+    def instructions_per_second(self) -> float:
+        return self.instructions / self.seconds if self.seconds else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "seconds": self.seconds,
+            "instructions_per_second": self.instructions_per_second,
+        }
+
+
+@dataclass(frozen=True)
+class MicaBenchResult:
+    """One harness run: per-analyzer timings plus derived speedups."""
+
+    trace_length: int
+    profile: str
+    repeats: int
+    timings: Tuple[AnalyzerTiming, ...]
+    speedups: Dict[str, float] = field(default_factory=dict)
+
+    def timing(self, name: str) -> AnalyzerTiming:
+        for entry in self.timings:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": "BENCH_mica/v1",
+            "meta": {
+                "trace_length": self.trace_length,
+                "profile": self.profile,
+                "repeats": self.repeats,
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+            },
+            "analyzers": {
+                entry.name: entry.as_dict() for entry in self.timings
+            },
+            "speedups": dict(self.speedups),
+        }
+
+    def format(self) -> str:
+        """Human-readable table of the run."""
+        lines = [
+            f"MICA perf harness — {self.profile}, "
+            f"{self.trace_length:,} instructions, best of {self.repeats}"
+        ]
+        for entry in self.timings:
+            lines.append(
+                f"  {entry.name:<22} {entry.seconds * 1e3:>9.2f} ms"
+                f"  {entry.instructions_per_second / 1e6:>8.1f} Minstr/s"
+            )
+        for name, ratio in self.speedups.items():
+            lines.append(f"  speedup[{name}]: {ratio:.1f}x vs reference")
+        return "\n".join(lines)
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def run_mica_bench(
+    trace: "Trace | None" = None,
+    config: ReproConfig = DEFAULT_CONFIG,
+    trace_length: "int | None" = None,
+    profile_name: str = DEFAULT_BENCH_PROFILE,
+    repeats: int = 3,
+    include_reference: bool = True,
+) -> MicaBenchResult:
+    """Time every MICA analyzer on one trace.
+
+    Args:
+        trace: trace to analyze (default: generate ``trace_length``
+            instructions of ``profile_name`` from the registry).
+        config: characterization parameters.
+        trace_length: generated-trace length (default: the config's).
+        profile_name: registry benchmark supplying the workload profile.
+        repeats: timing repetitions; the best (minimum) is reported.
+        include_reference: also time the scalar PPM/ILP references and
+            report ``speedups`` (skip for quick trend-only runs).
+    """
+    if repeats < 1:
+        from ..errors import ConfigurationError
+
+        raise ConfigurationError("bench repeats must be >= 1")
+    if trace is None:
+        from ..synth import generate_trace
+        from ..workloads import get_benchmark
+
+        length = trace_length or config.trace_length
+        benchmark = get_benchmark(profile_name)
+        trace = generate_trace(benchmark.profile, length)
+    n = len(trace)
+    producers = producer_indices(trace)
+
+    cases: List[Tuple[str, Callable[[], object]]] = [
+        ("instruction_mix", lambda: instruction_mix(trace)),
+        ("producer_indices", lambda: producer_indices(trace)),
+        (
+            "ilp_ipc",
+            lambda: ilp_ipc(
+                trace, config.ilp_window_sizes, producers=producers
+            ),
+        ),
+        (
+            "register_traffic",
+            lambda: register_traffic(
+                trace, config.reg_dep_thresholds, producers=producers
+            ),
+        ),
+        (
+            "working_set",
+            lambda: working_set(trace, config.block_bytes, config.page_bytes),
+        ),
+        (
+            "stride_profile",
+            lambda: stride_profile(trace, config.stride_thresholds),
+        ),
+        (
+            "ppm_predictabilities",
+            lambda: ppm_predictabilities(trace, config.ppm_max_order),
+        ),
+        ("characterize", lambda: characterize(trace, config)),
+    ]
+    if include_reference:
+        cases.extend([
+            (
+                "ilp_ipc_reference",
+                lambda: ilp_ipc_reference(
+                    trace, config.ilp_window_sizes, producers=producers
+                ),
+            ),
+            (
+                "ppm_reference",
+                lambda: ppm_predictabilities_reference(
+                    trace, config.ppm_max_order
+                ),
+            ),
+        ])
+
+    timings = tuple(
+        AnalyzerTiming(name=name, seconds=_best_of(fn, repeats),
+                       instructions=n)
+        for name, fn in cases
+    )
+    result = MicaBenchResult(
+        trace_length=n,
+        profile=trace.name or profile_name,
+        repeats=repeats,
+        timings=timings,
+    )
+    if include_reference:
+        speedups = {
+            "ppm": (
+                result.timing("ppm_reference").seconds
+                / result.timing("ppm_predictabilities").seconds
+            ),
+            "ilp": (
+                result.timing("ilp_ipc_reference").seconds
+                / result.timing("ilp_ipc").seconds
+            ),
+        }
+        result = MicaBenchResult(
+            trace_length=result.trace_length,
+            profile=result.profile,
+            repeats=result.repeats,
+            timings=result.timings,
+            speedups=speedups,
+        )
+    return result
+
+
+def write_bench_json(
+    result: MicaBenchResult, path: "Path | str"
+) -> Path:
+    """Serialize one harness run to ``BENCH_mica.json``."""
+    destination = Path(path)
+    destination.write_text(json.dumps(result.as_dict(), indent=2) + "\n")
+    return destination

@@ -5,16 +5,30 @@ records (dtype :data:`repro.isa.TRACE_DTYPE`).  All MICA analyzers and
 microarchitecture simulators operate on this container.  The wrapper adds
 convenient column views, class masks, and cheap derived streams (load
 addresses, branch outcomes) that several analyzers share.
+
+The underlying array is immutable, so every column view, class mask and
+derived stream is computed once and memoized: analyzers that read the
+same column repeatedly (or mix mask-derived streams) never re-slice the
+structured array.  Bulk record iteration goes through
+:meth:`Trace.records`, which converts each column to Python scalars once
+and skips per-row re-validation of data that was validated when the
+trace was built.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Dict, Iterator
 
 import numpy as np
 
 from ..errors import TraceError
-from ..isa import TRACE_DTYPE, InstructionRecord, OpClass, record_from_row
+from ..isa import (
+    TRACE_DTYPE,
+    InstructionRecord,
+    OpClass,
+    record_from_row,
+    unchecked_record,
+)
 
 
 class Trace:
@@ -38,6 +52,19 @@ class Trace:
         self._data = data
         self._data.setflags(write=False)
         self.name = name
+        # Memoized column views / masks / derived streams; safe because
+        # the backing array is read-only for the trace's lifetime.
+        self._derived: Dict[str, np.ndarray] = {}
+
+    def _cached(self, key: str, compute) -> np.ndarray:
+        array = self._derived.get(key)
+        if array is None:
+            array = compute()
+            self._derived[key] = array
+        return array
+
+    def _column(self, field: str) -> np.ndarray:
+        return self._cached(field, lambda: self._data[field])
 
     # -- container protocol -------------------------------------------------
 
@@ -45,12 +72,46 @@ class Trace:
         return len(self._data)
 
     def __iter__(self) -> Iterator[InstructionRecord]:
-        for row in self._data:
-            yield record_from_row(row)
+        return self.records()
+
+    #: Rows converted to Python scalars per batch during iteration —
+    #: large enough to amortize the columnar tolist(), small enough
+    #: that early-exiting consumers never materialize a whole trace.
+    _RECORD_CHUNK = 8192
+
+    def records(self) -> Iterator[InstructionRecord]:
+        """Iterate :class:`InstructionRecord` views of every row.
+
+        The bulk path: columns are converted to Python scalars one
+        chunk at a time and records are built without per-row
+        validation (the array was validated on construction), which is
+        several times faster than row-wise structured-array access.
+        """
+        for start in range(0, len(self._data), self._RECORD_CHUNK):
+            stop = start + self._RECORD_CHUNK
+            opclasses = [
+                OpClass(value)
+                for value in self.opclass[start:stop].tolist()
+            ]
+            rows = zip(
+                self.pc[start:stop].tolist(),
+                opclasses,
+                self.src1[start:stop].tolist(),
+                self.src2[start:stop].tolist(),
+                self.dst[start:stop].tolist(),
+                self.mem_addr[start:stop].tolist(),
+                self.taken[start:stop].tolist(),
+                self.target[start:stop].tolist(),
+            )
+            for pc, opclass, src1, src2, dst, mem_addr, taken, target in rows:
+                yield unchecked_record(
+                    pc, opclass, src1, src2, dst, mem_addr, bool(taken),
+                    target,
+                )
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return Trace(self._data[index].copy(), name=self.name)
+            return Trace(self._data[index], name=self.name)
         return record_from_row(self._data[int(index)])
 
     def __repr__(self) -> str:
@@ -66,41 +127,43 @@ class Trace:
 
     @property
     def pc(self) -> np.ndarray:
-        return self._data["pc"]
+        return self._column("pc")
 
     @property
     def opclass(self) -> np.ndarray:
-        return self._data["opclass"]
+        return self._column("opclass")
 
     @property
     def src1(self) -> np.ndarray:
-        return self._data["src1"]
+        return self._column("src1")
 
     @property
     def src2(self) -> np.ndarray:
-        return self._data["src2"]
+        return self._column("src2")
 
     @property
     def dst(self) -> np.ndarray:
-        return self._data["dst"]
+        return self._column("dst")
 
     @property
     def mem_addr(self) -> np.ndarray:
-        return self._data["mem_addr"]
+        return self._column("mem_addr")
 
     @property
     def taken(self) -> np.ndarray:
-        return self._data["taken"]
+        return self._column("taken")
 
     @property
     def target(self) -> np.ndarray:
-        return self._data["target"]
+        return self._column("target")
 
     # -- class masks ----------------------------------------------------------
 
     def mask(self, opclass: OpClass) -> np.ndarray:
         """Boolean mask selecting instructions of one class."""
-        return self.opclass == int(opclass)
+        return self._cached(
+            f"mask:{int(opclass)}", lambda: self.opclass == int(opclass)
+        )
 
     @property
     def load_mask(self) -> np.ndarray:
@@ -112,7 +175,9 @@ class Trace:
 
     @property
     def memory_mask(self) -> np.ndarray:
-        return self.load_mask | self.store_mask
+        return self._cached(
+            "memory_mask", lambda: self.load_mask | self.store_mask
+        )
 
     @property
     def branch_mask(self) -> np.ndarray:
@@ -123,22 +188,29 @@ class Trace:
     @property
     def load_addresses(self) -> np.ndarray:
         """Effective addresses of loads, in program order."""
-        return self.mem_addr[self.load_mask]
+        return self._cached(
+            "load_addresses", lambda: self.mem_addr[self.load_mask]
+        )
 
     @property
     def store_addresses(self) -> np.ndarray:
         """Effective addresses of stores, in program order."""
-        return self.mem_addr[self.store_mask]
+        return self._cached(
+            "store_addresses", lambda: self.mem_addr[self.store_mask]
+        )
 
     @property
     def branch_pcs(self) -> np.ndarray:
         """PCs of control transfers, in program order."""
-        return self.pc[self.branch_mask]
+        return self._cached("branch_pcs", lambda: self.pc[self.branch_mask])
 
     @property
     def branch_outcomes(self) -> np.ndarray:
         """Taken/not-taken outcomes of control transfers, in program order."""
-        return self.taken[self.branch_mask].astype(bool)
+        return self._cached(
+            "branch_outcomes",
+            lambda: self.taken[self.branch_mask].astype(bool),
+        )
 
     def class_counts(self) -> "dict[OpClass, int]":
         """Dynamic instruction count per class."""

@@ -22,6 +22,23 @@ from repro.synth import (
 from repro.trace import Trace, TraceBuilder
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="run tests marked slow (perf harness, end-to-end runs)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Keep tier-1 ``pytest -x -q`` fast: deselect slow-marked tests."""
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
 #: A fast configuration shared by tests that need one.
 TEST_CONFIG = ReproConfig(
     trace_length=5_000,

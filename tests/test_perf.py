@@ -1,0 +1,218 @@
+"""Tests for the repro.perf subsystem: cache, harness, parallel builds."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.perf.cache as perf_cache
+from repro.config import DEFAULT_CONFIG, ReproConfig
+from repro.experiments import build_dataset
+from repro.experiments.dataset import _MEMORY_CACHE
+from repro.mica import NUM_CHARACTERISTICS, characterize
+from repro.perf import (
+    CharacterizationCache,
+    MicaBenchResult,
+    cached_characterize,
+    run_mica_bench,
+    trace_fingerprint,
+    write_bench_json,
+)
+from repro.synth import WorkloadProfile, generate_trace
+from repro.trace import TraceBuilder
+
+SMALL_CONFIG = ReproConfig(trace_length=2_000)
+
+
+@pytest.fixture()
+def tiny_trace():
+    return generate_trace(WorkloadProfile(name="perf/t/1"), 2_000)
+
+
+class TestTraceFingerprint:
+    def test_deterministic(self, tiny_trace):
+        assert trace_fingerprint(tiny_trace) == trace_fingerprint(tiny_trace)
+
+    def test_name_independent(self):
+        first = generate_trace(WorkloadProfile(name="perf/a/1"), 500)
+        renamed = type(first)(first.data.copy(), name="other/name")
+        assert trace_fingerprint(first) == trace_fingerprint(renamed)
+
+    def test_content_sensitive(self):
+        builder = TraceBuilder()
+        builder.alu(0x1000, dst=1)
+        one = builder.build()
+        builder2 = TraceBuilder()
+        builder2.alu(0x1000, dst=2)
+        other = builder2.build()
+        assert trace_fingerprint(one) != trace_fingerprint(other)
+
+
+class TestConfigFingerprint:
+    def test_ignores_non_characterization_fields(self):
+        base = DEFAULT_CONFIG
+        other = base.with_overrides(trace_length=123, ga_generations=2)
+        assert (
+            base.characterization_fingerprint()
+            == other.characterization_fingerprint()
+        )
+
+    def test_tracks_characterization_fields(self):
+        base = DEFAULT_CONFIG
+        other = base.with_overrides(ppm_max_order=6)
+        assert (
+            base.characterization_fingerprint()
+            != other.characterization_fingerprint()
+        )
+
+
+class TestCharacterizationCache:
+    def test_miss_then_hit(self, tiny_trace, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        assert cache.load(tiny_trace, SMALL_CONFIG) is None
+        vector = characterize(tiny_trace, SMALL_CONFIG)
+        cache.store(tiny_trace, SMALL_CONFIG, vector.values)
+        assert len(cache) == 1
+        loaded = cache.load(tiny_trace, SMALL_CONFIG)
+        assert np.array_equal(loaded, vector.values)
+
+    def test_config_keys_separate_entries(self, tiny_trace, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        vector = characterize(tiny_trace, SMALL_CONFIG)
+        cache.store(tiny_trace, SMALL_CONFIG, vector.values)
+        assert cache.load(
+            tiny_trace, SMALL_CONFIG.with_overrides(ppm_max_order=2)
+        ) is None
+
+    def test_corrupt_entry_is_a_miss(self, tiny_trace, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        vector = characterize(tiny_trace, SMALL_CONFIG)
+        path = cache.store(tiny_trace, SMALL_CONFIG, vector.values)
+        path.write_bytes(b"not an npz")
+        assert cache.load(tiny_trace, SMALL_CONFIG) is None
+
+    def test_clear(self, tiny_trace, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        vector = characterize(tiny_trace, SMALL_CONFIG)
+        cache.store(tiny_trace, SMALL_CONFIG, vector.values)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_cached_characterize_warm_skips_analyzers(
+        self, tiny_trace, tmp_path, monkeypatch
+    ):
+        cold = cached_characterize(tiny_trace, SMALL_CONFIG, tmp_path)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("analyzers ran on a warm cache")
+
+        monkeypatch.setattr(perf_cache, "characterize", boom)
+        warm = cached_characterize(tiny_trace, SMALL_CONFIG, tmp_path)
+        assert np.array_equal(cold.values, warm.values)
+        assert warm.name == tiny_trace.name
+
+    def test_no_cache_dir_is_plain_characterize(self, tiny_trace):
+        direct = characterize(tiny_trace, SMALL_CONFIG)
+        wrapped = cached_characterize(tiny_trace, SMALL_CONFIG, None)
+        assert np.array_equal(direct.values, wrapped.values)
+
+
+class TestParallelDatasetBuilds:
+    def test_jobs_warm_cache_matches_serial_cold(
+        self, small_population, tmp_path
+    ):
+        population = small_population[:3]
+        _MEMORY_CACHE.clear()
+        serial_cold = build_dataset(
+            SMALL_CONFIG,
+            benchmarks=population,
+            cache_dir=tmp_path,
+            jobs=1,
+        )
+        # Remove the dataset-level matrices but keep the per-trace
+        # entries, so the parallel build must go through the workers
+        # and the warm repro.perf cache.
+        removed = list(tmp_path.glob("dataset-*.npz"))
+        for path in removed:
+            path.unlink()
+        assert removed, "serial build should have written the dataset cache"
+        assert list(tmp_path.glob("char-*.npz")), (
+            "serial build should have populated the per-trace cache"
+        )
+        _MEMORY_CACHE.clear()
+        parallel_warm = build_dataset(
+            SMALL_CONFIG,
+            benchmarks=population,
+            cache_dir=tmp_path,
+            jobs=2,
+        )
+        assert parallel_warm.names == serial_cold.names
+        assert np.array_equal(parallel_warm.mica, serial_cold.mica)
+        assert np.array_equal(parallel_warm.hpc, serial_cold.hpc)
+        _MEMORY_CACHE.clear()
+
+    def test_jobs_alias_workers(self, small_population, tmp_path):
+        population = small_population[:2]
+        via_workers = build_dataset(
+            SMALL_CONFIG, benchmarks=population, use_cache=False, workers=1
+        )
+        via_jobs = build_dataset(
+            SMALL_CONFIG, benchmarks=population, use_cache=False, jobs=1
+        )
+        assert np.array_equal(via_workers.mica, via_jobs.mica)
+
+
+class TestMicaBenchHarness:
+    def test_smoke_run_structure(self, tiny_trace):
+        result = run_mica_bench(trace=tiny_trace, repeats=1)
+        names = {timing.name for timing in result.timings}
+        assert {"ppm_predictabilities", "ilp_ipc", "characterize",
+                "ppm_reference", "ilp_ipc_reference"} <= names
+        assert set(result.speedups) == {"ppm", "ilp"}
+        assert all(timing.seconds >= 0.0 for timing in result.timings)
+        assert result.trace_length == len(tiny_trace)
+        assert "Minstr/s" in result.format()
+
+    def test_bench_json_round_trip(self, tiny_trace, tmp_path):
+        result = run_mica_bench(
+            trace=tiny_trace, repeats=1, include_reference=False
+        )
+        assert result.speedups == {}
+        path = write_bench_json(result, tmp_path / "BENCH_mica.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "BENCH_mica/v1"
+        assert payload["meta"]["trace_length"] == len(tiny_trace)
+        for entry in payload["analyzers"].values():
+            assert entry["seconds"] >= 0.0
+            assert entry["instructions_per_second"] >= 0.0
+
+    def test_cli_bench_writes_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "BENCH_mica.json"
+        code = main([
+            "--trace-length", "2000",
+            "bench", "--repeats", "1", "--output", str(output),
+        ])
+        assert code == 0
+        assert output.is_file()
+        payload = json.loads(output.read_text())
+        assert "speedups" in payload
+        assert "MICA perf harness" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_speedup_floors_at_default_trace_length():
+    """Acceptance floors for the vectorized engine: >=10x PPM, >=5x ILP
+    over the scalar references at the default trace length."""
+    result = run_mica_bench(repeats=3)
+    assert result.trace_length == DEFAULT_CONFIG.trace_length
+    assert result.speedups["ppm"] >= 10.0
+    assert result.speedups["ilp"] >= 5.0
+
+
+def test_characteristic_vector_dimensions(tiny_trace, tmp_path):
+    vector = cached_characterize(tiny_trace, SMALL_CONFIG, tmp_path)
+    assert vector.values.shape == (NUM_CHARACTERISTICS,)
