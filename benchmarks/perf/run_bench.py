@@ -2,7 +2,9 @@
 """MICA perf-harness entry point.
 
 Times every Table II analyzer (plus the scalar PPM/ILP references) and
-writes the machine-readable ``BENCH_mica.json`` trajectory file.  Also
+the trace-generation engine (batch interpreter/expansion vs their
+scalar references, cold-vs-warm dataset builds), then writes the
+machine-readable ``BENCH_mica.json`` trajectory file.  Also
 reachable as ``python -m repro bench``; this thin wrapper exists so the
 harness can be invoked from a checkout without installing the package::
 
@@ -49,6 +51,10 @@ def main(argv: "list[str] | None" = None) -> int:
         "--no-reference", action="store_true",
         help="skip the slow scalar reference timings",
     )
+    parser.add_argument(
+        "--no-generation", action="store_true",
+        help="skip the trace-generation engine timings",
+    )
     args = parser.parse_args(argv)
 
     config = (
@@ -61,6 +67,7 @@ def main(argv: "list[str] | None" = None) -> int:
         profile_name=args.profile,
         repeats=args.repeats,
         include_reference=not args.no_reference,
+        include_generation=not args.no_generation,
     )
     print(result.format())
     if args.output:

@@ -113,6 +113,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         profile_name=args.profile,
         repeats=args.repeats,
         include_reference=not args.no_reference,
+        include_generation=not args.no_generation,
     )
     print(result.format())
     if args.output:
@@ -288,6 +289,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--no-reference", action="store_true",
         help="skip the slow scalar reference timings",
+    )
+    bench_parser.add_argument(
+        "--no-generation", action="store_true",
+        help="skip the trace-generation engine timings",
     )
     commands.add_parser("fig1", help="Figure 1: distance scatter")
     commands.add_parser("table3", help="Table III: quadrant fractions")

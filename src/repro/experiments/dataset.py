@@ -26,12 +26,12 @@ from ..config import DEFAULT_CONFIG, ReproConfig
 from ..errors import AnalysisError
 from ..analysis import pairwise_distances, zscore
 from ..mica import characterize, characteristic_names
-from ..synth import generate_trace
 from ..uarch import HPC_METRIC_NAMES, collect_hpc
 from ..workloads import Benchmark, all_benchmarks
 
-#: Cache format version — bump when characterization semantics change.
-CACHE_VERSION = 4
+#: Cache format version — bump when characterization or trace-generation
+#: semantics change.
+CACHE_VERSION = 5
 
 _MEMORY_CACHE: "Dict[str, WorkloadDataset]" = {}
 
@@ -105,16 +105,22 @@ def _characterize_one(args: "Tuple[str, int, int, dict, str | None]"):
 
     Runs in a separate process, so it re-resolves the benchmark from
     the registry by name (profiles are deterministic).  When a cache
-    directory is given, the 47-dimensional vector goes through the
-    per-trace :mod:`repro.perf` cache, shared across workers and runs.
+    directory is given, the trace comes from the profile+seed-keyed
+    :mod:`repro.perf` trace cache (warm runs never invoke the
+    generator) and the 47-dimensional vector goes through the
+    content-keyed characterization cache above it, both shared across
+    workers and runs.
     """
     name, trace_length, seed, config_kwargs, cache_dir = args
-    from ..perf import cached_characterize  # Local import for workers.
+    # Local imports keep worker startup lean.
+    from ..perf import cached_characterize, cached_generate_trace
     from ..workloads import get_benchmark
 
     config = ReproConfig(**config_kwargs)
     benchmark = get_benchmark(name)
-    trace = generate_trace(benchmark.profile, trace_length, seed=seed)
+    trace = cached_generate_trace(
+        benchmark.profile, trace_length, seed=seed, cache_dir=cache_dir
+    )
     mica_vector = cached_characterize(trace, config, cache_dir).values
     hpc_vector = collect_hpc(trace).values
     return name, mica_vector, hpc_vector
@@ -134,8 +140,14 @@ def _config_kwargs(config: ReproConfig) -> dict:
 
 
 def _cache_key(config: ReproConfig, names: Sequence[str]) -> str:
-    payload = repr((CACHE_VERSION, sorted(_config_kwargs(config).items()),
-                    tuple(names)))
+    # The upstream semantic versions are part of the key, so a
+    # generation-protocol or analyzer bump invalidates dataset matrices
+    # mechanically instead of relying on a manual CACHE_VERSION bump.
+    from ..perf.cache import CHAR_CACHE_VERSION
+    from ..synth import TRACE_GEN_VERSION
+
+    payload = repr((CACHE_VERSION, TRACE_GEN_VERSION, CHAR_CACHE_VERSION,
+                    sorted(_config_kwargs(config).items()), tuple(names)))
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
 
@@ -150,10 +162,13 @@ def default_cache_dir() -> Path:
 def clear_dataset_cache(cache_dir: "Path | None" = None) -> int:
     """Delete cached datasets (in-memory and on disk).
 
+    Clears all three cache levels: the dataset-level matrices, the
+    per-trace characterization entries and the generated-trace entries.
+
     Returns:
         Number of disk cache files removed.
     """
-    from ..perf import CharacterizationCache
+    from ..perf import CharacterizationCache, TraceCache
 
     _MEMORY_CACHE.clear()
     directory = cache_dir or default_cache_dir()
@@ -163,6 +178,7 @@ def clear_dataset_cache(cache_dir: "Path | None" = None) -> int:
             path.unlink()
             removed += 1
         removed += CharacterizationCache(directory).clear()
+        removed += TraceCache(directory).clear()
     return removed
 
 

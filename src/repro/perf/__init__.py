@@ -4,15 +4,20 @@ The ROADMAP north star is "as fast as the hardware allows".  This
 package holds the two pieces that are about *speed* rather than paper
 semantics:
 
-* :mod:`repro.perf.cache` — an on-disk characterization cache keyed by
-  trace **content** hash plus the configuration fingerprint, so a
-  benchmark whose trace has not changed is never re-analyzed, across
-  processes and across runs.
+* :mod:`repro.perf.cache` — the on-disk cache hierarchy: a
+  characterization cache keyed by trace **content** hash plus the
+  configuration fingerprint (a benchmark whose trace has not changed is
+  never re-analyzed), and below it a trace cache keyed by **profile
+  fingerprint + length + seed + TRACE_GEN_VERSION** (a benchmark whose
+  profile has not changed is never re-generated — the gap a
+  content-addressed cache cannot close, since hashing content requires
+  the bytes).
 * :mod:`repro.perf.timing` — the MICA benchmark harness: it times every
   analyzer (and the retained scalar reference implementations of PPM
-  and ILP) on a standard trace and emits the machine-readable
-  ``BENCH_mica.json`` that tracks the performance trajectory across
-  PRs.
+  and ILP) on a standard trace, times the generation engine against its
+  scalar references (plus cold/warm dataset builds), and emits the
+  machine-readable ``BENCH_mica.json`` that tracks the performance
+  trajectory across PRs.
 
 Both are consumed by :func:`repro.experiments.build_dataset` (per-trace
 cache under parallel workers) and the CLI (``--jobs``, ``--cache-dir``,
@@ -21,22 +26,30 @@ cache under parallel workers) and the CLI (``--jobs``, ``--cache-dir``,
 
 from .cache import (
     CharacterizationCache,
+    TraceCache,
     cached_characterize,
+    cached_generate_trace,
     trace_fingerprint,
 )
 from .timing import (
     AnalyzerTiming,
+    GenerationBenchResult,
     MicaBenchResult,
+    run_generation_bench,
     run_mica_bench,
     write_bench_json,
 )
 
 __all__ = [
     "CharacterizationCache",
+    "TraceCache",
     "cached_characterize",
+    "cached_generate_trace",
     "trace_fingerprint",
     "AnalyzerTiming",
+    "GenerationBenchResult",
     "MicaBenchResult",
+    "run_generation_bench",
     "run_mica_bench",
     "write_bench_json",
 ]

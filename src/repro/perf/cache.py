@@ -1,16 +1,34 @@
-"""On-disk characterization cache.
+"""On-disk caches: characterization results and generated traces.
 
-Characterizing one trace is pure: the 47-dimensional MICA vector (and
-the 7-dimensional HPC vector) depend only on the trace contents and the
-characterization fields of :class:`~repro.config.ReproConfig`.  The
-cache therefore keys entries by::
+Two cache levels live here, forming a hierarchy under the dataset-level
+matrix cache of :mod:`repro.experiments.dataset`:
 
-    sha256(trace bytes) + config.characterization_fingerprint() + version
+* **Characterization cache** (top).  Characterizing one trace is pure:
+  the 47-dimensional MICA vector (and the 7-dimensional HPC vector)
+  depend only on the trace contents and the characterization fields of
+  :class:`~repro.config.ReproConfig`.  Entries key by::
 
-and stores one small ``.npz`` per trace.  Entries survive process
-restarts, are shared by parallel dataset workers, and stay valid under
-population changes (unlike the dataset-level cache, which is keyed by
-the full benchmark name list).
+      sha256(trace bytes) + config.characterization_fingerprint() + version
+
+  and store one small ``.npz`` per trace.
+
+* **Trace cache** (bottom).  Generating a trace is also pure — a
+  function of the profile knobs, the length and the per-trace seed —
+  but the characterization cache cannot skip *generation* (hashing the
+  content requires the bytes).  The trace cache closes that gap: it
+  keys by::
+
+      profile.fingerprint() + length + seed + TRACE_GEN_VERSION
+
+  (no content hash needed) and stores the full instruction array, so a
+  warm :func:`cached_generate_trace` never runs the generator at all.
+  :data:`~repro.synth.TRACE_GEN_VERSION` is part of the key because the
+  bytes a (profile, length, seed) triple produces may legitimately
+  change when the generation engine's draw protocol changes.
+
+Entries survive process restarts, are shared by parallel dataset
+workers, and stay valid under population changes (unlike the
+dataset-level cache, which is keyed by the full benchmark name list).
 
 Bump :data:`CHAR_CACHE_VERSION` whenever analyzer semantics change.
 """
@@ -25,7 +43,9 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..config import DEFAULT_CONFIG, ReproConfig
+from ..isa import TRACE_DTYPE
 from ..mica import CharacteristicVector, characterize
+from ..synth import TRACE_GEN_VERSION, WorkloadProfile, generate_trace
 from ..trace import Trace
 
 #: Bump when any analyzer changes its output for the same trace/config.
@@ -91,8 +111,9 @@ class CharacterizationCache:
         """Persist one characterization result; returns the entry path."""
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(_entry_key(trace, config))
-        # Keep the .npz suffix so np.savez does not rename the file.
-        temporary = path.with_name(f"{path.stem}.tmp{os.getpid()}.npz")
+        # The tmp- prefix keeps half-written files out of the entry
+        # glob; the .npz suffix stops np.savez renaming the file.
+        temporary = path.with_name(f"tmp-{path.stem}.{os.getpid()}.npz")
         np.savez(temporary, values=values)
         os.replace(temporary, path)
         return path
@@ -136,3 +157,105 @@ def cached_characterize(
         cache.store(trace, config, vector.values)
         return vector
     return CharacteristicVector(name=trace.name, values=values)
+
+
+# ---------------------------------------------------------------------------
+# Trace cache (below the characterization cache)
+# ---------------------------------------------------------------------------
+
+
+def _trace_key(profile: WorkloadProfile, length: int, seed: int) -> str:
+    payload = (
+        f"{TRACE_GEN_VERSION}:{profile.fingerprint()}:{length}:{seed}"
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+class TraceCache:
+    """Directory of generated traces, keyed by (profile, length, seed).
+
+    Args:
+        directory: cache root; created lazily on first store.  Shares a
+            directory with :class:`CharacterizationCache` (distinct
+            ``trace-`` file prefix).
+
+    Entries are written atomically (temp file + rename) so concurrent
+    workers generating the same trace cannot corrupt each other.
+    """
+
+    def __init__(self, directory: "Path | str"):
+        self.directory = Path(directory)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"trace-{key}.npz"
+
+    def load(
+        self, profile: WorkloadProfile, length: int, seed: int = 0
+    ) -> "Optional[Trace]":
+        """The cached trace (renamed after the profile), or None."""
+        path = self._path(_trace_key(profile, length, seed))
+        if not path.is_file():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                data = archive["data"]
+        except (OSError, ValueError, KeyError):
+            # A truncated or foreign file is a miss, not an error.
+            return None
+        if data.dtype != TRACE_DTYPE or len(data) != length:
+            return None
+        return Trace(data, name=profile.name)
+
+    def store(
+        self,
+        profile: WorkloadProfile,
+        length: int,
+        seed: int,
+        trace: Trace,
+    ) -> Path:
+        """Persist one generated trace; returns the entry path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(_trace_key(profile, length, seed))
+        # The tmp- prefix keeps half-written files out of the entry
+        # glob; the .npz suffix stops np.savez renaming the file.
+        temporary = path.with_name(f"tmp-{path.stem}.{os.getpid()}.npz")
+        np.savez_compressed(temporary, data=trace.data)
+        os.replace(temporary, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete all entries; returns the number removed."""
+        if not self.directory.is_dir():
+            return 0
+        removed = 0
+        for path in self.directory.glob("trace-*.npz"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("trace-*.npz"))
+
+
+def cached_generate_trace(
+    profile: WorkloadProfile,
+    length: int,
+    seed: int = 0,
+    cache_dir: "Path | str | None" = None,
+) -> Trace:
+    """:func:`repro.synth.generate_trace` behind the on-disk cache.
+
+    With ``cache_dir=None`` this is exactly ``generate_trace``;
+    otherwise hits skip the generator entirely (bit-identical bytes are
+    returned from disk) and misses populate the cache.
+    """
+    if cache_dir is None:
+        return generate_trace(profile, length, seed=seed)
+    cache = TraceCache(cache_dir)
+    trace = cache.load(profile, length, seed)
+    if trace is None:
+        trace = generate_trace(profile, length, seed=seed)
+        cache.store(profile, length, seed, trace)
+    return trace

@@ -3,7 +3,11 @@
 :func:`run_mica_bench` times every Table II analyzer — and the retained
 scalar reference implementations of the two historically dominant ones
 (PPM and ILP) — on one synthetic trace, reporting the best-of-N wall
-time and the instructions-per-second throughput for each.  The result
+time and the instructions-per-second throughput for each.
+:func:`run_generation_bench` does the same for the trace-generation
+engine (full ``generate_trace``, the batch interpreter and expansion
+against their scalar references, and a cold-vs-warm ``build_dataset``
+pass over the trace/characterization caches).  The combined result
 serializes to the repo-level ``BENCH_mica.json`` so each PR can record
 its point on the performance trajectory.
 
@@ -18,16 +22,31 @@ How to read the output:
   (PPM) and 5x (ILP).
 * ``characterize`` — one end-to-end 47-characteristic vector, the
   number dataset builds actually feel per benchmark.
+* ``generation.phases.<name>`` — generation-engine timings:
+  ``generate_trace`` (full pipeline), ``interpret`` / ``expand`` (the
+  batch phases) and their ``*_reference`` scalar specifications.
+* ``generation.speedups.engine`` — reference-over-vectorized for the
+  two rewritten phases combined; the acceptance floor is 10x at the
+  default 100k-instruction trace (``interpret`` / ``expand`` report
+  the per-phase ratios).
+* ``generation.dataset`` — wall time of a small ``build_dataset``
+  with cold caches vs warm (trace + characterization caches populated,
+  dataset-level matrices dropped).  ``warm_over_cold`` below one is the
+  cache hierarchy working; it is floored by the HPC simulation, which
+  is recomputed every run (per-benchmark HPC vectors are not yet
+  cached below the dataset level — see the ROADMAP open item).
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import DEFAULT_CONFIG, ReproConfig
 from ..mica import characterize
@@ -63,14 +82,28 @@ class AnalyzerTiming:
 
 
 @dataclass(frozen=True)
-class MicaBenchResult:
-    """One harness run: per-analyzer timings plus derived speedups."""
+class GenerationBenchResult:
+    """Generation-engine timings: batch phases vs scalar references.
+
+    Attributes:
+        trace_length: instructions generated per timing.
+        profile: registry benchmark supplying the workload profile.
+        repeats: timing repetitions (the best is kept).
+        timings: per-phase wall times (``generate_trace``,
+            ``interpret``, ``interpret_reference``, ``expand``,
+            ``expand_reference``).
+        speedups: reference-over-vectorized ratios per phase plus the
+            combined ``engine`` ratio.
+        dataset: cold-vs-warm ``build_dataset`` wall times over the
+            trace/characterization caches.
+    """
 
     trace_length: int
     profile: str
     repeats: int
     timings: Tuple[AnalyzerTiming, ...]
     speedups: Dict[str, float] = field(default_factory=dict)
+    dataset: Dict[str, float] = field(default_factory=dict)
 
     def timing(self, name: str) -> AnalyzerTiming:
         for entry in self.timings:
@@ -80,7 +113,60 @@ class MicaBenchResult:
 
     def as_dict(self) -> dict:
         return {
-            "schema": "BENCH_mica/v1",
+            "trace_length": self.trace_length,
+            "profile": self.profile,
+            "repeats": self.repeats,
+            "phases": {
+                entry.name: entry.as_dict() for entry in self.timings
+            },
+            "speedups": dict(self.speedups),
+            "dataset": dict(self.dataset),
+        }
+
+    def format(self) -> str:
+        """Human-readable report section."""
+        lines = [
+            f"  generation engine — {self.trace_length:,} instructions"
+        ]
+        for entry in self.timings:
+            lines.append(
+                f"  {entry.name:<22} {entry.seconds * 1e3:>9.2f} ms"
+                f"  {entry.instructions_per_second / 1e6:>8.1f} Minstr/s"
+            )
+        for name, ratio in self.speedups.items():
+            lines.append(
+                f"  gen speedup[{name}]: {ratio:.1f}x vs reference"
+            )
+        if self.dataset:
+            lines.append(
+                f"  dataset build ({int(self.dataset['benchmarks'])} "
+                f"benchmarks x {int(self.dataset['trace_length']):,}): "
+                f"cold {self.dataset['cold_seconds'] * 1e3:.0f} ms, "
+                f"warm {self.dataset['warm_seconds'] * 1e3:.0f} ms"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class MicaBenchResult:
+    """One harness run: per-analyzer timings plus derived speedups."""
+
+    trace_length: int
+    profile: str
+    repeats: int
+    timings: Tuple[AnalyzerTiming, ...]
+    speedups: Dict[str, float] = field(default_factory=dict)
+    generation: "Optional[GenerationBenchResult]" = None
+
+    def timing(self, name: str) -> AnalyzerTiming:
+        for entry in self.timings:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def as_dict(self) -> dict:
+        payload = {
+            "schema": "BENCH_mica/v2",
             "meta": {
                 "trace_length": self.trace_length,
                 "profile": self.profile,
@@ -93,6 +179,9 @@ class MicaBenchResult:
             },
             "speedups": dict(self.speedups),
         }
+        if self.generation is not None:
+            payload["generation"] = self.generation.as_dict()
+        return payload
 
     def format(self) -> str:
         """Human-readable table of the run."""
@@ -107,6 +196,8 @@ class MicaBenchResult:
             )
         for name, ratio in self.speedups.items():
             lines.append(f"  speedup[{name}]: {ratio:.1f}x vs reference")
+        if self.generation is not None:
+            lines.append(self.generation.format())
         return "\n".join(lines)
 
 
@@ -121,6 +212,145 @@ def _best_of(fn: Callable[[], object], repeats: int) -> float:
     return best
 
 
+def run_generation_bench(
+    config: ReproConfig = DEFAULT_CONFIG,
+    trace_length: "int | None" = None,
+    profile_name: str = DEFAULT_BENCH_PROFILE,
+    repeats: int = 3,
+    include_reference: bool = True,
+    dataset_benchmarks: int = 4,
+    dataset_trace_length: int = 5_000,
+) -> GenerationBenchResult:
+    """Time the trace-generation engine against its scalar references.
+
+    Measures, at ``trace_length`` instructions of ``profile_name``:
+    the full ``generate_trace`` pipeline (warm code memo), the batch
+    interpreter and expansion phases, and their retained scalar
+    reference implementations — every timing starts from freshly reset
+    behavior/branch-model state, resets excluded from the timed region.
+    Also builds a small dataset twice through a throwaway cache
+    directory: once cold, then again with the trace and
+    characterization caches warm (dataset-level matrices dropped in
+    between), the gap the trace cache exists to close.
+
+    Args:
+        config: supplies the default trace length.
+        trace_length: generated-trace length (default: the config's).
+        profile_name: registry benchmark supplying the workload profile.
+        repeats: timing repetitions; the best (minimum) is reported.
+        include_reference: also time the slow scalar interpret/expand
+            references and report ``speedups`` (skip for quick
+            trend-only runs).
+        dataset_benchmarks: population size of the cold/warm build.
+        dataset_trace_length: per-benchmark length of the cold/warm
+            build (kept small; the build includes HPC simulation).
+    """
+    from ..experiments import build_dataset
+    from ..experiments.dataset import _MEMORY_CACHE
+    from ..synth import generate_trace
+    from ..synth import generator as generator_module
+    from ..synth.rng import make_rng
+    from ..workloads import all_benchmarks, get_benchmark
+
+    length = trace_length or config.trace_length
+    profile = get_benchmark(profile_name).profile
+    code = generator_module.code_for_profile(profile)
+
+    def best_reset(fn: Callable[[], object]) -> float:
+        bench = float("inf")
+        for _ in range(repeats):
+            code.reset_state()
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            if elapsed < bench:
+                bench = elapsed
+        return bench
+
+    rng = lambda: make_rng("bench", "generation")  # noqa: E731
+
+    generate_seconds = best_reset(lambda: generate_trace(profile, length))
+    interpret_seconds = best_reset(
+        lambda: generator_module._interpret(rng(), code, profile, length)
+    )
+    code.reset_state()
+    visits, outcomes = generator_module._interpret(rng(), code, profile, length)
+    expand_seconds = best_reset(
+        lambda: generator_module._expand(rng(), code, visits, outcomes, length)
+    )
+    phase_seconds = [
+        ("generate_trace", generate_seconds),
+        ("interpret", interpret_seconds),
+        ("expand", expand_seconds),
+    ]
+    speedups: Dict[str, float] = {}
+    if include_reference:
+        interpret_ref_seconds = best_reset(
+            lambda: generator_module._interpret_reference(
+                rng(), code, profile, length
+            )
+        )
+        expand_ref_seconds = best_reset(
+            lambda: generator_module._expand_reference(
+                rng(), code, visits, outcomes, length
+            )
+        )
+        phase_seconds.extend([
+            ("interpret_reference", interpret_ref_seconds),
+            ("expand_reference", expand_ref_seconds),
+        ])
+        speedups = {
+            "interpret": interpret_ref_seconds / interpret_seconds,
+            "expand": expand_ref_seconds / expand_seconds,
+            "engine": (interpret_ref_seconds + expand_ref_seconds)
+            / (interpret_seconds + expand_seconds),
+        }
+
+    population = list(all_benchmarks())[:dataset_benchmarks]
+    dataset_config = config.with_overrides(trace_length=dataset_trace_length)
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro-bench-cache-"))
+    try:
+        _MEMORY_CACHE.clear()
+        start = time.perf_counter()
+        build_dataset(
+            dataset_config, benchmarks=population, cache_dir=cache_dir, jobs=1
+        )
+        cold_seconds = time.perf_counter() - start
+        # Drop the dataset-level matrices but keep the per-trace caches,
+        # so the warm build exercises the trace + characterization
+        # cache hierarchy rather than the top-level shortcut.
+        for path in cache_dir.glob("dataset-*.npz"):
+            path.unlink()
+        _MEMORY_CACHE.clear()
+        start = time.perf_counter()
+        build_dataset(
+            dataset_config, benchmarks=population, cache_dir=cache_dir, jobs=1
+        )
+        warm_seconds = time.perf_counter() - start
+        _MEMORY_CACHE.clear()
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    timings = tuple(
+        AnalyzerTiming(name=name, seconds=seconds, instructions=length)
+        for name, seconds in phase_seconds
+    )
+    return GenerationBenchResult(
+        trace_length=length,
+        profile=profile_name,
+        repeats=repeats,
+        timings=timings,
+        speedups=speedups,
+        dataset={
+            "benchmarks": float(len(population)),
+            "trace_length": float(dataset_trace_length),
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "warm_over_cold": warm_seconds / cold_seconds,
+        },
+    )
+
+
 def run_mica_bench(
     trace: "Trace | None" = None,
     config: ReproConfig = DEFAULT_CONFIG,
@@ -128,6 +358,7 @@ def run_mica_bench(
     profile_name: str = DEFAULT_BENCH_PROFILE,
     repeats: int = 3,
     include_reference: bool = True,
+    include_generation: bool = False,
 ) -> MicaBenchResult:
     """Time every MICA analyzer on one trace.
 
@@ -140,6 +371,8 @@ def run_mica_bench(
         repeats: timing repetitions; the best (minimum) is reported.
         include_reference: also time the scalar PPM/ILP references and
             report ``speedups`` (skip for quick trend-only runs).
+        include_generation: also run :func:`run_generation_bench` and
+            attach its result (the CLI harness enables this).
     """
     if repeats < 1:
         from ..errors import ConfigurationError
@@ -211,6 +444,7 @@ def run_mica_bench(
         repeats=repeats,
         timings=timings,
     )
+    speedups: Dict[str, float] = {}
     if include_reference:
         speedups = {
             "ppm": (
@@ -222,12 +456,23 @@ def run_mica_bench(
                 / result.timing("ilp_ipc").seconds
             ),
         }
+    generation = None
+    if include_generation:
+        generation = run_generation_bench(
+            config=config,
+            trace_length=trace_length,
+            profile_name=profile_name,
+            repeats=repeats,
+            include_reference=include_reference,
+        )
+    if include_reference or include_generation:
         result = MicaBenchResult(
             trace_length=result.trace_length,
             profile=result.profile,
             repeats=result.repeats,
             timings=result.timings,
             speedups=speedups,
+            generation=generation,
         )
     return result
 

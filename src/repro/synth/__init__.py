@@ -42,7 +42,13 @@ from .profiles import (
     BranchSpec,
     WorkloadProfile,
 )
-from .generator import generate_trace
+from .generator import (
+    TRACE_GEN_VERSION,
+    clear_code_cache,
+    code_for_profile,
+    generate_trace,
+    generation_call_count,
+)
 
 __all__ = [
     "stable_seed",
@@ -68,5 +74,9 @@ __all__ = [
     "RegisterSpec",
     "BranchSpec",
     "WorkloadProfile",
+    "TRACE_GEN_VERSION",
+    "clear_code_cache",
+    "code_for_profile",
     "generate_trace",
+    "generation_call_count",
 ]

@@ -24,6 +24,24 @@ class BranchModel(ABC):
     def next_outcome(self, rng: np.random.Generator) -> bool:
         """The outcome of the branch's next dynamic execution."""
 
+    def outcomes(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """The branch's next ``count`` outcomes as a boolean array.
+
+        Semantically equivalent to ``count`` calls of
+        :meth:`next_outcome`; subclasses override with a vectorized
+        draw so the batch interpreter never loops per execution.
+        """
+        return np.array(
+            [self.next_outcome(rng) for _ in range(count)], dtype=bool
+        )
+
+    def reset(self) -> None:
+        """Rewind any internal cursor to the model's initial state.
+
+        Static code images are shared across :func:`generate_trace`
+        calls, so every trace starts from a freshly reset model.
+        """
+
 
 class PatternBranch(BranchModel):
     """Deterministic periodic outcome pattern.
@@ -39,12 +57,22 @@ class PatternBranch(BranchModel):
         self.pattern = [bool(bit) for bit in pattern]
         if not self.pattern:
             raise ProfileError("pattern must be non-empty")
+        self._bits = np.array(self.pattern, dtype=bool)
         self._cursor = 0
 
     def next_outcome(self, rng: np.random.Generator) -> bool:
         outcome = self.pattern[self._cursor]
         self._cursor = (self._cursor + 1) % len(self.pattern)
         return outcome
+
+    def outcomes(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        period = len(self.pattern)
+        indices = (self._cursor + np.arange(count, dtype=np.int64)) % period
+        self._cursor = (self._cursor + count) % period
+        return self._bits[indices]
+
+    def reset(self) -> None:
+        self._cursor = 0
 
 
 class BiasedBranch(BranchModel):
@@ -61,6 +89,9 @@ class BiasedBranch(BranchModel):
 
     def next_outcome(self, rng: np.random.Generator) -> bool:
         return bool(rng.random() < self.taken_probability)
+
+    def outcomes(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.random(count) < self.taken_probability
 
 
 def make_branch_model(

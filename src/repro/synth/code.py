@@ -21,7 +21,14 @@ from ..errors import ProfileError
 from ..isa import OpClass
 from ..isa.instruction import INSTRUCTION_BYTES
 from .branches import BranchModel, make_branch_model
-from .memory import AccessBehavior, make_behavior
+from .memory import (
+    AccessBehavior,
+    PointerChase,
+    RandomStream,
+    ScalarStream,
+    SequentialStream,
+    make_behavior,
+)
 
 #: Base address of the code segment.
 CODE_BASE = 0x0012_0000
@@ -148,6 +155,109 @@ class Function:
 
 
 @dataclass
+class ControlTables:
+    """Flat structural arrays the batch interpreter walks.
+
+    Everything here is a pure function of the static image: loops are
+    numbered function-major (all of function 0's loops, then function
+    1's, ...), matching the order the interpreter executes them.
+
+    Attributes:
+        loop_first / loop_last: block-id range of every loop body.
+        loop_is_last: whether the loop is the final loop of its
+            function (its final back-edge is a taken function exit).
+        func_loop_start: offsets into the loop arrays per function
+            (``n_functions + 1`` entries).
+        loop_of_block: owning loop index per block id.
+        skip_diamond: per block, True when its terminator is a
+            data-dependent diamond *that can skip the next block*
+            (``block + 2 <= loop_last``); diamonds too close to the
+            loop tail degenerate to fall-through.
+        skip_blocks_by_loop: skip-diamond block ids per loop, ascending.
+        skip_block_ids: all skip-diamond block ids, ascending — the
+            canonical draw order of the outcome protocol.
+        skip_count_by_loop: number of skip-diamond blocks per loop.
+        loop_has_skip: ``skip_count_by_loop > 0`` (precomputed mask).
+        skip_cols_concat: body-position (column) of every skip-diamond
+            block, loop-major ascending — the flat companion of
+            ``skip_blocks_by_loop`` used by the batch scatter.
+        skip_col_start: per-loop offsets into ``skip_cols_concat``.
+        hot / cold: hot- and cold-function index arrays.
+        block_lengths: instruction count per block id.
+        mean_block_length: average block length (chunk sizing).
+    """
+
+    loop_first: np.ndarray
+    loop_last: np.ndarray
+    loop_is_last: np.ndarray
+    func_loop_start: np.ndarray
+    loop_of_block: np.ndarray
+    skip_diamond: np.ndarray
+    skip_blocks_by_loop: List[np.ndarray]
+    skip_block_ids: np.ndarray
+    skip_count_by_loop: np.ndarray
+    loop_has_skip: np.ndarray
+    skip_cols_concat: np.ndarray
+    skip_col_start: np.ndarray
+    hot: np.ndarray
+    cold: np.ndarray
+    block_lengths: np.ndarray
+    mean_block_length: float
+
+
+@dataclass
+class MemoryPlan:
+    """Class-grouped view of every static memory instruction.
+
+    The batch expansion fuses each behavior class into single array
+    operations; this plan holds the per-instance parameters in flat
+    arrays, ordered by (block id, slot) — the same order the scalar
+    reference iterates, which is what keeps the random-stream RNG
+    consumption identical between the two engines.
+
+    ``scalar`` / ``linear`` (sequential + strided) / ``pointer``
+    behaviors consume no randomness, so fusing them is a pure
+    arithmetic rewrite.  ``random`` instances draw one splittable
+    uniform block per call (see
+    :meth:`repro.synth.memory.RandomStream.generate`), so one batched
+    ``rng.random`` over all instances reproduces the per-instance
+    stream bit-for-bit.
+    """
+
+    scalar_blocks: np.ndarray
+    scalar_slots: np.ndarray
+    scalar_bases: np.ndarray
+
+    linear_behaviors: List[SequentialStream]
+    linear_blocks: np.ndarray
+    linear_slots: np.ndarray
+    linear_bases: np.ndarray
+    linear_steps: np.ndarray
+    linear_repeats: np.ndarray
+    linear_span: np.ndarray
+
+    pointer_behaviors: List[PointerChase]
+    pointer_blocks: np.ndarray
+    pointer_slots: np.ndarray
+    pointer_bases: np.ndarray
+    pointer_span: np.ndarray
+    pointer_order_start: np.ndarray
+    pointer_orders: np.ndarray
+
+    random_behaviors: List[RandomStream]
+    random_blocks: np.ndarray
+    random_slots: np.ndarray
+    random_bases: np.ndarray
+    random_span: np.ndarray
+    random_hot_span: np.ndarray
+    random_bias: np.ndarray
+
+    #: True when an unknown behavior class is present and the expansion
+    #: must fall back to per-instance ``generate`` calls.
+    fallback: bool
+
+
+@dataclass
 class StaticCode:
     """The complete static image of a synthetic program."""
 
@@ -159,7 +269,214 @@ class StaticCode:
 
     def block_lengths(self) -> np.ndarray:
         """Length of every block, indexed by block id."""
-        return np.array([len(block) for block in self.blocks], dtype=np.int64)
+        lengths = getattr(self, "_block_lengths", None)
+        if lengths is None:
+            lengths = np.array(
+                [len(block) for block in self.blocks], dtype=np.int64
+            )
+            self._block_lengths = lengths
+        return lengths
+
+    def slot_tables(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flat slot tables ``(opclasses, slot_starts, pc_bases)``.
+
+        ``opclasses`` concatenates every block's per-slot classes;
+        ``slot_starts[b]`` is block ``b``'s offset into it, so
+        expanding a visit sequence into per-instruction columns is a
+        single flat gather instead of one ``np.concatenate`` piece per
+        visit.  ``pc_bases[b]`` is the block's first-instruction
+        address (slot PCs are ``pc_base + 4 * slot``).  Built lazily,
+        cached for the lifetime of the image.
+        """
+        tables = getattr(self, "_slot_tables", None)
+        if tables is None:
+            lengths = self.block_lengths()
+            slot_starts = np.zeros(len(self.blocks), dtype=np.int64)
+            np.cumsum(lengths[:-1], out=slot_starts[1:])
+            opclasses = np.concatenate(
+                [block.opclasses for block in self.blocks]
+            )
+            pc_bases = np.array(
+                [block.pc_base for block in self.blocks], dtype=np.uint64
+            )
+            tables = (opclasses, slot_starts, pc_bases)
+            self._slot_tables = tables
+        return tables
+
+    def control_tables(self) -> ControlTables:
+        """The flat :class:`ControlTables` view (built lazily, cached)."""
+        tables = getattr(self, "_control_tables", None)
+        if tables is None:
+            tables = self._build_control_tables()
+            self._control_tables = tables
+        return tables
+
+    def _build_control_tables(self) -> ControlTables:
+        loops = [loop for function in self.functions for loop in function.loops]
+        loop_first = np.array([loop.first_block for loop in loops], np.int64)
+        loop_last = np.array([loop.last_block for loop in loops], np.int64)
+        func_loop_start = np.zeros(len(self.functions) + 1, dtype=np.int64)
+        np.cumsum(
+            [len(function.loops) for function in self.functions],
+            out=func_loop_start[1:],
+        )
+        loop_is_last = np.zeros(len(loops), dtype=bool)
+        loop_is_last[func_loop_start[1:] - 1] = True
+
+        loop_of_block = np.empty(len(self.blocks), dtype=np.int64)
+        skip_diamond = np.zeros(len(self.blocks), dtype=bool)
+        skip_blocks_by_loop: List[np.ndarray] = []
+        for loop_id, loop in enumerate(loops):
+            loop_of_block[loop.first_block : loop.last_block + 1] = loop_id
+            skips = [
+                block_id
+                for block_id in loop.block_ids
+                if self.blocks[block_id].diamond is not None
+                and block_id + 2 <= loop.last_block
+            ]
+            skip_diamond[skips] = True
+            skip_blocks_by_loop.append(np.array(skips, dtype=np.int64))
+
+        skip_count_by_loop = np.array(
+            [len(skips) for skips in skip_blocks_by_loop], dtype=np.int64
+        )
+        skip_col_start = np.zeros(len(loops) + 1, dtype=np.int64)
+        np.cumsum(skip_count_by_loop, out=skip_col_start[1:])
+        skip_cols_concat = (
+            np.concatenate(skip_blocks_by_loop)
+            if skip_count_by_loop.sum()
+            else np.empty(0, dtype=np.int64)
+        ) - np.repeat(loop_first, skip_count_by_loop)
+
+        lengths = self.block_lengths()
+        return ControlTables(
+            loop_first=loop_first,
+            loop_last=loop_last,
+            loop_is_last=loop_is_last,
+            func_loop_start=func_loop_start,
+            loop_of_block=loop_of_block,
+            skip_diamond=skip_diamond,
+            skip_blocks_by_loop=skip_blocks_by_loop,
+            skip_block_ids=np.flatnonzero(skip_diamond),
+            skip_count_by_loop=skip_count_by_loop,
+            loop_has_skip=skip_count_by_loop > 0,
+            skip_cols_concat=skip_cols_concat,
+            skip_col_start=skip_col_start,
+            hot=np.array(self.hot_functions, dtype=np.int64),
+            cold=np.array(self.cold_functions, dtype=np.int64),
+            block_lengths=lengths,
+            mean_block_length=float(lengths.mean()),
+        )
+
+    def memory_blocks(self) -> List[BasicBlock]:
+        """Blocks owning at least one memory instruction (cached)."""
+        blocks = getattr(self, "_memory_blocks", None)
+        if blocks is None:
+            blocks = [block for block in self.blocks if block.memory_slots]
+            self._memory_blocks = blocks
+        return blocks
+
+    def memory_plan(self) -> MemoryPlan:
+        """The class-grouped :class:`MemoryPlan` (built lazily, cached)."""
+        plan = getattr(self, "_memory_plan", None)
+        if plan is None:
+            plan = self._build_memory_plan()
+            self._memory_plan = plan
+        return plan
+
+    def _build_memory_plan(self) -> MemoryPlan:
+        from .memory import ACCESS_BYTES
+
+        groups: Dict[str, list] = {
+            "scalar": [],
+            "linear": [],
+            "pointer": [],
+            "random": [],
+        }
+        fallback = False
+        for block in self.memory_blocks():
+            for slot, behavior in block.memory_slots:
+                if isinstance(behavior, ScalarStream):
+                    groups["scalar"].append((block.block_id, slot, behavior))
+                elif isinstance(behavior, SequentialStream):
+                    groups["linear"].append((block.block_id, slot, behavior))
+                elif isinstance(behavior, PointerChase):
+                    groups["pointer"].append((block.block_id, slot, behavior))
+                elif isinstance(behavior, RandomStream):
+                    groups["random"].append((block.block_id, slot, behavior))
+                else:
+                    fallback = True
+
+        def ids(kind: str, index: int) -> np.ndarray:
+            return np.array(
+                [item[index] for item in groups[kind]], dtype=np.int64
+            )
+
+        def bases(kind: str) -> np.ndarray:
+            return np.array(
+                [item[2].base for item in groups[kind]], dtype=np.uint64
+            )
+
+        linear = [item[2] for item in groups["linear"]]
+        pointer = [item[2] for item in groups["pointer"]]
+        random = [item[2] for item in groups["random"]]
+        pointer_counts = np.array(
+            [behavior._slots for behavior in pointer], dtype=np.int64
+        )
+        pointer_order_start = np.zeros(len(pointer) + 1, dtype=np.int64)
+        np.cumsum(pointer_counts, out=pointer_order_start[1:])
+        return MemoryPlan(
+            scalar_blocks=ids("scalar", 0),
+            scalar_slots=ids("scalar", 1),
+            scalar_bases=bases("scalar"),
+            linear_behaviors=linear,
+            linear_blocks=ids("linear", 0),
+            linear_slots=ids("linear", 1),
+            linear_bases=bases("linear"),
+            linear_steps=np.array(
+                [b.stride // ACCESS_BYTES for b in linear], dtype=np.int64
+            ),
+            linear_repeats=np.array(
+                [b.repeats for b in linear], dtype=np.int64
+            ),
+            linear_span=np.array([b._slots for b in linear], dtype=np.int64),
+            pointer_behaviors=pointer,
+            pointer_blocks=ids("pointer", 0),
+            pointer_slots=ids("pointer", 1),
+            pointer_bases=bases("pointer"),
+            pointer_span=pointer_counts,
+            pointer_order_start=pointer_order_start,
+            pointer_orders=(
+                np.concatenate([b._order for b in pointer])
+                if pointer
+                else np.empty(0, dtype=np.int64)
+            ),
+            random_behaviors=random,
+            random_blocks=ids("random", 0),
+            random_slots=ids("random", 1),
+            random_bases=bases("random"),
+            random_span=np.array([b._slots for b in random], dtype=np.int64),
+            random_hot_span=np.array(
+                [b._hot_slots for b in random], dtype=np.int64
+            ),
+            random_bias=np.array(
+                [b.hot_probability for b in random], dtype=np.float64
+            ),
+            fallback=fallback,
+        )
+
+    def reset_state(self) -> None:
+        """Rewind every stateful behavior/branch model in the image.
+
+        The image is memoized and shared across :func:`generate_trace`
+        calls; resetting makes each generation start from the same
+        initial cursors, keeping traces deterministic.
+        """
+        for block in self.blocks:
+            if block.diamond is not None:
+                block.diamond.reset()
+            for _, behavior in block.memory_slots:
+                behavior.reset()
 
     @property
     def code_bytes(self) -> int:

@@ -10,6 +10,15 @@ interleaving of all behaviors.
 
 All behaviors generate vectorized address sequences and produce 8-byte
 aligned addresses (the natural Alpha access width).
+
+The batch expansion engine fuses behaviors per class
+(:class:`repro.synth.code.MemoryPlan` /
+``repro.synth.generator._scatter_memory``) and mirrors the slot
+arithmetic and cursor advance implemented here; the fused paths are
+pinned against per-instance ``generate`` calls by
+``tests/test_synth_vectorized_equivalence.py``, so changing a
+behavior's internals will fail those tests until the plan is updated to
+match.
 """
 
 from __future__ import annotations
@@ -22,6 +31,24 @@ from ..errors import ProfileError
 
 #: Natural access alignment in bytes.
 ACCESS_BYTES = 8
+
+
+def random_slots_from_uniforms(
+    region_u: np.ndarray,
+    slot_u: np.ndarray,
+    hot_span,
+    span,
+    hot_probability,
+) -> np.ndarray:
+    """Slot indices of skewed random accesses from pre-drawn uniforms.
+
+    The first uniform picks the hot subset vs the whole region, the
+    second scales to the chosen span.  Parameters may be scalars (one
+    :class:`RandomStream`) or arrays (the batch engine fusing many
+    instances); the kernel is the single source of truth for both.
+    """
+    chosen = np.where(region_u < hot_probability, hot_span, span)
+    return (slot_u * chosen).astype(np.int64)
 
 
 class AccessBehavior(ABC):
@@ -48,6 +75,14 @@ class AccessBehavior(ABC):
     @abstractmethod
     def generate(self, rng: np.random.Generator, count: int) -> np.ndarray:
         """Addresses of the next ``count`` dynamic occurrences (uint64)."""
+
+    def reset(self) -> None:
+        """Rewind any internal cursor to the behavior's initial state.
+
+        Static code images (and the behaviors they own) are shared
+        across :func:`repro.synth.generate_trace` calls, so every trace
+        starts from freshly reset behaviors.
+        """
 
     def _from_slots(self, slots: np.ndarray) -> np.ndarray:
         return (self.base + slots.astype(np.uint64) * ACCESS_BYTES).astype(
@@ -106,6 +141,9 @@ class SequentialStream(AccessBehavior):
         self._count += count
         return self._from_slots(slots)
 
+    def reset(self) -> None:
+        self._count = 0
+
 
 class StridedStream(SequentialStream):
     """Constant large-stride walk (column-major / record-field access).
@@ -141,14 +179,23 @@ class RandomStream(AccessBehavior):
         self._hot_slots = max(self._slots // hot_divisor, 1)
 
     def generate(self, rng: np.random.Generator, count: int) -> np.ndarray:
-        slots = rng.integers(0, self._slots, size=count, dtype=np.int64)
-        hot = rng.random(count) < self.hot_probability
-        hot_count = int(hot.sum())
-        if hot_count:
-            slots[hot] = rng.integers(
-                0, self._hot_slots, size=hot_count, dtype=np.int64
-            )
-        return self._from_slots(slots)
+        # Two uniforms per access drawn as one splittable block (the
+        # first half picks hot vs whole region, the second scales to the
+        # chosen region), so batching many instances into a single
+        # ``rng.random`` call yields a bit-identical stream.
+        uniforms = rng.random(2 * count)
+        return self._from_slots(
+            self.slots_from_uniforms(uniforms[:count], uniforms[count:])
+        )
+
+    def slots_from_uniforms(
+        self, region_u: np.ndarray, slot_u: np.ndarray
+    ) -> np.ndarray:
+        """Pure kernel: slot indices from pre-drawn uniform pairs."""
+        return random_slots_from_uniforms(
+            region_u, slot_u, self._hot_slots, self._slots,
+            self.hot_probability,
+        )
 
 
 class PointerChase(AccessBehavior):
@@ -157,28 +204,30 @@ class PointerChase(AccessBehavior):
     Models linked-data-structure traversal: the address sequence is
     deterministic given the (seeded) permutation, successive addresses
     are far apart, and the whole region is covered before repeating.
+
+    A uniform random permutation decomposes into short cycles while a
+    linked list is one long cycle, so the walk follows a Hamiltonian
+    cycle given by a random visit *order*.  The cycle is materialized
+    once; a batch of ``count`` accesses is then a single gather at
+    ``(cursor + arange(count)) % slots`` rather than a per-access
+    pointer dereference.
     """
 
     def __init__(self, base: int, footprint: int, seed: int = 0):
         super().__init__(base, footprint)
         perm_rng = np.random.default_rng(seed)
-        # A uniform random permutation decomposes into short cycles; a
-        # linked list is one long cycle, so build a Hamiltonian cycle
-        # from a random visit order instead.
-        order = perm_rng.permutation(self._slots)
-        self._next_slot = np.empty(self._slots, dtype=np.int64)
-        self._next_slot[order[:-1]] = order[1:]
-        self._next_slot[order[-1]] = order[0]
-        self._cursor = int(order[0])
+        self._order = perm_rng.permutation(self._slots).astype(np.int64)
+        self._cursor = 0
 
     def generate(self, rng: np.random.Generator, count: int) -> np.ndarray:
-        slots = np.empty(count, dtype=np.int64)
-        cursor = self._cursor
-        for index in range(count):
-            slots[index] = cursor
-            cursor = int(self._next_slot[cursor])
-        self._cursor = cursor
-        return self._from_slots(slots)
+        positions = (
+            self._cursor + np.arange(count, dtype=np.int64)
+        ) % self._slots
+        self._cursor = (self._cursor + count) % self._slots
+        return self._from_slots(self._order[positions])
+
+    def reset(self) -> None:
+        self._cursor = 0
 
 
 #: Behavior kinds selectable from a profile's behavior-mix mapping.

@@ -19,7 +19,8 @@ knob group                paper characteristics shaped (Table II)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, Tuple
 
 import numpy as np
@@ -30,6 +31,21 @@ from .code import CodeSpec
 from .memory import BEHAVIOR_KINDS
 
 _MIX_TOLERANCE = 1e-6
+
+#: Version tag mixed into profile fingerprints; bump when the knob
+#: schema changes in a way that should invalidate keyed caches.
+_FINGERPRINT_SCHEMA = "WorkloadProfile/v1"
+
+
+def _canonical(value):
+    """A deterministic, order-independent view of nested knob values."""
+    if isinstance(value, dict):
+        return tuple(
+            (key, _canonical(item)) for key, item in sorted(value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(item) for item in value)
+    return value
 
 
 @dataclass(frozen=True)
@@ -261,3 +277,14 @@ class WorkloadProfile:
     def with_overrides(self, **kwargs) -> "WorkloadProfile":
         """Return a copy with the given top-level fields replaced."""
         return replace(self, **kwargs)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the complete knob set.
+
+        Two profiles with equal knobs fingerprint identically across
+        processes and platforms (behavior-mix dictionaries are compared
+        by content, not insertion order).  Keys the static-code memo
+        and the :mod:`repro.perf` trace cache.
+        """
+        payload = repr((_FINGERPRINT_SCHEMA, _canonical(asdict(self))))
+        return hashlib.sha256(payload.encode()).hexdigest()[:32]

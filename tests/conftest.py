@@ -124,7 +124,13 @@ def make_independent_alu(
 
 @pytest.fixture(scope="session")
 def small_population():
-    """Six contrasting real registry benchmarks for dataset tests."""
+    """Eight contrasting real registry benchmarks for dataset tests.
+
+    Includes same-program/different-input pairs (the three bzip2
+    inputs) so the pairwise-distance spread always contains genuinely
+    close pairs — threshold-based drivers (e.g. the Figure 4 ROC
+    reference space) need both sides of their cut populated.
+    """
     from repro.workloads import get_benchmark
 
     names = [
@@ -134,5 +140,7 @@ def small_population():
         "mibench/adpcm/rawcaudio",
         "bioinfomark/blast/protein",
         "commbench/drr/drr",
+        "spec2000/bzip2/source",
+        "spec2000/bzip2/program",
     ]
     return [get_benchmark(name) for name in names]

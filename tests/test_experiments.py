@@ -35,9 +35,9 @@ def dataset(small_population):
 
 class TestBuildDataset:
     def test_shapes(self, dataset):
-        assert dataset.mica.shape == (6, 47)
-        assert dataset.hpc.shape == (6, 7)
-        assert len(dataset.names) == len(dataset.suites) == 6
+        assert dataset.mica.shape == (8, 47)
+        assert dataset.hpc.shape == (8, 7)
+        assert len(dataset.names) == len(dataset.suites) == 8
 
     def test_values_finite(self, dataset):
         assert np.isfinite(dataset.mica).all()
@@ -57,7 +57,7 @@ class TestBuildDataset:
         assert np.allclose(z.mean(axis=0), 0.0, atol=1e-9)
 
     def test_distances_length(self, dataset):
-        assert len(dataset.mica_distances()) == 15  # C(6, 2).
+        assert len(dataset.mica_distances()) == 28  # C(8, 2).
 
     def test_disk_cache_round_trip(self, small_population, tmp_path):
         first = build_dataset(
@@ -94,7 +94,7 @@ class TestDrivers:
     def test_fig1(self, dataset):
         result = run_fig1(dataset)
         assert -1.0 <= result.correlation <= 1.0
-        assert result.tuples == 15
+        assert result.tuples == 28
         assert "correlation coefficient" in result.format()
 
     def test_table3(self, dataset):

@@ -182,7 +182,7 @@ class TestMicaBenchHarness:
         assert result.speedups == {}
         path = write_bench_json(result, tmp_path / "BENCH_mica.json")
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "BENCH_mica/v1"
+        assert payload["schema"] == "BENCH_mica/v2"
         assert payload["meta"]["trace_length"] == len(tiny_trace)
         for entry in payload["analyzers"].values():
             assert entry["seconds"] >= 0.0
@@ -195,12 +195,42 @@ class TestMicaBenchHarness:
         code = main([
             "--trace-length", "2000",
             "bench", "--repeats", "1", "--output", str(output),
+            "--no-generation",
         ])
         assert code == 0
         assert output.is_file()
         payload = json.loads(output.read_text())
         assert "speedups" in payload
+        assert "generation" not in payload
         assert "MICA perf harness" in capsys.readouterr().out
+
+    def test_generation_section(self, tmp_path):
+        result = run_mica_bench(
+            trace=generate_trace(WorkloadProfile(name="perf/gen/1"), 2_000),
+            config=ReproConfig(trace_length=3_000),
+            repeats=1,
+            include_reference=True,
+            include_generation=True,
+        )
+        assert result.generation is not None
+        payload = json.loads(
+            write_bench_json(
+                result, tmp_path / "BENCH_mica.json"
+            ).read_text()
+        )
+        section = payload["generation"]
+        assert set(section["speedups"]) == {"interpret", "expand", "engine"}
+        for phase in (
+            "generate_trace",
+            "interpret",
+            "interpret_reference",
+            "expand",
+            "expand_reference",
+        ):
+            assert section["phases"][phase]["seconds"] >= 0.0
+        assert section["dataset"]["cold_seconds"] > 0.0
+        assert section["dataset"]["warm_seconds"] > 0.0
+        assert "generation engine" in result.format()
 
 
 @pytest.mark.slow
@@ -211,6 +241,18 @@ def test_speedup_floors_at_default_trace_length():
     assert result.trace_length == DEFAULT_CONFIG.trace_length
     assert result.speedups["ppm"] >= 10.0
     assert result.speedups["ilp"] >= 5.0
+
+
+@pytest.mark.slow
+def test_generation_speedup_floor_at_default_trace_length():
+    """Acceptance floor for the generation engine: >=10x combined over
+    the scalar interpret/expand references at the default (100k) trace
+    length."""
+    from repro.perf import run_generation_bench
+
+    result = run_generation_bench(repeats=5)
+    assert result.trace_length == DEFAULT_CONFIG.trace_length
+    assert result.speedups["engine"] >= 10.0
 
 
 def test_characteristic_vector_dimensions(tiny_trace, tmp_path):

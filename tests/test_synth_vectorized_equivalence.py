@@ -1,0 +1,226 @@
+"""Batch-vs-reference equivalence for the trace-generation engine.
+
+The batch control-flow interpreter :func:`repro.synth.generator._interpret`
+and the grouped expansion :func:`repro.synth.generator._expand` must
+produce *bit-identical* results to the retained scalar specifications
+(:func:`_interpret_reference` / :func:`_expand_reference`) on randomized
+profiles across shapes, lengths and seeds, and on hand-built edge cases
+— the same contract ``test_mica_vectorized_equivalence`` enforces for
+the PPM/ILP analyzers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synth import (
+    BranchSpec,
+    CodeSpec,
+    MemorySpec,
+    PointerChase,
+    WorkloadProfile,
+    build_code,
+    generate_trace,
+    make_rng,
+)
+from repro.synth import generator
+
+
+def fresh_code(profile: WorkloadProfile):
+    """A newly built static image (private behavior/model state)."""
+    return build_code(
+        make_rng("code", profile.name, profile.seed),
+        profile.code,
+        profile.mix,
+        profile.memory,
+        profile.branches,
+    )
+
+
+def interpret_both(profile: WorkloadProfile, length: int, seed: int = 0):
+    """(visits, outcomes) from the batch engine and the reference,
+    each on a fresh image and identically seeded rng."""
+    results = []
+    for interpret in (generator._interpret, generator._interpret_reference):
+        code = fresh_code(profile)
+        rng = make_rng("trace", profile.name, profile.seed, seed)
+        results.append(interpret(rng, code, profile, length))
+    return results
+
+
+def assert_interpret_matches(profile, length, seed=0):
+    (visits, taken), (ref_visits, ref_taken) = interpret_both(
+        profile, length, seed
+    )
+    assert np.array_equal(visits, ref_visits)
+    assert np.array_equal(taken, ref_taken)
+
+
+#: Profile shapes chosen to exercise every interpreter regime: no
+#: diamonds (pure flat path), all diamonds (pure matrix path), pattern
+#: vs biased outcome models, single-block loops, degenerate programs,
+#: heavy cold detours, and large many-loop bodies.
+PROFILE_SHAPES = {
+    "default": WorkloadProfile(name="eqgen/default"),
+    "no-diamonds": WorkloadProfile(
+        name="eqgen/nodiamond", code=CodeSpec(diamond_rate=0.0)
+    ),
+    "all-diamonds": WorkloadProfile(
+        name="eqgen/alldiamond", code=CodeSpec(diamond_rate=1.0)
+    ),
+    "all-pattern": WorkloadProfile(
+        name="eqgen/pattern",
+        code=CodeSpec(diamond_rate=1.0),
+        branches=BranchSpec(pattern_fraction=1.0),
+    ),
+    "all-biased": WorkloadProfile(
+        name="eqgen/biased",
+        code=CodeSpec(diamond_rate=1.0),
+        branches=BranchSpec(pattern_fraction=0.0, taken_bias=0.5),
+    ),
+    "single-block": WorkloadProfile(
+        name="eqgen/singleblock",
+        code=CodeSpec(num_functions=1, blocks_per_function=1),
+    ),
+    "short-loops": WorkloadProfile(
+        name="eqgen/shortloops",
+        code=CodeSpec(
+            num_functions=2,
+            blocks_per_function=2,
+            loop_iter_mean=1.0,
+            hot_function_fraction=1.0,
+        ),
+    ),
+    "cold-heavy": WorkloadProfile(
+        name="eqgen/cold", code=CodeSpec(cold_visit_rate=0.5)
+    ),
+    "large": WorkloadProfile(
+        name="eqgen/large",
+        code=CodeSpec(
+            num_functions=40,
+            blocks_per_function=24,
+            loop_blocks=8,
+            diamond_rate=0.6,
+        ),
+    ),
+}
+
+
+class TestInterpretEquivalence:
+    @pytest.mark.parametrize("shape", sorted(PROFILE_SHAPES))
+    @pytest.mark.parametrize("length", [10, 1_000, 8_000])
+    def test_profiles_match(self, shape, length):
+        assert_interpret_matches(PROFILE_SHAPES[shape], length)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_seeds_match(self, seed):
+        assert_interpret_matches(PROFILE_SHAPES["default"], 4_000, seed)
+
+    def test_exact_budget_boundaries(self):
+        profile = PROFILE_SHAPES["default"]
+        code = fresh_code(profile)
+        lengths = code.block_lengths()
+        for length in (1, 2, int(lengths[0]), int(lengths[0]) + 1, 97):
+            assert_interpret_matches(profile, length)
+
+    def test_visit_stream_is_well_formed(self):
+        profile = PROFILE_SHAPES["all-diamonds"]
+        code = fresh_code(profile)
+        rng = make_rng("trace", profile.name, profile.seed, 0)
+        visits, taken = generator._interpret(rng, code, profile, 20_000)
+        lengths = code.block_lengths()
+        # The budget is covered exactly at the final visit.
+        totals = np.cumsum(lengths[visits])
+        assert totals[-1] >= 20_000
+        assert totals[-2] < 20_000
+        # Not-taken visits always fall through to the next block.
+        not_taken = np.flatnonzero(~taken[:-1])
+        assert np.array_equal(visits[not_taken + 1], visits[not_taken] + 1)
+
+
+class TestExpandEquivalence:
+    @pytest.mark.parametrize(
+        "shape", ["default", "no-diamonds", "large", "single-block"]
+    )
+    def test_profiles_match(self, shape):
+        profile = PROFILE_SHAPES[shape]
+        code = fresh_code(profile)
+        rng = make_rng("trace", profile.name, profile.seed, 0)
+        visits, outcomes = generator._interpret(rng, code, profile, 12_000)
+
+        code.reset_state()
+        batch = generator._expand(
+            make_rng("expand-eq"), code, visits, outcomes, 12_000
+        )
+        code.reset_state()
+        reference = generator._expand_reference(
+            make_rng("expand-eq"), code, visits, outcomes, 12_000
+        )
+        assert set(batch) == set(reference)
+        for column in batch:
+            assert np.array_equal(batch[column], reference[column]), column
+
+    def test_every_behavior_kind_matches(self):
+        profile = WorkloadProfile(
+            name="eqgen/memkinds",
+            memory=MemorySpec(
+                load_mix={
+                    "scalar": 0.2,
+                    "sequential": 0.2,
+                    "strided": 0.2,
+                    "random": 0.2,
+                    "pointer": 0.2,
+                },
+                store_mix={"scalar": 0.4, "random": 0.3, "pointer": 0.3},
+            ),
+        )
+        code = fresh_code(profile)
+        rng = make_rng("trace", profile.name, profile.seed, 0)
+        visits, outcomes = generator._interpret(rng, code, profile, 10_000)
+        code.reset_state()
+        batch = generator._expand(
+            make_rng("mem-eq"), code, visits, outcomes, 10_000
+        )
+        code.reset_state()
+        reference = generator._expand_reference(
+            make_rng("mem-eq"), code, visits, outcomes, 10_000
+        )
+        assert np.array_equal(batch["mem_addr"], reference["mem_addr"])
+
+
+class TestFullPipelineEquivalence:
+    @pytest.mark.parametrize("shape", ["default", "all-diamonds", "large"])
+    def test_generate_trace_matches_reference_engine(
+        self, shape, monkeypatch
+    ):
+        """Swapping both batch phases for their references reproduces
+        the identical trace — draws, expansion and registers included."""
+        profile = PROFILE_SHAPES[shape]
+        batch = generate_trace(profile, 6_000, seed=7)
+        monkeypatch.setattr(
+            generator, "_interpret", generator._interpret_reference
+        )
+        monkeypatch.setattr(
+            generator, "_expand", generator._expand_reference
+        )
+        reference = generate_trace(profile, 6_000, seed=7)
+        assert np.array_equal(batch.data, reference.data)
+
+
+class TestPointerChaseBatching:
+    def test_batch_equals_incremental(self):
+        one = PointerChase(base=0x1000, footprint=1024, seed=9)
+        many = PointerChase(base=0x1000, footprint=1024, seed=9)
+        whole = one.generate(make_rng("x"), 300)
+        parts = np.concatenate(
+            [many.generate(make_rng("y"), n) for n in (1, 7, 120, 172)]
+        )
+        assert np.array_equal(whole, parts)
+
+    def test_reset_restarts_the_cycle(self):
+        stream = PointerChase(base=0x1000, footprint=512, seed=3)
+        first = stream.generate(make_rng("x"), 40)
+        stream.reset()
+        again = stream.generate(make_rng("x"), 40)
+        assert np.array_equal(first, again)

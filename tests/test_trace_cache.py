@@ -1,0 +1,205 @@
+"""Tests for the profile+seed-keyed trace cache and the static-code memo.
+
+The trace cache sits *below* the content-keyed characterization cache:
+it skips generation itself, which a content hash cannot (hashing needs
+the bytes).  These tests pin the cache key contract (profile
+fingerprint, length, seed, TRACE_GEN_VERSION) and that warm dataset
+builds never invoke the generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.perf.cache as perf_cache
+from repro.config import ReproConfig
+from repro.experiments import build_dataset, clear_dataset_cache
+from repro.experiments.dataset import _MEMORY_CACHE
+from repro.perf import TraceCache, cached_generate_trace
+from repro.synth import (
+    CodeSpec,
+    WorkloadProfile,
+    clear_code_cache,
+    generate_trace,
+    generation_call_count,
+)
+from repro.synth import generator
+
+SMALL_CONFIG = ReproConfig(trace_length=2_000)
+
+PROFILE = WorkloadProfile(name="cache/profile/1")
+
+
+class TestProfileFingerprint:
+    def test_deterministic(self):
+        assert PROFILE.fingerprint() == PROFILE.fingerprint()
+
+    def test_equal_knobs_equal_fingerprint(self):
+        twin = WorkloadProfile(name="cache/profile/1")
+        assert PROFILE.fingerprint() == twin.fingerprint()
+
+    def test_behavior_mix_order_independent(self):
+        forward = WorkloadProfile(
+            name="cache/mix",
+            memory=PROFILE.memory.__class__(
+                load_mix={"scalar": 0.5, "random": 0.5},
+            ),
+        )
+        backward = WorkloadProfile(
+            name="cache/mix",
+            memory=PROFILE.memory.__class__(
+                load_mix={"random": 0.5, "scalar": 0.5},
+            ),
+        )
+        assert forward.fingerprint() == backward.fingerprint()
+
+    def test_distinct_knobs_distinct_fingerprint(self):
+        assert PROFILE.fingerprint() != PROFILE.with_overrides(
+            seed=1
+        ).fingerprint()
+        assert PROFILE.fingerprint() != PROFILE.with_overrides(
+            name="cache/profile/2"
+        ).fingerprint()
+
+
+class TestTraceCache:
+    def test_hit_returns_bit_identical_bytes(self, tmp_path):
+        cold = cached_generate_trace(PROFILE, 2_000, seed=4, cache_dir=tmp_path)
+        warm = cached_generate_trace(PROFILE, 2_000, seed=4, cache_dir=tmp_path)
+        assert warm.data.tobytes() == cold.data.tobytes()
+        assert warm.name == PROFILE.name
+        assert len(TraceCache(tmp_path)) == 1
+
+    def test_hit_skips_the_generator(self, tmp_path, monkeypatch):
+        cached_generate_trace(PROFILE, 2_000, cache_dir=tmp_path)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("generator ran on a warm trace cache")
+
+        monkeypatch.setattr(perf_cache, "generate_trace", boom)
+        cached_generate_trace(PROFILE, 2_000, cache_dir=tmp_path)
+
+    def test_distinct_seed_length_profile_miss(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        cached_generate_trace(PROFILE, 2_000, seed=0, cache_dir=tmp_path)
+        assert cache.load(PROFILE, 2_000, seed=1) is None
+        assert cache.load(PROFILE, 1_999, seed=0) is None
+        assert cache.load(PROFILE.with_overrides(seed=5), 2_000) is None
+        assert (
+            cache.load(WorkloadProfile(name="cache/other/1"), 2_000) is None
+        )
+
+    def test_version_bump_invalidates(self, tmp_path, monkeypatch):
+        cache = TraceCache(tmp_path)
+        cached_generate_trace(PROFILE, 2_000, cache_dir=tmp_path)
+        assert cache.load(PROFILE, 2_000) is not None
+        monkeypatch.setattr(
+            perf_cache, "TRACE_GEN_VERSION", perf_cache.TRACE_GEN_VERSION + 1
+        )
+        assert cache.load(PROFILE, 2_000) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        cached_generate_trace(PROFILE, 2_000, cache_dir=tmp_path)
+        for path in tmp_path.glob("trace-*.npz"):
+            path.write_bytes(b"not an npz")
+        assert cache.load(PROFILE, 2_000) is None
+
+    def test_no_cache_dir_is_plain_generate(self):
+        direct = generate_trace(PROFILE, 1_000, seed=2)
+        wrapped = cached_generate_trace(PROFILE, 1_000, seed=2, cache_dir=None)
+        assert np.array_equal(direct.data, wrapped.data)
+
+    def test_clear(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        cached_generate_trace(PROFILE, 2_000, cache_dir=tmp_path)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestWarmDatasetBuildSkipsGeneration:
+    def test_second_build_performs_zero_generator_calls(
+        self, small_population, tmp_path
+    ):
+        population = small_population[:3]
+        _MEMORY_CACHE.clear()
+        cold = build_dataset(
+            SMALL_CONFIG, benchmarks=population, cache_dir=tmp_path, jobs=1
+        )
+        # Drop the dataset-level matrices but keep the per-trace caches,
+        # so the rebuild must go through the workers.
+        removed = list(tmp_path.glob("dataset-*.npz"))
+        assert removed, "cold build should have written the dataset cache"
+        for path in removed:
+            path.unlink()
+        assert list(tmp_path.glob("trace-*.npz")), (
+            "cold build should have populated the trace cache"
+        )
+        _MEMORY_CACHE.clear()
+
+        calls_before = generation_call_count()
+        warm = build_dataset(
+            SMALL_CONFIG, benchmarks=population, cache_dir=tmp_path, jobs=1
+        )
+        assert generation_call_count() == calls_before
+        assert np.array_equal(warm.mica, cold.mica)
+        assert np.array_equal(warm.hpc, cold.hpc)
+        _MEMORY_CACHE.clear()
+
+    def test_clear_dataset_cache_removes_trace_entries(
+        self, small_population, tmp_path
+    ):
+        build_dataset(
+            SMALL_CONFIG,
+            benchmarks=small_population[:2],
+            cache_dir=tmp_path,
+            jobs=1,
+        )
+        assert list(tmp_path.glob("trace-*.npz"))
+        clear_dataset_cache(tmp_path)
+        assert not list(tmp_path.glob("trace-*.npz"))
+        assert not list(tmp_path.glob("char-*.npz"))
+        assert not list(tmp_path.glob("dataset-*.npz"))
+
+
+class TestStaticCodeMemo:
+    def test_build_code_runs_once_across_lengths_and_seeds(
+        self, monkeypatch
+    ):
+        profile = WorkloadProfile(
+            name="cache/memo/1", code=CodeSpec(num_functions=4)
+        )
+        clear_code_cache()
+        calls = []
+        real_build = generator.build_code
+
+        def counting_build(*args, **kwargs):
+            calls.append(1)
+            return real_build(*args, **kwargs)
+
+        monkeypatch.setattr(generator, "build_code", counting_build)
+        generate_trace(profile, 500)
+        generate_trace(profile, 2_000)
+        generate_trace(profile, 500, seed=9)
+        assert len(calls) == 1
+
+        generate_trace(profile.with_overrides(seed=1), 500)
+        assert len(calls) == 2
+        clear_code_cache()
+
+    def test_memoized_code_replays_identically(self):
+        profile = WorkloadProfile(name="cache/memo/2")
+        clear_code_cache()
+        first = generate_trace(profile, 3_000)
+        second = generate_trace(profile, 3_000)
+        assert np.array_equal(first.data, second.data)
+
+    def test_code_is_length_and_seed_invariant(self):
+        profile = WorkloadProfile(name="cache/memo/3")
+        clear_code_cache()
+        generate_trace(profile, 500)
+        image = generator.code_for_profile(profile)
+        generate_trace(profile, 4_000, seed=11)
+        assert generator.code_for_profile(profile) is image
+        clear_code_cache()
