@@ -55,6 +55,10 @@ def main(argv: "list[str] | None" = None) -> int:
         "--no-generation", action="store_true",
         help="skip the trace-generation engine timings",
     )
+    parser.add_argument(
+        "--no-hpc", action="store_true",
+        help="skip the HPC event-engine timings",
+    )
     args = parser.parse_args(argv)
 
     config = (
@@ -68,6 +72,7 @@ def main(argv: "list[str] | None" = None) -> int:
         repeats=args.repeats,
         include_reference=not args.no_reference,
         include_generation=not args.no_generation,
+        include_hpc=not args.no_hpc,
     )
     print(result.format())
     if args.output:

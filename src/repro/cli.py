@@ -114,6 +114,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         include_reference=not args.no_reference,
         include_generation=not args.no_generation,
+        include_hpc=not args.no_hpc,
     )
     print(result.format())
     if args.output:
@@ -293,6 +294,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--no-generation", action="store_true",
         help="skip the trace-generation engine timings",
+    )
+    bench_parser.add_argument(
+        "--no-hpc", action="store_true",
+        help="skip the HPC event-engine timings",
     )
     commands.add_parser("fig1", help="Figure 1: distance scatter")
     commands.add_parser("table3", help="Table III: quadrant fractions")

@@ -26,7 +26,7 @@ from ..config import DEFAULT_CONFIG, ReproConfig
 from ..errors import AnalysisError
 from ..analysis import pairwise_distances, zscore
 from ..mica import characterize, characteristic_names
-from ..uarch import HPC_METRIC_NAMES, collect_hpc
+from ..uarch import HPC_METRIC_NAMES
 from ..workloads import Benchmark, all_benchmarks
 
 #: Cache format version — bump when characterization or trace-generation
@@ -107,13 +107,19 @@ def _characterize_one(args: "Tuple[str, int, int, dict, str | None]"):
     the registry by name (profiles are deterministic).  When a cache
     directory is given, the trace comes from the profile+seed-keyed
     :mod:`repro.perf` trace cache (warm runs never invoke the
-    generator) and the 47-dimensional vector goes through the
-    content-keyed characterization cache above it, both shared across
-    workers and runs.
+    generator), the 47-dimensional vector goes through the
+    content-keyed characterization cache above it, and the 7-metric
+    vector through the content+machine-keyed HPC cache beside it (warm
+    runs never run a pipeline model) — all shared across workers and
+    runs.
     """
     name, trace_length, seed, config_kwargs, cache_dir = args
     # Local imports keep worker startup lean.
-    from ..perf import cached_characterize, cached_generate_trace
+    from ..perf import (
+        cached_characterize,
+        cached_collect_hpc,
+        cached_generate_trace,
+    )
     from ..workloads import get_benchmark
 
     config = ReproConfig(**config_kwargs)
@@ -122,7 +128,7 @@ def _characterize_one(args: "Tuple[str, int, int, dict, str | None]"):
         benchmark.profile, trace_length, seed=seed, cache_dir=cache_dir
     )
     mica_vector = cached_characterize(trace, config, cache_dir).values
-    hpc_vector = collect_hpc(trace).values
+    hpc_vector = cached_collect_hpc(trace, cache_dir=cache_dir).values
     return name, mica_vector, hpc_vector
 
 
@@ -141,12 +147,15 @@ def _config_kwargs(config: ReproConfig) -> dict:
 
 def _cache_key(config: ReproConfig, names: Sequence[str]) -> str:
     # The upstream semantic versions are part of the key, so a
-    # generation-protocol or analyzer bump invalidates dataset matrices
-    # mechanically instead of relying on a manual CACHE_VERSION bump.
+    # generation-protocol, analyzer or simulation bump invalidates
+    # dataset matrices mechanically instead of relying on a manual
+    # CACHE_VERSION bump.
     from ..perf.cache import CHAR_CACHE_VERSION
     from ..synth import TRACE_GEN_VERSION
+    from ..uarch import HPC_SIM_VERSION
 
     payload = repr((CACHE_VERSION, TRACE_GEN_VERSION, CHAR_CACHE_VERSION,
+                    HPC_SIM_VERSION,
                     sorted(_config_kwargs(config).items()), tuple(names)))
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
@@ -162,13 +171,14 @@ def default_cache_dir() -> Path:
 def clear_dataset_cache(cache_dir: "Path | None" = None) -> int:
     """Delete cached datasets (in-memory and on disk).
 
-    Clears all three cache levels: the dataset-level matrices, the
-    per-trace characterization entries and the generated-trace entries.
+    Clears all four cache levels: the dataset-level matrices, the
+    per-trace characterization entries, the per-trace HPC vectors and
+    the generated-trace entries.
 
     Returns:
         Number of disk cache files removed.
     """
-    from ..perf import CharacterizationCache, TraceCache
+    from ..perf import CharacterizationCache, HpcCache, TraceCache
 
     _MEMORY_CACHE.clear()
     directory = cache_dir or default_cache_dir()
@@ -178,6 +188,7 @@ def clear_dataset_cache(cache_dir: "Path | None" = None) -> int:
             path.unlink()
             removed += 1
         removed += CharacterizationCache(directory).clear()
+        removed += HpcCache(directory).clear()
         removed += TraceCache(directory).clear()
     return removed
 

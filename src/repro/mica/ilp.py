@@ -12,7 +12,9 @@ instruction count divided by the summed critical-path lengths.
 Register dataflow is recovered from the trace with
 :func:`producer_indices`, which maps every source operand to the dynamic
 index of the instruction that produced the value (the most recent writer
-of that architected register).
+of that architected register) — a single key-sorted pass over one
+combined read/write event stream (the retained per-register
+:func:`producer_indices_reference` is its executable specification).
 
 Two critical-path implementations are provided:
 
@@ -55,8 +57,84 @@ def producer_indices(trace: Trace) -> Tuple[np.ndarray, np.ndarray]:
     register, or :data:`NO_PRODUCER` when the slot is empty, reads a
     hardwired-zero register, or reads a register not yet written.
 
+    Single pass: both read slots and the write stream pack into one
+    ``register * (n + 1) + position`` key stream (write keys biased by
+    one half-step so an instruction's own same-register write sorts
+    *after* its reads), and a single key sort merges them — each read's
+    producer is the write immediately preceding it in key order,
+    provided that write sits in the same register's key run.  After
+    biasing, keys collide only when one instruction reads the same
+    register through both slots — interchangeable events — so the
+    (fast) unstable sort is exact.
+
     Returns:
         ``(producer1, producer2)`` int64 arrays of the trace length.
+    """
+    n = len(trace)
+    producer1 = np.full(n, NO_PRODUCER, dtype=np.int64)
+    producer2 = np.full(n, NO_PRODUCER, dtype=np.int64)
+
+    def live_readers(source: np.ndarray) -> np.ndarray:
+        live = (source != NO_REG) & (source != INT_ZERO_REG) & (
+            source != FP_ZERO_REG
+        )
+        return np.flatnonzero(live)
+
+    readers1 = live_readers(trace.src1)
+    readers2 = live_readers(trace.src2)
+    writers = np.flatnonzero(trace.dst != NO_REG)
+    if len(writers) == 0:
+        return producer1, producer2  # No writes: nothing has a producer.
+    base1 = trace.src1[readers1].astype(np.int64) * (n + 1)
+    base2 = trace.src2[readers2].astype(np.int64) * (n + 1)
+    writer_keys = trace.dst[writers].astype(np.int64) * (n + 1) + writers
+    n_reads = len(readers1) + len(readers2)
+    merged = np.concatenate(
+        [
+            (base1 + readers1) * 2,
+            (base2 + readers2) * 2,
+            writer_keys * 2 + 1,
+        ]
+    )
+    order = np.argsort(merged)
+    write_entry = order >= n_reads
+    # For each read, the number of writes sorted before it, minus one:
+    # an index into the key-sorted write stream (-1 = no earlier write).
+    slot = np.cumsum(write_entry) - write_entry - 1
+    write_order = order[write_entry] - n_reads
+    sorted_keys = writer_keys[write_order]
+    sorted_positions = writers[write_order]
+
+    read_entry = ~write_entry
+    read_index = order[read_entry]  # Into the concatenated read streams.
+    read_slot = slot[read_entry]
+    bases = np.concatenate([base1, base2])
+    targets = np.concatenate([readers1, readers2])
+    valid = read_slot >= 0
+    # Same register iff the producing write's key falls in the reader's
+    # register run.
+    valid &= sorted_keys[np.maximum(read_slot, 0)] >= bases[read_index]
+    second = read_index >= len(readers1)
+    keep1 = valid & ~second
+    keep2 = valid & second
+    producer1[targets[read_index[keep1]]] = sorted_positions[
+        read_slot[keep1]
+    ]
+    producer2[targets[read_index[keep2]]] = sorted_positions[
+        read_slot[keep2]
+    ]
+    return producer1, producer2
+
+
+def producer_indices_reference(
+    trace: Trace,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-register producer recovery — the executable specification.
+
+    Walks one register at a time with a ``searchsorted`` lookup per
+    (slot, register) pair; retained for the equivalence tests and the
+    perf harness.  Produces exactly the arrays of
+    :func:`producer_indices`.
     """
     n = len(trace)
     dst = trace.dst

@@ -7,17 +7,21 @@ semantics:
 * :mod:`repro.perf.cache` — the on-disk cache hierarchy: a
   characterization cache keyed by trace **content** hash plus the
   configuration fingerprint (a benchmark whose trace has not changed is
-  never re-analyzed), and below it a trace cache keyed by **profile
-  fingerprint + length + seed + TRACE_GEN_VERSION** (a benchmark whose
-  profile has not changed is never re-generated — the gap a
-  content-addressed cache cannot close, since hashing content requires
-  the bytes).
+  never re-analyzed), an HPC cache keyed by the same content hash plus
+  the **machine fingerprints + HPC_SIM_VERSION** (a benchmark whose
+  trace has not changed is never re-simulated), and below them a trace
+  cache keyed by **profile fingerprint + length + seed +
+  TRACE_GEN_VERSION** (a benchmark whose profile has not changed is
+  never re-generated — the gap a content-addressed cache cannot close,
+  since hashing content requires the bytes).
 * :mod:`repro.perf.timing` — the MICA benchmark harness: it times every
   analyzer (and the retained scalar reference implementations of PPM
   and ILP) on a standard trace, times the generation engine against its
-  scalar references (plus cold/warm dataset builds), and emits the
-  machine-readable ``BENCH_mica.json`` that tracks the performance
-  trajectory across PRs.
+  scalar references (plus cold/warm dataset builds), times the HPC
+  event engines (caches, TLB, predictors, ``simulate_events``) against
+  their scalar specifications, and emits the machine-readable
+  ``BENCH_mica.json`` that tracks the performance trajectory across
+  PRs.
 
 Both are consumed by :func:`repro.experiments.build_dataset` (per-trace
 cache under parallel workers) and the CLI (``--jobs``, ``--cache-dir``,
@@ -26,30 +30,38 @@ cache under parallel workers) and the CLI (``--jobs``, ``--cache-dir``,
 
 from .cache import (
     CharacterizationCache,
+    HpcCache,
     TraceCache,
     cached_characterize,
+    cached_collect_hpc,
     cached_generate_trace,
     trace_fingerprint,
 )
 from .timing import (
     AnalyzerTiming,
     GenerationBenchResult,
+    HpcBenchResult,
     MicaBenchResult,
     run_generation_bench,
+    run_hpc_bench,
     run_mica_bench,
     write_bench_json,
 )
 
 __all__ = [
     "CharacterizationCache",
+    "HpcCache",
     "TraceCache",
     "cached_characterize",
+    "cached_collect_hpc",
     "cached_generate_trace",
     "trace_fingerprint",
     "AnalyzerTiming",
     "GenerationBenchResult",
+    "HpcBenchResult",
     "MicaBenchResult",
     "run_generation_bench",
+    "run_hpc_bench",
     "run_mica_bench",
     "write_bench_json",
 ]

@@ -1,20 +1,31 @@
-"""On-disk caches: characterization results and generated traces.
+"""On-disk caches: characterization results, HPC vectors, traces.
 
-Two cache levels live here, forming a hierarchy under the dataset-level
-matrix cache of :mod:`repro.experiments.dataset`:
+Three cache levels live here, forming a hierarchy under the
+dataset-level matrix cache of :mod:`repro.experiments.dataset`:
 
 * **Characterization cache** (top).  Characterizing one trace is pure:
-  the 47-dimensional MICA vector (and the 7-dimensional HPC vector)
-  depend only on the trace contents and the characterization fields of
-  :class:`~repro.config.ReproConfig`.  Entries key by::
+  the 47-dimensional MICA vector depends only on the trace contents and
+  the characterization fields of :class:`~repro.config.ReproConfig`.
+  Entries key by::
 
       sha256(trace bytes) + config.characterization_fingerprint() + version
 
   and store one small ``.npz`` per trace.
 
+* **HPC cache** (beside it).  The seven-metric
+  hardware-performance-counter vector is equally pure — a function of
+  the trace contents and the two simulated machines — so entries key
+  by::
+
+      sha256(trace bytes) + inorder.fingerprint() + ooo.fingerprint()
+          + HPC_SIM_VERSION
+
+  and a warm :func:`cached_collect_hpc` performs zero pipeline-model
+  runs (asserted via :func:`repro.uarch.hpc_call_count`).
+
 * **Trace cache** (bottom).  Generating a trace is also pure — a
   function of the profile knobs, the length and the per-trace seed —
-  but the characterization cache cannot skip *generation* (hashing the
+  but the content-keyed caches cannot skip *generation* (hashing the
   content requires the bytes).  The trace cache closes that gap: it
   keys by::
 
@@ -30,7 +41,8 @@ Entries survive process restarts, are shared by parallel dataset
 workers, and stay valid under population changes (unlike the
 dataset-level cache, which is keyed by the full benchmark name list).
 
-Bump :data:`CHAR_CACHE_VERSION` whenever analyzer semantics change.
+Bump :data:`CHAR_CACHE_VERSION` whenever analyzer semantics change and
+:data:`repro.uarch.HPC_SIM_VERSION` whenever simulation semantics do.
 """
 
 from __future__ import annotations
@@ -47,6 +59,14 @@ from ..isa import TRACE_DTYPE
 from ..mica import CharacteristicVector, characterize
 from ..synth import TRACE_GEN_VERSION, WorkloadProfile, generate_trace
 from ..trace import Trace
+from ..uarch import (
+    EV56_CONFIG,
+    EV67_CONFIG,
+    HPC_SIM_VERSION,
+    HpcVector,
+    MachineConfig,
+    collect_hpc,
+)
 
 #: Bump when any analyzer changes its output for the same trace/config.
 CHAR_CACHE_VERSION = 1
@@ -72,49 +92,45 @@ def _entry_key(trace: Trace, config: ReproConfig) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:32]
 
 
-class CharacterizationCache:
-    """Directory of per-trace characterization results.
+class _NpzCacheDirectory:
+    """Shared machinery of the on-disk cache levels.
 
-    Args:
-        directory: cache root; created lazily on first store.
-
+    One ``.npz`` file per entry under a common directory (created
+    lazily on first store), distinguished per level by ``_prefix``.
     Entries are written atomically (temp file + rename) so concurrent
-    workers characterizing the same trace cannot corrupt each other.
+    workers producing the same entry cannot corrupt each other, and a
+    truncated or foreign file always reads as a miss, never an error.
     """
+
+    _prefix = ""
 
     def __init__(self, directory: "Path | str"):
         self.directory = Path(directory)
 
     def _path(self, key: str) -> Path:
-        return self.directory / f"char-{key}.npz"
+        return self.directory / f"{self._prefix}-{key}.npz"
 
-    def load(
-        self, trace: Trace, config: ReproConfig = DEFAULT_CONFIG
-    ) -> "Optional[np.ndarray]":
-        """The cached 47-dimensional vector, or None on a miss."""
-        path = self._path(_entry_key(trace, config))
+    def _load_entry(self, key: str, field: str) -> "Optional[np.ndarray]":
+        path = self._path(key)
         if not path.is_file():
             return None
         try:
             with np.load(path, allow_pickle=False) as archive:
-                return archive["values"]
+                return archive[field]
         except (OSError, ValueError, KeyError):
             # A truncated or foreign file is a miss, not an error.
             return None
 
-    def store(
-        self,
-        trace: Trace,
-        config: ReproConfig,
-        values: np.ndarray,
+    def _store_entry(
+        self, key: str, compress: bool = False, **fields: np.ndarray
     ) -> Path:
-        """Persist one characterization result; returns the entry path."""
         self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path(_entry_key(trace, config))
+        path = self._path(key)
         # The tmp- prefix keeps half-written files out of the entry
         # glob; the .npz suffix stops np.savez renaming the file.
         temporary = path.with_name(f"tmp-{path.stem}.{os.getpid()}.npz")
-        np.savez(temporary, values=values)
+        writer = np.savez_compressed if compress else np.savez
+        writer(temporary, **fields)
         os.replace(temporary, path)
         return path
 
@@ -123,7 +139,7 @@ class CharacterizationCache:
         if not self.directory.is_dir():
             return 0
         removed = 0
-        for path in self.directory.glob("char-*.npz"):
+        for path in self.directory.glob(f"{self._prefix}-*.npz"):
             path.unlink()
             removed += 1
         return removed
@@ -131,7 +147,34 @@ class CharacterizationCache:
     def __len__(self) -> int:
         if not self.directory.is_dir():
             return 0
-        return sum(1 for _ in self.directory.glob("char-*.npz"))
+        return sum(
+            1 for _ in self.directory.glob(f"{self._prefix}-*.npz")
+        )
+
+
+class CharacterizationCache(_NpzCacheDirectory):
+    """Directory of per-trace characterization results.
+
+    Args:
+        directory: cache root; created lazily on first store.
+    """
+
+    _prefix = "char"
+
+    def load(
+        self, trace: Trace, config: ReproConfig = DEFAULT_CONFIG
+    ) -> "Optional[np.ndarray]":
+        """The cached 47-dimensional vector, or None on a miss."""
+        return self._load_entry(_entry_key(trace, config), "values")
+
+    def store(
+        self,
+        trace: Trace,
+        config: ReproConfig,
+        values: np.ndarray,
+    ) -> Path:
+        """Persist one characterization result; returns the entry path."""
+        return self._store_entry(_entry_key(trace, config), values=values)
 
 
 def cached_characterize(
@@ -160,6 +203,85 @@ def cached_characterize(
 
 
 # ---------------------------------------------------------------------------
+# HPC cache (beside the characterization cache)
+# ---------------------------------------------------------------------------
+
+
+def _hpc_key(
+    trace: Trace, inorder: MachineConfig, ooo: MachineConfig
+) -> str:
+    payload = (
+        f"{HPC_SIM_VERSION}:{trace_fingerprint(trace)}:"
+        f"{inorder.fingerprint()}:{ooo.fingerprint()}"
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+class HpcCache(_NpzCacheDirectory):
+    """Directory of per-trace hardware-performance-counter vectors.
+
+    Args:
+        directory: cache root; created lazily on first store.  Shares a
+            directory with the other cache levels (distinct ``hpc-``
+            file prefix).
+
+    One small ``.npz`` per (trace content, machine pair,
+    :data:`~repro.uarch.HPC_SIM_VERSION`) holds the seven-metric
+    vector.
+    """
+
+    _prefix = "hpc"
+
+    def load(
+        self,
+        trace: Trace,
+        inorder: MachineConfig = EV56_CONFIG,
+        ooo: MachineConfig = EV67_CONFIG,
+    ) -> "Optional[np.ndarray]":
+        """The cached 7-dimensional vector, or None on a miss."""
+        return self._load_entry(_hpc_key(trace, inorder, ooo), "values")
+
+    def store(
+        self,
+        trace: Trace,
+        inorder: MachineConfig,
+        ooo: MachineConfig,
+        values: np.ndarray,
+    ) -> Path:
+        """Persist one HPC vector; returns the entry path."""
+        return self._store_entry(
+            _hpc_key(trace, inorder, ooo), values=values
+        )
+
+
+def cached_collect_hpc(
+    trace: Trace,
+    inorder: MachineConfig = EV56_CONFIG,
+    ooo: MachineConfig = EV67_CONFIG,
+    cache_dir: "Path | str | None" = None,
+) -> HpcVector:
+    """:func:`repro.uarch.collect_hpc` behind the on-disk cache.
+
+    With ``cache_dir=None`` this is exactly ``collect_hpc``; otherwise
+    hits skip both pipeline models (and the whole event simulation) and
+    misses populate the cache.
+
+    Returns:
+        The trace's :class:`~repro.uarch.HpcVector` (cached values are
+        re-wrapped with the trace's current name).
+    """
+    if cache_dir is None:
+        return collect_hpc(trace, inorder, ooo)
+    cache = HpcCache(cache_dir)
+    values = cache.load(trace, inorder, ooo)
+    if values is None:
+        vector = collect_hpc(trace, inorder, ooo)
+        cache.store(trace, inorder, ooo, vector.values)
+        return vector
+    return HpcVector(name=trace.name, values=values)
+
+
+# ---------------------------------------------------------------------------
 # Trace cache (below the characterization cache)
 # ---------------------------------------------------------------------------
 
@@ -171,38 +293,23 @@ def _trace_key(profile: WorkloadProfile, length: int, seed: int) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:32]
 
 
-class TraceCache:
+class TraceCache(_NpzCacheDirectory):
     """Directory of generated traces, keyed by (profile, length, seed).
 
     Args:
         directory: cache root; created lazily on first store.  Shares a
-            directory with :class:`CharacterizationCache` (distinct
-            ``trace-`` file prefix).
-
-    Entries are written atomically (temp file + rename) so concurrent
-    workers generating the same trace cannot corrupt each other.
+            directory with the other cache levels (distinct ``trace-``
+            file prefix).
     """
 
-    def __init__(self, directory: "Path | str"):
-        self.directory = Path(directory)
-
-    def _path(self, key: str) -> Path:
-        return self.directory / f"trace-{key}.npz"
+    _prefix = "trace"
 
     def load(
         self, profile: WorkloadProfile, length: int, seed: int = 0
     ) -> "Optional[Trace]":
         """The cached trace (renamed after the profile), or None."""
-        path = self._path(_trace_key(profile, length, seed))
-        if not path.is_file():
-            return None
-        try:
-            with np.load(path, allow_pickle=False) as archive:
-                data = archive["data"]
-        except (OSError, ValueError, KeyError):
-            # A truncated or foreign file is a miss, not an error.
-            return None
-        if data.dtype != TRACE_DTYPE or len(data) != length:
+        data = self._load_entry(_trace_key(profile, length, seed), "data")
+        if data is None or data.dtype != TRACE_DTYPE or len(data) != length:
             return None
         return Trace(data, name=profile.name)
 
@@ -214,29 +321,10 @@ class TraceCache:
         trace: Trace,
     ) -> Path:
         """Persist one generated trace; returns the entry path."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path(_trace_key(profile, length, seed))
-        # The tmp- prefix keeps half-written files out of the entry
-        # glob; the .npz suffix stops np.savez renaming the file.
-        temporary = path.with_name(f"tmp-{path.stem}.{os.getpid()}.npz")
-        np.savez_compressed(temporary, data=trace.data)
-        os.replace(temporary, path)
-        return path
-
-    def clear(self) -> int:
-        """Delete all entries; returns the number removed."""
-        if not self.directory.is_dir():
-            return 0
-        removed = 0
-        for path in self.directory.glob("trace-*.npz"):
-            path.unlink()
-            removed += 1
-        return removed
-
-    def __len__(self) -> int:
-        if not self.directory.is_dir():
-            return 0
-        return sum(1 for _ in self.directory.glob("trace-*.npz"))
+        return self._store_entry(
+            _trace_key(profile, length, seed), compress=True,
+            data=trace.data,
+        )
 
 
 def cached_generate_trace(

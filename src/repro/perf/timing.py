@@ -30,11 +30,22 @@ How to read the output:
   default 100k-instruction trace (``interpret`` / ``expand`` report
   the per-phase ratios).
 * ``generation.dataset`` — wall time of a small ``build_dataset``
-  with cold caches vs warm (trace + characterization caches populated,
-  dataset-level matrices dropped).  ``warm_over_cold`` below one is the
-  cache hierarchy working; it is floored by the HPC simulation, which
-  is recomputed every run (per-benchmark HPC vectors are not yet
-  cached below the dataset level — see the ROADMAP open item).
+  with cold caches vs warm (trace + characterization + HPC caches
+  populated, dataset-level matrices dropped).  ``warm_over_cold``
+  below one is the cache hierarchy working.
+* ``hpc.engines.<name>`` — HPC event-engine timings:
+  ``events_ev56`` / ``events_ev67`` (one full
+  :func:`~repro.uarch.events.simulate_events` assembly per machine),
+  ``collect_hpc`` (end-to-end seven-metric collection), the component
+  engines (``cache_l1d``, ``tlb``, ``predictor_bimodal``,
+  ``predictor_tournament``, ``producer_indices``) and the
+  ``*_reference`` scalar specifications of each.
+* ``hpc.speedups.<engine>`` — reference-over-vectorized per engine;
+  ``hpc.speedups.events`` combines both machines' event assemblies
+  (acceptance floor: 5x at the default 100k-instruction trace).
+* ``hpc.cache`` — one ``cached_collect_hpc`` cold vs warm through a
+  throwaway HPC cache directory (a warm hit skips both pipeline
+  models entirely).
 """
 
 from __future__ import annotations
@@ -148,6 +159,70 @@ class GenerationBenchResult:
 
 
 @dataclass(frozen=True)
+class HpcBenchResult:
+    """HPC event-engine timings: batch engines vs scalar references.
+
+    Attributes:
+        trace_length: instructions simulated per timing.
+        profile: registry benchmark supplying the workload profile.
+        repeats: timing repetitions (the best is kept).
+        timings: per-engine wall times (``events_ev56``/``events_ev67``
+            and their ``*_reference`` scalar specifications,
+            ``collect_hpc``, the cache/TLB/predictor component engines
+            and ``producer_indices``).
+        speedups: reference-over-vectorized ratios per engine plus the
+            combined ``events`` ratio (acceptance floor: 5x at 100k
+            instructions).
+        cache: cold-vs-warm ``cached_collect_hpc`` wall times over the
+            on-disk HPC cache.
+    """
+
+    trace_length: int
+    profile: str
+    repeats: int
+    timings: Tuple[AnalyzerTiming, ...]
+    speedups: Dict[str, float] = field(default_factory=dict)
+    cache: Dict[str, float] = field(default_factory=dict)
+
+    def timing(self, name: str) -> AnalyzerTiming:
+        for entry in self.timings:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_length": self.trace_length,
+            "profile": self.profile,
+            "repeats": self.repeats,
+            "engines": {
+                entry.name: entry.as_dict() for entry in self.timings
+            },
+            "speedups": dict(self.speedups),
+            "cache": dict(self.cache),
+        }
+
+    def format(self) -> str:
+        """Human-readable report section."""
+        lines = [f"  HPC engine — {self.trace_length:,} instructions"]
+        for entry in self.timings:
+            lines.append(
+                f"  {entry.name:<22} {entry.seconds * 1e3:>9.2f} ms"
+                f"  {entry.instructions_per_second / 1e6:>8.1f} Minstr/s"
+            )
+        for name, ratio in self.speedups.items():
+            lines.append(
+                f"  hpc speedup[{name}]: {ratio:.1f}x vs reference"
+            )
+        if self.cache:
+            lines.append(
+                f"  hpc cache: cold {self.cache['cold_seconds'] * 1e3:.1f} ms,"
+                f" warm {self.cache['warm_seconds'] * 1e3:.1f} ms"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
 class MicaBenchResult:
     """One harness run: per-analyzer timings plus derived speedups."""
 
@@ -157,6 +232,7 @@ class MicaBenchResult:
     timings: Tuple[AnalyzerTiming, ...]
     speedups: Dict[str, float] = field(default_factory=dict)
     generation: "Optional[GenerationBenchResult]" = None
+    hpc: "Optional[HpcBenchResult]" = None
 
     def timing(self, name: str) -> AnalyzerTiming:
         for entry in self.timings:
@@ -166,7 +242,7 @@ class MicaBenchResult:
 
     def as_dict(self) -> dict:
         payload = {
-            "schema": "BENCH_mica/v2",
+            "schema": "BENCH_mica/v3",
             "meta": {
                 "trace_length": self.trace_length,
                 "profile": self.profile,
@@ -181,6 +257,8 @@ class MicaBenchResult:
         }
         if self.generation is not None:
             payload["generation"] = self.generation.as_dict()
+        if self.hpc is not None:
+            payload["hpc"] = self.hpc.as_dict()
         return payload
 
     def format(self) -> str:
@@ -198,6 +276,8 @@ class MicaBenchResult:
             lines.append(f"  speedup[{name}]: {ratio:.1f}x vs reference")
         if self.generation is not None:
             lines.append(self.generation.format())
+        if self.hpc is not None:
+            lines.append(self.hpc.format())
         return "\n".join(lines)
 
 
@@ -351,6 +431,165 @@ def run_generation_bench(
     )
 
 
+def run_hpc_bench(
+    config: ReproConfig = DEFAULT_CONFIG,
+    trace_length: "int | None" = None,
+    profile_name: str = DEFAULT_BENCH_PROFILE,
+    repeats: int = 3,
+    include_reference: bool = True,
+) -> HpcBenchResult:
+    """Time the HPC event engines against their scalar references.
+
+    Measures, on one generated trace of ``trace_length`` instructions:
+    the full :func:`~repro.uarch.events.simulate_events` assembly for
+    both machines (batch engines vs the retained scalar
+    specifications), one end-to-end :func:`~repro.uarch.collect_hpc`,
+    the component engines in isolation (a 2-way L1D on the data stream,
+    the fully-associative D-TLB, the bimodal and tournament
+    predictors), and :func:`~repro.mica.ilp.producer_indices` — every
+    simulator rebuilt fresh inside the timed region, exactly as the
+    event simulation uses them.  Also runs ``cached_collect_hpc`` cold
+    and warm through a throwaway directory, the gap the HPC cache
+    exists to close.
+
+    Args:
+        config: supplies the default trace length.
+        trace_length: simulated-trace length (default: the config's).
+        profile_name: registry benchmark supplying the workload profile.
+        repeats: timing repetitions; the best (minimum) is reported.
+        include_reference: also time the slow scalar references and
+            report ``speedups`` (skip for quick trend-only runs).
+    """
+    import numpy as np
+
+    from ..mica.ilp import producer_indices, producer_indices_reference
+    from ..synth import generate_trace
+    from ..uarch import (
+        EV56_CONFIG,
+        EV67_CONFIG,
+        SetAssociativeCache,
+        TLB,
+        collect_hpc,
+        simulate_predictor,
+        simulate_predictor_reference,
+    )
+    from ..uarch.events import simulate_events
+    from ..workloads import get_benchmark
+
+    length = trace_length or config.trace_length
+    benchmark = get_benchmark(profile_name)
+    trace = generate_trace(benchmark.profile, length)
+    data_addresses = trace.mem_addr[np.flatnonzero(trace.memory_mask)]
+    branch_positions = np.flatnonzero(trace.branch_mask)
+    branch_pcs = trace.pc[branch_positions]
+    branch_taken = trace.taken[branch_positions].astype(bool)
+
+    def cache_case(machine_cache, stream, engine):
+        def run():
+            cache = SetAssociativeCache(machine_cache)
+            return getattr(cache, engine)(stream)
+        return run
+
+    def tlb_case(engine):
+        def run():
+            tlb = TLB(EV56_CONFIG.tlb_entries, EV56_CONFIG.tlb_page_bytes)
+            return getattr(tlb, engine)(data_addresses)
+        return run
+
+    def predictor_case(machine, runner):
+        def run():
+            return runner(
+                machine.make_predictor(), branch_pcs, branch_taken,
+                return_mask=True,
+            )
+        return run
+
+    cases: List[Tuple[str, Callable[[], object]]] = [
+        ("events_ev56", lambda: simulate_events(trace, EV56_CONFIG)),
+        ("events_ev67", lambda: simulate_events(trace, EV67_CONFIG)),
+        ("collect_hpc", lambda: collect_hpc(trace)),
+        ("cache_l1d", cache_case(EV67_CONFIG.l1d, data_addresses,
+                                 "simulate")),
+        ("tlb", tlb_case("simulate")),
+        ("predictor_bimodal",
+         predictor_case(EV56_CONFIG, simulate_predictor)),
+        ("predictor_tournament",
+         predictor_case(EV67_CONFIG, simulate_predictor)),
+        ("producer_indices", lambda: producer_indices(trace)),
+    ]
+    if include_reference:
+        cases.extend([
+            ("events_ev56_reference",
+             lambda: simulate_events(trace, EV56_CONFIG, engine="reference")),
+            ("events_ev67_reference",
+             lambda: simulate_events(trace, EV67_CONFIG, engine="reference")),
+            ("cache_l1d_reference",
+             cache_case(EV67_CONFIG.l1d, data_addresses,
+                        "simulate_reference")),
+            ("tlb_reference", tlb_case("simulate_reference")),
+            ("predictor_bimodal_reference",
+             predictor_case(EV56_CONFIG, simulate_predictor_reference)),
+            ("predictor_tournament_reference",
+             predictor_case(EV67_CONFIG, simulate_predictor_reference)),
+            ("producer_indices_reference",
+             lambda: producer_indices_reference(trace)),
+        ])
+
+    timings = tuple(
+        AnalyzerTiming(name=name, seconds=_best_of(fn, repeats),
+                       instructions=length)
+        for name, fn in cases
+    )
+    result = HpcBenchResult(
+        trace_length=length, profile=profile_name, repeats=repeats,
+        timings=timings,
+    )
+    speedups: Dict[str, float] = {}
+    if include_reference:
+        for engine in (
+            "events_ev56", "events_ev67", "cache_l1d", "tlb",
+            "predictor_bimodal", "predictor_tournament",
+            "producer_indices",
+        ):
+            speedups[engine] = (
+                result.timing(f"{engine}_reference").seconds
+                / result.timing(engine).seconds
+            )
+        speedups["events"] = (
+            result.timing("events_ev56_reference").seconds
+            + result.timing("events_ev67_reference").seconds
+        ) / (
+            result.timing("events_ev56").seconds
+            + result.timing("events_ev67").seconds
+        )
+
+    from .cache import cached_collect_hpc
+
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro-bench-hpc-"))
+    try:
+        start = time.perf_counter()
+        cached_collect_hpc(trace, cache_dir=cache_dir)
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        cached_collect_hpc(trace, cache_dir=cache_dir)
+        warm_seconds = time.perf_counter() - start
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    return HpcBenchResult(
+        trace_length=length,
+        profile=profile_name,
+        repeats=repeats,
+        timings=timings,
+        speedups=speedups,
+        cache={
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "warm_over_cold": warm_seconds / cold_seconds,
+        },
+    )
+
+
 def run_mica_bench(
     trace: "Trace | None" = None,
     config: ReproConfig = DEFAULT_CONFIG,
@@ -359,6 +598,7 @@ def run_mica_bench(
     repeats: int = 3,
     include_reference: bool = True,
     include_generation: bool = False,
+    include_hpc: bool = False,
 ) -> MicaBenchResult:
     """Time every MICA analyzer on one trace.
 
@@ -373,6 +613,8 @@ def run_mica_bench(
             report ``speedups`` (skip for quick trend-only runs).
         include_generation: also run :func:`run_generation_bench` and
             attach its result (the CLI harness enables this).
+        include_hpc: also run :func:`run_hpc_bench` and attach its
+            result (the CLI harness enables this).
     """
     if repeats < 1:
         from ..errors import ConfigurationError
@@ -465,7 +707,16 @@ def run_mica_bench(
             repeats=repeats,
             include_reference=include_reference,
         )
-    if include_reference or include_generation:
+    hpc = None
+    if include_hpc:
+        hpc = run_hpc_bench(
+            config=config,
+            trace_length=trace_length,
+            profile_name=profile_name,
+            repeats=repeats,
+            include_reference=include_reference,
+        )
+    if include_reference or include_generation or include_hpc:
         result = MicaBenchResult(
             trace_length=result.trace_length,
             profile=result.profile,
@@ -473,6 +724,7 @@ def run_mica_bench(
             timings=result.timings,
             speedups=speedups,
             generation=generation,
+            hpc=hpc,
         )
     return result
 

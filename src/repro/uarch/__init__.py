@@ -18,11 +18,18 @@ from .branch_predictors import (
     LocalHistoryPredictor,
     TournamentPredictor,
     simulate_predictor,
+    simulate_predictor_reference,
 )
 from .configs import MachineConfig, EV56_CONFIG, EV67_CONFIG
 from .inorder import InOrderModel
 from .ooo import OutOfOrderModel
-from .hpc import HPC_METRIC_NAMES, HpcVector, collect_hpc
+from .hpc import (
+    HPC_METRIC_NAMES,
+    HPC_SIM_VERSION,
+    HpcVector,
+    collect_hpc,
+    hpc_call_count,
+)
 
 __all__ = [
     "CacheConfig",
@@ -35,12 +42,15 @@ __all__ = [
     "LocalHistoryPredictor",
     "TournamentPredictor",
     "simulate_predictor",
+    "simulate_predictor_reference",
     "MachineConfig",
     "EV56_CONFIG",
     "EV67_CONFIG",
     "InOrderModel",
     "OutOfOrderModel",
     "HPC_METRIC_NAMES",
+    "HPC_SIM_VERSION",
     "HpcVector",
     "collect_hpc",
+    "hpc_call_count",
 ]

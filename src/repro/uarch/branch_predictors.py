@@ -10,6 +10,21 @@ predictors used by the microarchitecture-dependent simulators:
   21164A-style and 21264 local component);
 * :class:`TournamentPredictor` — the Alpha 21264 chooser combining the
   local and a global (gshare-style) component.
+
+**Batch engine.**  Every predictor trains on *actual* outcomes, never on
+its own predictions, so the full history streams are known up front:
+each predictor's :meth:`~BranchPredictor.simulate_batch` materializes
+the (global or per-PC) history registers for the whole branch stream,
+maps every branch to its counter cell, and recovers the counter value
+each branch observed with a grouped *clamped* prefix sum — a saturating
+counter's trajectory has a closed form over its cell's update
+subsequence via the reversed running-min/max transform (see
+:func:`_saturating_counter_states`).  No per-branch Python loops, and
+the tables/registers are left in exactly the state the scalar
+``predict``/``update`` path produces.
+:func:`simulate_predictor_reference` retains the scalar loop as the
+executable specification the equivalence tests pin the batch paths
+against, bit for bit.
 """
 
 from __future__ import annotations
@@ -25,6 +40,125 @@ from ..errors import SimulationError
 def _check_power_of_two(value: int, label: str) -> None:
     if value <= 0 or value & (value - 1):
         raise SimulationError(f"{label} must be a positive power of two")
+
+
+def _group_firsts(keys: np.ndarray) -> np.ndarray:
+    """Boolean mask marking the first element of each run of equal keys."""
+    first = np.empty(len(keys), dtype=bool)
+    first[0] = True
+    first[1:] = keys[1:] != keys[:-1]
+    return first
+
+
+def _saturating_counter_states(
+    table: np.ndarray,
+    cells: np.ndarray,
+    deltas: np.ndarray,
+    low: int,
+    high: int,
+) -> np.ndarray:
+    """Counter value each update observes; the table is advanced in place.
+
+    ``cells[t]`` indexes the saturating counter that event ``t``
+    (program order) updates by ``deltas[t]`` (clamped to ``[low,
+    high]``; a delta of 0 models a read-only event).  Events are grouped
+    per cell with one stable key sort.  One clamped update is the map
+    ``v -> min(high, max(low, v + x))``; such clamp-affine maps are
+    closed under composition::
+
+        (a2,b2,s2) o (a1,b1,s1) = (max(a2, a1+s2),
+                                   min(b2, max(a2, b1+s2)),
+                                   s1+s2)
+
+    where a map ``(a,b,s)`` sends ``v`` to ``min(b, max(a, v+s))``.  A
+    grouped logarithmic-doubling scan over that monoid yields every
+    prefix composition at once, so the value a cell held *before* each
+    of its updates — and the closing value written back into ``table``
+    — falls out without any per-event Python loop.
+
+    Returns:
+        Per-event counter values, in program order.
+    """
+    n = len(cells)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(cells, kind="stable")
+    sorted_cells = cells[order]
+    first = _group_firsts(sorted_cells)
+    positions = np.arange(n, dtype=np.int64)
+    within = positions - np.maximum.accumulate(np.where(first, positions, 0))
+
+    # Inclusive prefix composition per group, by doubling: after the
+    # k-th pass each element holds the composition of the trailing
+    # min(2^k, within+1) updates of its group.
+    lower = np.full(n, low, dtype=np.int64)
+    upper = np.full(n, high, dtype=np.int64)
+    shift = deltas[order].astype(np.int64)
+    step = 1
+    while step < n:
+        merge = within >= step
+        if not merge.any():
+            break
+        source = np.maximum(positions - step, 0)
+        earlier_lower = lower[source]
+        earlier_upper = upper[source]
+        earlier_shift = shift[source]
+        new_lower = np.maximum(lower, earlier_lower + shift)
+        new_upper = np.minimum(upper, np.maximum(lower, earlier_upper + shift))
+        new_shift = earlier_shift + shift
+        lower = np.where(merge, new_lower, lower)
+        upper = np.where(merge, new_upper, upper)
+        shift = np.where(merge, new_shift, shift)
+        step *= 2
+
+    initial = table[sorted_cells].astype(np.int64)
+    # State before event t = the exclusive prefix composition (the
+    # inclusive one of the previous event) applied to the cell's
+    # pre-batch value; the first event of a group sees it untouched.
+    before = np.empty(n, dtype=np.int64)
+    before[1:] = np.minimum(
+        upper[:-1], np.maximum(lower[:-1], initial[1:] + shift[:-1])
+    )
+    before[first] = initial[first]
+
+    last = np.empty(n, dtype=bool)
+    last[:-1] = first[1:]
+    last[-1] = True
+    closing = np.minimum(upper, np.maximum(lower, initial + shift))
+    table[sorted_cells[last]] = closing[last].astype(table.dtype)
+
+    result = np.empty(n, dtype=np.int64)
+    result[order] = before
+    return result
+
+
+def _history_streams(
+    bits: np.ndarray,
+    history_bits: int,
+    mask: int,
+    initial: np.ndarray,
+    within: np.ndarray,
+) -> np.ndarray:
+    """Shift-register contents each event observes.
+
+    ``bits`` are the 0/1 outcomes in register-update order, ``within``
+    the event's ordinal inside its register's stream (events of one
+    register must be contiguous), ``initial`` each event's register
+    seed.  The register before event ``t`` is its last ``history_bits``
+    outcomes packed LSB-first, padded with the seed's surviving bits —
+    assembled by ``history_bits`` masked shifts, never per-event.
+    """
+    n = len(bits)
+    packed = np.zeros(n, dtype=np.int64)
+    for age in range(history_bits):
+        if age + 1 >= n:
+            break
+        source = np.zeros(n, dtype=np.int64)
+        source[age + 1 :] = bits[: n - age - 1]
+        packed |= np.where(within > age, source, 0) << age
+    seed_shift = np.minimum(within, history_bits)
+    seed = np.where(within < history_bits, initial << seed_shift, 0)
+    return (seed | packed) & mask
 
 
 class BranchPredictor(ABC):
@@ -59,6 +193,20 @@ class BimodalPredictor(BranchPredictor):
         elif counter > 0:
             self._counters[index] = counter - 1
 
+    def simulate_batch(
+        self, branch_pcs: np.ndarray, outcomes: np.ndarray
+    ) -> np.ndarray:
+        """Mispredict mask for a branch stream; trains the tables."""
+        n = len(branch_pcs)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        taken = outcomes.astype(bool)
+        cells = (branch_pcs.astype(np.int64) >> 2) & self._mask
+        before = _saturating_counter_states(
+            self._counters, cells, np.where(taken, 1, -1), 0, 3
+        )
+        return (before >= 2) != taken
+
 
 class GSharePredictor(BranchPredictor):
     """Global-history predictor: history XOR PC indexes 2-bit counters."""
@@ -66,6 +214,7 @@ class GSharePredictor(BranchPredictor):
     def __init__(self, entries: int = 4096, history_bits: int = 12):
         _check_power_of_two(entries, "entries")
         self._mask = entries - 1
+        self._history_bits = history_bits
         self._history_mask = (1 << history_bits) - 1
         self._history = 0
         self._counters = np.full(entries, 1, dtype=np.int8)
@@ -84,6 +233,31 @@ class GSharePredictor(BranchPredictor):
             self._counters[index] = counter - 1
         self._history = ((self._history << 1) | int(taken)) & self._history_mask
 
+    def simulate_batch(
+        self, branch_pcs: np.ndarray, outcomes: np.ndarray
+    ) -> np.ndarray:
+        """Mispredict mask for a branch stream; trains tables/history."""
+        n = len(branch_pcs)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        taken = outcomes.astype(bool)
+        bits = taken.astype(np.int64)
+        histories = _history_streams(
+            bits,
+            self._history_bits,
+            self._history_mask,
+            np.full(n, self._history, dtype=np.int64),
+            np.arange(n, dtype=np.int64),
+        )
+        cells = ((branch_pcs.astype(np.int64) >> 2) ^ histories) & self._mask
+        before = _saturating_counter_states(
+            self._counters, cells, np.where(taken, 1, -1), 0, 3
+        )
+        self._history = int(
+            ((histories[-1] << 1) | bits[-1]) & self._history_mask
+        )
+        return (before >= 2) != taken
+
 
 class LocalHistoryPredictor(BranchPredictor):
     """Two-level predictor with per-PC local histories.
@@ -96,6 +270,7 @@ class LocalHistoryPredictor(BranchPredictor):
     def __init__(self, history_entries: int = 1024, history_bits: int = 10):
         _check_power_of_two(history_entries, "history_entries")
         self._entry_mask = history_entries - 1
+        self._history_bits = history_bits
         self._history_mask = (1 << history_bits) - 1
         self._histories = np.zeros(history_entries, dtype=np.int64)
         self._counters = np.full(1 << history_bits, 3, dtype=np.int8)
@@ -116,6 +291,49 @@ class LocalHistoryPredictor(BranchPredictor):
         self._histories[entry] = ((history << 1) | int(taken)) & (
             self._history_mask
         )
+
+    def _materialize_histories(
+        self, branch_pcs: np.ndarray, taken: np.ndarray
+    ) -> np.ndarray:
+        """Per-branch local-history values, advancing level one."""
+        n = len(branch_pcs)
+        entries = (branch_pcs.astype(np.int64) >> 2) & self._entry_mask
+        order = np.argsort(entries, kind="stable")
+        sorted_entries = entries[order]
+        sorted_bits = taken[order].astype(np.int64)
+        first = _group_firsts(sorted_entries)
+        within = np.arange(n, dtype=np.int64)
+        within -= np.maximum.accumulate(np.where(first, within, 0))
+        sorted_histories = _history_streams(
+            sorted_bits,
+            self._history_bits,
+            self._history_mask,
+            self._histories[sorted_entries],
+            within,
+        )
+        last = np.empty(n, dtype=bool)
+        last[:-1] = first[1:]
+        last[-1] = True
+        self._histories[sorted_entries[last]] = (
+            (sorted_histories[last] << 1) | sorted_bits[last]
+        ) & self._history_mask
+        histories = np.empty(n, dtype=np.int64)
+        histories[order] = sorted_histories
+        return histories
+
+    def simulate_batch(
+        self, branch_pcs: np.ndarray, outcomes: np.ndarray
+    ) -> np.ndarray:
+        """Mispredict mask for a branch stream; trains both levels."""
+        n = len(branch_pcs)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        taken = outcomes.astype(bool)
+        histories = self._materialize_histories(branch_pcs, taken)
+        before = _saturating_counter_states(
+            self._counters, histories, np.where(taken, 1, -1), 0, 7
+        )
+        return (before >= 4) != taken
 
 
 class TournamentPredictor(BranchPredictor):
@@ -138,6 +356,7 @@ class TournamentPredictor(BranchPredictor):
         self._chooser = np.full(global_entries, 2, dtype=np.int8)
         self._chooser_mask = global_entries - 1
         self._history = 0
+        self._history_bits = global_history_bits
         self._history_mask = (1 << global_history_bits) - 1
 
     def predict(self, pc: int) -> bool:
@@ -161,6 +380,42 @@ class TournamentPredictor(BranchPredictor):
         self._global.update(pc, taken)
         self._history = ((self._history << 1) | int(taken)) & self._history_mask
 
+    def simulate_batch(
+        self, branch_pcs: np.ndarray, outcomes: np.ndarray
+    ) -> np.ndarray:
+        """Mispredict mask for a branch stream; trains all components."""
+        n = len(branch_pcs)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        taken = outcomes.astype(bool)
+        bits = taken.astype(np.int64)
+        # Component predictions: each engine's mispredict mask XOR the
+        # outcome recovers the prediction, and running the engines also
+        # trains them exactly as per-branch updates would.
+        local_predictions = self._local.simulate_batch(branch_pcs, taken) ^ taken
+        global_predictions = (
+            self._global.simulate_batch(branch_pcs, taken) ^ taken
+        )
+        histories = _history_streams(
+            bits,
+            self._history_bits,
+            self._history_mask,
+            np.full(n, self._history, dtype=np.int64),
+            np.arange(n, dtype=np.int64),
+        )
+        cells = histories & self._chooser_mask
+        disagree = local_predictions != global_predictions
+        toward_global = np.where(global_predictions == taken, 1, -1)
+        deltas = np.where(disagree, toward_global, 0)
+        before = _saturating_counter_states(
+            self._chooser, cells, deltas, 0, 3
+        )
+        predictions = np.where(before >= 2, global_predictions, local_predictions)
+        self._history = int(
+            ((histories[-1] << 1) | bits[-1]) & self._history_mask
+        )
+        return predictions != taken
+
 
 @dataclass(frozen=True)
 class PredictorStats:
@@ -182,7 +437,7 @@ def simulate_predictor(
     outcomes: np.ndarray,
     return_mask: bool = False,
 ):
-    """Run a predictor over a branch stream.
+    """Run a predictor over a branch stream (batch engine).
 
     Args:
         predictor: the predictor to drive.
@@ -194,6 +449,34 @@ def simulate_predictor(
     Returns:
         :class:`PredictorStats`, or ``(stats, mask)`` when
         ``return_mask`` is set.
+
+    Predictors exposing ``simulate_batch`` (all four built-ins) run the
+    vectorized engine; foreign :class:`BranchPredictor` subclasses fall
+    back to the scalar loop.
+    """
+    batch = getattr(predictor, "simulate_batch", None)
+    if batch is None:
+        return simulate_predictor_reference(
+            predictor, branch_pcs, outcomes, return_mask
+        )
+    mask = batch(branch_pcs, outcomes)
+    stats = PredictorStats(branches=len(mask), mispredictions=int(mask.sum()))
+    if return_mask:
+        return stats, mask
+    return stats
+
+
+def simulate_predictor_reference(
+    predictor: BranchPredictor,
+    branch_pcs: np.ndarray,
+    outcomes: np.ndarray,
+    return_mask: bool = False,
+):
+    """Scalar per-branch loop — the executable specification.
+
+    Identical results (mask, statistics, final predictor state) to
+    :func:`simulate_predictor`; retained for the equivalence tests and
+    the perf harness.
     """
     n = len(branch_pcs)
     mask = np.empty(n, dtype=bool) if return_mask else None

@@ -1,11 +1,36 @@
 """Set-associative cache simulator with true-LRU replacement.
 
 The simulator is functional (hit/miss accounting only, no data), which
-is all hardware-performance-counter reproduction requires.  The access
-loop is written against preallocated numpy tag/age arrays with local
-variable bindings — profile-guided micro-optimizations that matter when
-simulating hundreds of thousands of accesses per benchmark in pure
-Python.
+is all hardware-performance-counter reproduction requires.
+
+**Tag convention.**  The full line id (``address >> log2(line_bytes)``)
+is stored as the tag everywhere: the set-index bits are redundant but
+harmless, equal tags imply equal lines, and no separate tag extraction
+is ever needed.  ``-1`` marks an empty way.
+
+**State representation.**  Each set is a true-LRU *recency stack*
+(``_stack[set, 0]`` is the MRU line, ``_stack[set, ways - 1]`` the LRU
+victim; empty ways trail as ``-1``).  A stack is equivalent to the
+classic tags-plus-ages layout but makes the batch engine's job explicit:
+after any access sequence the stack holds exactly the last ``ways``
+distinct lines of that set, most recent first.  Because both the scalar
+:meth:`SetAssociativeCache.access` path and the batch
+:meth:`SetAssociativeCache.simulate` engine reconstruct that same
+canonical state, interleaving them is always safe (the historical
+direct-mapped fast path left LRU ages stale; a recency stack cannot).
+
+**Batch engine.**  :meth:`SetAssociativeCache.simulate` resolves a whole
+access stream without per-access Python loops: accesses are stable-sorted
+by set (current residents are prepended as virtual warm-up accesses in
+LRU-to-MRU order, so warm starts are just a longer stream);
+direct-mapped hits are one previous-same-line compare; small
+associativities walk a "last A distinct lines" pointer recurrence
+bounded by the (small, static) associativity; large associativities
+(the fully-associative TLB) compare exact LRU stack distances computed
+with a merge-counting pass.  :meth:`SetAssociativeCache.simulate_reference`
+retains the scalar per-access loop as the executable specification the
+equivalence tests pin the engine against, bit for bit — including the
+final stack state.
 """
 
 from __future__ import annotations
@@ -15,6 +40,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import SimulationError
+
+#: Associativities up to this bound use the pointer-recurrence engine;
+#: larger ones (e.g. the 64-entry fully-associative TLB) use the exact
+#: stack-distance engine.
+_SMALL_WAYS = 8
+
+#: Safety valve for the pointer recurrence: pathological streams that
+#: alternate between few lines for very long stretches would make the
+#: masked pointer jumps crawl, so after this many total jump passes the
+#: engine falls back to the stack-distance path (identical results).
+_MAX_JUMP_PASSES = 96
 
 
 @dataclass(frozen=True)
@@ -74,96 +110,290 @@ class CacheStats:
         )
 
 
+def _run_firsts(keys: np.ndarray) -> np.ndarray:
+    """True at the first element of each run of equal keys (non-empty)."""
+    first = np.empty(len(keys), dtype=bool)
+    first[0] = True
+    first[1:] = keys[1:] != keys[:-1]
+    return first
+
+
+def _earlier_larger_counts(values: np.ndarray) -> np.ndarray:
+    """For each position ``i``: ``#{p < i : values[p] > values[i]}``.
+
+    Merge-counting without the merge: at each doubling level every
+    element is either in the left or the right half of its block, and
+    one stable key sort per level ranks right-half elements among their
+    block's left half.  ``ceil(log2(n))`` fully-vectorized passes.
+    Ties are not counted (strictly larger only).
+    """
+    m = len(values)
+    counts = np.zeros(m, dtype=np.int64)
+    if m < 2:
+        return counts
+    positions = np.arange(m, dtype=np.int64)
+    shifted = values.astype(np.int64) - int(values.min())  # Non-negative.
+    span = int(shifted.max()) + 2
+    half = 1
+    while half < m:
+        block = positions // (2 * half)
+        in_right = (positions // half) & 1 == 1
+        order = np.argsort(block * span + shifted, kind="stable")
+        sorted_block = block[order]
+        sorted_left = ~in_right[order]
+        left_running = np.cumsum(sorted_left)
+        first = _run_firsts(sorted_block)
+        starts = np.flatnonzero(first)
+        base = (left_running - sorted_left)[starts]
+        block_ordinal = np.cumsum(first) - 1
+        # Left elements sorted before me have values <= mine (stable
+        # sort puts equal-valued lefts first: they sit earlier in the
+        # block), so the strictly-larger count is the block remainder.
+        left_before = (left_running - sorted_left) - base[block_ordinal]
+        ends = np.append(starts[1:], m) - 1
+        total_left = left_running[ends] - base
+        right_sorted = ~sorted_left
+        gain = (total_left[block_ordinal] - left_before)[right_sorted]
+        counts[order[right_sorted]] += gain
+        half *= 2
+    return counts
+
+
 class SetAssociativeCache:
-    """A single cache level with true-LRU replacement."""
+    """A single cache level with true-LRU replacement.
+
+    Tags are full line ids (``address >> log2(line_bytes)``), stored as
+    recency stacks per set — see the module docstring for the tag and
+    state conventions shared by the scalar and batch paths.
+    """
 
     def __init__(self, config: CacheConfig):
         self.config = config
         self._line_shift = config.line_bytes.bit_length() - 1
         self._set_mask = config.num_sets - 1
-        ways = config.associativity
-        sets = config.num_sets
-        # tag == -1 marks an invalid way.
-        self._tags = np.full((sets, ways), -1, dtype=np.int64)
-        self._ages = np.zeros((sets, ways), dtype=np.int64)
-        self._clock = 0
+        # Per-set recency stack of full line ids, MRU first, -1 empty.
+        self._stack = np.full(
+            (config.num_sets, config.associativity), -1, dtype=np.int64
+        )
         self.stats = CacheStats()
 
     def reset(self) -> None:
         """Invalidate all lines and clear statistics."""
-        self._tags.fill(-1)
-        self._ages.fill(0)
-        self._clock = 0
+        self._stack.fill(-1)
         self.stats = CacheStats()
 
     def access(self, address: int) -> bool:
         """Access one address.  Returns True on hit, False on miss.
 
-        A miss allocates the line (LRU victim within the set).
+        A miss allocates the line, evicting the set's LRU victim.  This
+        is the scalar executable specification of the batch engine.
         """
-        line = address >> self._line_shift
-        set_index = line & self._set_mask
-        tag = line >> 0  # Full line id as tag (set bits redundant, harmless).
-        tags = self._tags[set_index]
-        ages = self._ages[set_index]
-        self._clock += 1
+        line = int(address) >> self._line_shift
+        stack = self._stack[line & self._set_mask]
         self.stats.accesses += 1
-        hits = np.flatnonzero(tags == tag)
-        if len(hits):
-            ages[hits[0]] = self._clock
+        matches = np.flatnonzero(stack == line)
+        if len(matches):
+            depth = int(matches[0])
+            stack[1 : depth + 1] = stack[:depth].copy()
+            stack[0] = line
             return True
         self.stats.misses += 1
-        victim = int(np.argmin(ages))
-        tags[victim] = tag
-        ages[victim] = self._clock
+        stack[1:] = stack[:-1].copy()
+        stack[0] = line
         return False
 
+    def simulate_reference(self, addresses: np.ndarray) -> np.ndarray:
+        """Scalar per-access simulation — the executable specification.
+
+        Identical results (miss mask, statistics, final stack state) to
+        :meth:`simulate`; retained for the equivalence tests and the
+        perf harness.
+        """
+        n = len(addresses)
+        misses = np.empty(n, dtype=bool)
+        access = self.access
+        for position, address in enumerate(addresses.tolist()):
+            misses[position] = not access(address)
+        return misses
+
     def simulate(self, addresses: np.ndarray) -> np.ndarray:
-        """Simulate a sequence of accesses.
+        """Simulate a sequence of accesses with the batch engine.
 
         Returns:
             Boolean miss mask, one entry per address (True = miss).
         """
         n = len(addresses)
-        misses = np.empty(n, dtype=bool)
-        line_shift = self._line_shift
-        set_mask = self._set_mask
-        tags = self._tags
-        ages = self._ages
-        clock = self._clock
-        lines = (addresses.astype(np.int64) >> line_shift)
-        set_indices = (lines & set_mask).tolist()
-        line_list = lines.tolist()
+        if n == 0:
+            return np.zeros(0, dtype=bool)
         ways = self.config.associativity
+        lines = addresses.astype(np.int64) >> self._line_shift
+        sets = lines & self._set_mask
+
+        # Prepend the current residents as virtual accesses (LRU to MRU
+        # per set), turning warm starts into plain longer streams.
+        resident = self._stack >= 0
+        virtual_counts = resident.sum(axis=1)
+        virtual_lines = self._stack[:, ::-1][resident[:, ::-1]]
+        virtual_sets = np.repeat(
+            np.arange(self.config.num_sets, dtype=np.int64), virtual_counts
+        )
+        n_virtual = len(virtual_sets)
+        all_sets = np.concatenate([virtual_sets, sets])
+        all_lines = np.concatenate([virtual_lines, lines])
+
+        # Stable sort by set: virtuals lead each group, then the batch
+        # accesses in program order.
+        order = np.argsort(all_sets, kind="stable")
+        group_sets = all_sets[order]
+        group_lines = all_lines[order]
+        m = len(order)
+        new_group = _run_firsts(group_sets)
+
+        # Previous occurrence of the same line (equal lines share a
+        # set, so one line-keyed stable sort covers every group).
+        line_order = np.argsort(group_lines, kind="stable")
+        ordered_lines = group_lines[line_order]
+        same_as_previous = ~_run_firsts(ordered_lines)
+        previous_same = np.full(m, -1, dtype=np.int64)
+        repeat_positions = np.flatnonzero(same_as_previous)
+        previous_same[line_order[repeat_positions]] = line_order[
+            repeat_positions - 1
+        ]
+
         if ways == 1:
-            # Direct-mapped fast path: no LRU bookkeeping needed.
-            flat_tags = tags[:, 0]
-            for position in range(n):
-                set_index = set_indices[position]
-                tag = line_list[position]
-                if flat_tags[set_index] == tag:
-                    misses[position] = False
-                else:
-                    misses[position] = True
-                    flat_tags[set_index] = tag
-            clock += n
+            # Direct-mapped: one previous-same-line compare.
+            hits = np.empty(m, dtype=bool)
+            hits[0] = False
+            hits[1:] = group_lines[1:] == group_lines[:-1]
+            hits &= ~new_group
+        elif ways <= _SMALL_WAYS:
+            hits = self._small_ways_hits(
+                group_lines, new_group, previous_same, ways
+            )
         else:
-            for position in range(n):
-                set_index = set_indices[position]
-                tag = line_list[position]
-                set_tags = tags[set_index]
-                set_ages = ages[set_index]
-                clock += 1
-                hit_ways = np.flatnonzero(set_tags == tag)
-                if len(hit_ways):
-                    set_ages[hit_ways[0]] = clock
-                    misses[position] = False
-                else:
-                    misses[position] = True
-                    victim = int(np.argmin(set_ages))
-                    set_tags[victim] = tag
-                    set_ages[victim] = clock
-        self._clock = clock
+            # Immediate same-line repeats are distance-0 hits that never
+            # move the recency stack: collapse them first, then run the
+            # exact stack-distance count on the (much shorter) residue.
+            repeat = np.zeros(m, dtype=bool)
+            repeat[1:] = (group_lines[1:] == group_lines[:-1]) & (
+                ~new_group[1:]
+            )
+            kept = np.flatnonzero(~repeat)
+            kept_lines = group_lines[kept]
+            kept_order = np.argsort(kept_lines, kind="stable")
+            kept_same = ~_run_firsts(kept_lines[kept_order])
+            kept_previous = np.full(len(kept), -1, dtype=np.int64)
+            kept_repeats = np.flatnonzero(kept_same)
+            kept_previous[kept_order[kept_repeats]] = kept_order[
+                kept_repeats - 1
+            ]
+            hits = np.ones(m, dtype=bool)
+            hits[kept] = self._stack_distance_hits(kept_previous, ways)
+
+        # Scatter the query results back to program order.
+        misses = np.empty(n, dtype=bool)
+        query = order >= n_virtual
+        misses[order[query] - n_virtual] = ~hits[query]
         self.stats.accesses += n
         self.stats.misses += int(misses.sum())
+
+        # Final state: the last `ways` distinct lines per set, MRU
+        # first — reconstructed from each line's final occurrence.
+        is_final = np.ones(m, dtype=bool)
+        is_final[line_order[:-1]] = ~same_as_previous[1:]
+        final_positions = np.flatnonzero(is_final)[::-1]  # Descending.
+        final_sets = group_sets[final_positions]
+        mru_order = np.argsort(final_sets, kind="stable")
+        rows = final_sets[mru_order]
+        row_first = _run_firsts(rows)
+        depth = np.arange(len(rows), dtype=np.int64)
+        depth -= np.maximum.accumulate(np.where(row_first, depth, 0))
+        keep = depth < ways
+        self._stack.fill(-1)
+        self._stack[rows[keep], depth[keep]] = group_lines[
+            final_positions[mru_order[keep]]
+        ]
         return misses
+
+    def _small_ways_hits(
+        self,
+        group_lines: np.ndarray,
+        new_group: np.ndarray,
+        previous_same: np.ndarray,
+        ways: int,
+    ) -> np.ndarray:
+        """Hit mask via the "last A distinct lines" pointer recurrence.
+
+        An access hits iff its line is among the A most recently used
+        distinct lines of its set, i.e. iff its previous occurrence is
+        no older than the last access of the A-th MRU distinct line.
+        That threshold is found by chasing ``different_previous``
+        pointers (largest earlier position holding a different line —
+        one run-start gather, no loop) A-1 times; a chased candidate
+        whose line is already collected is jumped again (masked, and
+        rare: consecutive chain entries always differ, so jumps only
+        trigger on re-interleavings).  Falls back to the exact
+        stack-distance engine if a pathological stream exhausts the
+        jump budget.
+        """
+        m = len(group_lines)
+        positions = np.arange(m, dtype=np.int64)
+        # Largest earlier same-group position with a *different* line:
+        # one before the run start (runs = consecutive equal lines).
+        run_first = new_group.copy()
+        run_first[1:] |= group_lines[1:] != group_lines[:-1]
+        run_start = np.maximum.accumulate(np.where(run_first, positions, 0))
+        group_start = np.maximum.accumulate(np.where(new_group, positions, 0))
+        different_previous = np.where(run_start > group_start, run_start - 1, -1)
+
+        chain = np.where(new_group, -1, positions - 1)
+        chain_lines = np.full((ways - 1, m), -2, dtype=np.int64)
+        passes = 0
+        for rank in range(1, ways):
+            chain_lines[rank - 1] = np.where(
+                chain >= 0, group_lines[np.maximum(chain, 0)], -2
+            )
+            candidate = np.where(
+                chain >= 0, different_previous[np.maximum(chain, 0)], -1
+            )
+            while True:
+                live = candidate >= 0
+                duplicate = np.zeros(m, dtype=bool)
+                candidate_lines = group_lines[np.maximum(candidate, 0)]
+                for earlier in range(rank):
+                    duplicate |= live & (
+                        candidate_lines == chain_lines[earlier]
+                    )
+                if not duplicate.any():
+                    break
+                passes += 1
+                if passes > _MAX_JUMP_PASSES:
+                    return self._stack_distance_hits(previous_same, ways)
+                candidate[duplicate] = different_previous[
+                    np.maximum(candidate[duplicate], 0)
+                ]
+            chain = candidate
+        # `chain` is now the last access of the A-th MRU distinct line
+        # (-1 when fewer than A distinct lines exist): hit iff the
+        # line's previous occurrence is at least that recent.
+        return (previous_same >= 0) & (previous_same >= chain)
+
+    @staticmethod
+    def _stack_distance_hits(
+        previous_same: np.ndarray, ways: int
+    ) -> np.ndarray:
+        """Hit mask via exact LRU stack distances (any associativity).
+
+        The stack distance of an access is the number of distinct lines
+        touched in its set since the previous access of the same line:
+        window length minus in-window repeats, where a repeat is any
+        access whose own previous occurrence also lies inside the
+        window — a strictly-larger-``previous_same`` inversion count.
+        Groups never contaminate each other: a foreign access's pointer
+        always falls outside the window's position range.
+        """
+        m = len(previous_same)
+        positions = np.arange(m, dtype=np.int64)
+        repeats = _earlier_larger_counts(previous_same)
+        stack_distance = positions - previous_same - 1 - repeats
+        return (previous_same >= 0) & (stack_distance < ways)

@@ -53,6 +53,19 @@ class MachineConfig:
             return TournamentPredictor()
         raise ValueError(f"unknown predictor kind: {self.predictor_kind!r}")
 
+    def fingerprint(self) -> str:
+        """Stable hex digest of every field that shapes simulation.
+
+        Two machines with equal fingerprints produce identical HPC
+        metrics for the same trace, so the digest (together with a
+        trace content hash and :data:`repro.uarch.HPC_SIM_VERSION`)
+        keys the on-disk HPC cache in :mod:`repro.perf`.  Nested
+        dataclasses are frozen, so their ``repr`` is deterministic.
+        """
+        import hashlib
+
+        return hashlib.sha256(repr(self).encode()).hexdigest()[:16]
+
 
 #: Alpha 21164A: dual-issue in-order, tiny direct-mapped L1s, 96 KB
 #: 3-way on-chip L2, 64-entry D-TLB, simple table predictor.

@@ -5,6 +5,12 @@ events: instruction-fetch misses, data-access latencies (L1/L2/memory +
 TLB), and branch mispredictions.  :func:`simulate_events` runs the cache
 hierarchy, D-TLB and branch predictor of one machine over a trace once
 and returns everything, so the expensive simulations are never repeated.
+
+The default ``engine="batch"`` drives the vectorized cache/TLB and
+predictor engines, so assembling the event arrays involves no per-access
+Python loops; ``engine="reference"`` drives the retained scalar
+specifications instead (bit-identical results, used by the equivalence
+tests and the perf harness).
 """
 
 from __future__ import annotations
@@ -13,8 +19,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import SimulationError
 from ..trace import Trace
-from .branch_predictors import PredictorStats, simulate_predictor
+from .branch_predictors import (
+    PredictorStats,
+    simulate_predictor,
+    simulate_predictor_reference,
+)
 from .cache import CacheStats, SetAssociativeCache
 from .configs import MachineConfig
 from .tlb import TLB
@@ -45,8 +56,21 @@ class MachineEvents:
     predictor: PredictorStats
 
 
-def simulate_events(trace: Trace, machine: MachineConfig) -> MachineEvents:
-    """Simulate caches, TLB and branch predictor for one machine."""
+def simulate_events(
+    trace: Trace, machine: MachineConfig, engine: str = "batch"
+) -> MachineEvents:
+    """Simulate caches, TLB and branch predictor for one machine.
+
+    Args:
+        trace: dynamic instruction trace.
+        machine: the machine to simulate.
+        engine: ``"batch"`` (vectorized engines, the default) or
+            ``"reference"`` (retained scalar specifications); both
+            produce bit-identical events.
+    """
+    if engine not in ("batch", "reference"):
+        raise SimulationError(f"unknown event engine: {engine!r}")
+    batch = engine == "batch"
     n = len(trace)
     latencies = machine.latencies
 
@@ -55,15 +79,20 @@ def simulate_events(trace: Trace, machine: MachineConfig) -> MachineEvents:
     l2 = SetAssociativeCache(machine.l2)
     tlb = TLB(machine.tlb_entries, machine.tlb_page_bytes)
 
+    def run_cache(cache, addresses):
+        if batch:
+            return cache.simulate(addresses)
+        return cache.simulate_reference(addresses)
+
     # Instruction fetch stream.
-    l1i_miss = l1i.simulate(trace.pc)
+    l1i_miss = run_cache(l1i, trace.pc)
 
     # Data stream.
     memory_mask = trace.memory_mask
     memory_positions = np.flatnonzero(memory_mask)
     data_addresses = trace.mem_addr[memory_positions]
-    l1d_miss = l1d.simulate(data_addresses)
-    tlb_miss = tlb.simulate(data_addresses)
+    l1d_miss = run_cache(l1d, data_addresses)
+    tlb_miss = run_cache(tlb, data_addresses)
 
     # Unified L2 sees L1I and L1D misses in program order.
     l1i_miss_positions = np.flatnonzero(l1i_miss)
@@ -76,7 +105,7 @@ def simulate_events(trace: Trace, machine: MachineConfig) -> MachineEvents:
         ]
     )
     order = np.argsort(l2_positions, kind="stable")
-    l2_miss = l2.simulate(l2_addresses[order])
+    l2_miss = run_cache(l2, l2_addresses[order])
 
     # Scatter L2 results back to the I- and D-streams.
     l2_miss_by_position = np.zeros(n, dtype=bool)
@@ -104,7 +133,10 @@ def simulate_events(trace: Trace, machine: MachineConfig) -> MachineEvents:
     # Branch predictions.
     predictor = machine.make_predictor()
     branch_positions = np.flatnonzero(trace.branch_mask)
-    predictor_stats, mispredict_branches = simulate_predictor(
+    run_predictor = simulate_predictor if batch else (
+        simulate_predictor_reference
+    )
+    predictor_stats, mispredict_branches = run_predictor(
         predictor,
         trace.pc[branch_positions],
         trace.taken[branch_positions].astype(bool),

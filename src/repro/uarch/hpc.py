@@ -30,6 +30,26 @@ from .configs import EV56_CONFIG, EV67_CONFIG, MachineConfig
 from .inorder import InOrderModel
 from .ooo import OutOfOrderModel
 
+#: Version of the HPC simulation semantics.  Part of the on-disk HPC
+#: cache key in :mod:`repro.perf`; bump whenever :func:`collect_hpc`
+#: would produce different metrics for the same trace and machines
+#: (latency models, pipeline behavior, predictor/cache semantics).
+HPC_SIM_VERSION = 1
+
+_hpc_calls = 0
+
+
+def hpc_call_count() -> int:
+    """Number of :func:`collect_hpc` invocations in this process.
+
+    The perf HPC cache sits *in front of* the pipeline models; tests
+    assert warm dataset builds leave this counter untouched (the
+    analogue of :func:`repro.synth.generation_call_count` for the
+    trace cache).
+    """
+    return _hpc_calls
+
+
 #: Metric names, in vector order.
 HPC_METRIC_NAMES: Tuple[str, ...] = (
     "ipc_ev56",
@@ -96,6 +116,8 @@ def collect_hpc(
     DCPI on the 21164A; the out-of-order machine contributes its IPC
     only.
     """
+    global _hpc_calls
+    _hpc_calls += 1
     inorder = InOrderModel(inorder_machine)
     ipc_ev56, events = inorder.run(trace)
     ooo = OutOfOrderModel(ooo_machine)

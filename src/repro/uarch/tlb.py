@@ -45,5 +45,14 @@ class TLB:
         return self._cache.access(address)
 
     def simulate(self, addresses: np.ndarray) -> np.ndarray:
-        """Translate a sequence of addresses; returns the miss mask."""
+        """Translate a sequence of addresses; returns the miss mask.
+
+        Runs the batch engine of the underlying cache — with a single
+        set whose associativity is the entry count, the engine resolves
+        hits via exact LRU stack distances.
+        """
         return self._cache.simulate(addresses)
+
+    def simulate_reference(self, addresses: np.ndarray) -> np.ndarray:
+        """Scalar per-access translation — the executable specification."""
+        return self._cache.simulate_reference(addresses)

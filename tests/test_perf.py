@@ -182,7 +182,7 @@ class TestMicaBenchHarness:
         assert result.speedups == {}
         path = write_bench_json(result, tmp_path / "BENCH_mica.json")
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "BENCH_mica/v2"
+        assert payload["schema"] == "BENCH_mica/v3"
         assert payload["meta"]["trace_length"] == len(tiny_trace)
         for entry in payload["analyzers"].values():
             assert entry["seconds"] >= 0.0
@@ -231,6 +231,66 @@ class TestMicaBenchHarness:
         assert section["dataset"]["cold_seconds"] > 0.0
         assert section["dataset"]["warm_seconds"] > 0.0
         assert "generation engine" in result.format()
+
+
+class TestHpcBenchSection:
+    def test_hpc_section(self, tmp_path):
+        result = run_mica_bench(
+            trace=generate_trace(WorkloadProfile(name="perf/hpc/1"), 2_000),
+            config=ReproConfig(trace_length=3_000),
+            repeats=1,
+            include_reference=True,
+            include_hpc=True,
+        )
+        assert result.hpc is not None
+        payload = json.loads(
+            write_bench_json(
+                result, tmp_path / "BENCH_mica.json"
+            ).read_text()
+        )
+        section = payload["hpc"]
+        assert set(section["speedups"]) == {
+            "events", "events_ev56", "events_ev67", "cache_l1d", "tlb",
+            "predictor_bimodal", "predictor_tournament",
+            "producer_indices",
+        }
+        for engine in (
+            "events_ev56", "events_ev56_reference",
+            "events_ev67", "events_ev67_reference",
+            "collect_hpc", "cache_l1d", "tlb",
+            "predictor_bimodal", "predictor_tournament",
+            "producer_indices", "producer_indices_reference",
+        ):
+            assert section["engines"][engine]["seconds"] >= 0.0
+        assert section["cache"]["cold_seconds"] > 0.0
+        assert section["cache"]["warm_seconds"] > 0.0
+        assert "HPC engine" in result.format()
+
+    def test_no_reference_skips_speedups(self):
+        from repro.perf import run_hpc_bench
+
+        result = run_hpc_bench(
+            config=ReproConfig(trace_length=2_000),
+            repeats=1,
+            include_reference=False,
+        )
+        assert result.speedups == {}
+        names = {timing.name for timing in result.timings}
+        assert "events_ev56" in names
+        assert "events_ev56_reference" not in names
+        assert "HPC engine" in result.format()
+
+
+@pytest.mark.slow
+def test_hpc_events_speedup_floor_at_default_trace_length():
+    """Acceptance floor for the HPC event engines: >=5x combined
+    simulate_events over the scalar references at the default (100k)
+    trace length."""
+    from repro.perf import run_hpc_bench
+
+    result = run_hpc_bench(repeats=3)
+    assert result.trace_length == DEFAULT_CONFIG.trace_length
+    assert result.speedups["events"] >= 5.0
 
 
 @pytest.mark.slow

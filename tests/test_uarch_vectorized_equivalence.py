@@ -1,0 +1,387 @@
+"""Bit-exact equivalence of the HPC batch engines vs their references.
+
+Every vectorized engine in the microarchitecture stack retains its
+scalar executable specification; these tests pin each pair bit-for-bit —
+miss masks / mispredict masks, statistics, AND the final mutable state —
+on randomized streams, hand-built pathologies, and warm-started
+simulators:
+
+* ``SetAssociativeCache.simulate`` vs ``simulate_reference`` (the
+  direct-mapped compare path, the small-associativity pointer
+  recurrence, and the stack-distance path);
+* ``TLB.simulate`` vs ``TLB.simulate_reference``;
+* all four branch predictors' ``simulate_batch`` vs the scalar
+  ``predict``/``update`` loop;
+* ``producer_indices`` vs ``producer_indices_reference``;
+* ``simulate_events(engine="batch")`` vs ``engine="reference"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.mica.ilp import producer_indices, producer_indices_reference
+from repro.synth import WorkloadProfile, generate_trace
+from repro.trace import TraceBuilder
+from repro.uarch import (
+    EV56_CONFIG,
+    EV67_CONFIG,
+    BimodalPredictor,
+    CacheConfig,
+    GSharePredictor,
+    LocalHistoryPredictor,
+    SetAssociativeCache,
+    TLB,
+    TournamentPredictor,
+    simulate_predictor,
+    simulate_predictor_reference,
+)
+from repro.uarch.events import simulate_events
+
+
+def cache_config(assoc, sets=4, line=32):
+    return CacheConfig(
+        name="T",
+        size_bytes=line * assoc * sets,
+        line_bytes=line,
+        associativity=assoc,
+    )
+
+
+def assert_cache_pair_equal(batch, reference):
+    assert np.array_equal(batch._stack, reference._stack), (
+        "final recency stacks diverged"
+    )
+    assert batch.stats.accesses == reference.stats.accesses
+    assert batch.stats.misses == reference.stats.misses
+
+
+class TestCacheEquivalence:
+    @pytest.mark.parametrize("assoc,sets", [
+        (1, 16), (2, 8), (3, 4), (4, 4), (8, 2), (16, 1), (64, 1),
+    ])
+    def test_random_streams(self, assoc, sets):
+        rng = np.random.default_rng(assoc * 31 + sets)
+        config = cache_config(assoc, sets)
+        for span_lines in (2, 8, 64, 1024):
+            addresses = rng.integers(
+                0, span_lines * 32, size=1500
+            ).astype(np.uint64)
+            batch = SetAssociativeCache(config)
+            reference = SetAssociativeCache(config)
+            miss_batch = batch.simulate(addresses)
+            miss_reference = reference.simulate_reference(addresses)
+            assert np.array_equal(miss_batch, miss_reference)
+            assert_cache_pair_equal(batch, reference)
+
+    @pytest.mark.parametrize("assoc", [1, 2, 3, 64])
+    def test_warm_start_continues_exactly(self, assoc):
+        rng = np.random.default_rng(assoc)
+        config = cache_config(assoc, sets=2)
+        batch = SetAssociativeCache(config)
+        reference = SetAssociativeCache(config)
+        for address in rng.integers(0, 4096, size=64):
+            batch.access(int(address))
+            reference.access(int(address))
+        addresses = rng.integers(0, 4096, size=700).astype(np.uint64)
+        assert np.array_equal(
+            batch.simulate(addresses),
+            reference.simulate_reference(addresses),
+        )
+        assert_cache_pair_equal(batch, reference)
+
+    @pytest.mark.parametrize("assoc", [2, 3, 4])
+    def test_two_line_alternation_pathology(self, assoc):
+        """Long A/B/A/B streams stress the pointer-jump fallback."""
+        config = cache_config(assoc, sets=2)
+        pattern = np.tile(
+            np.array([0, 128], dtype=np.uint64), 3000
+        )
+        pattern = np.concatenate([
+            pattern, np.array([4096, 0, 128, 8192], dtype=np.uint64)
+        ])
+        batch = SetAssociativeCache(config)
+        reference = SetAssociativeCache(config)
+        assert np.array_equal(
+            batch.simulate(pattern),
+            reference.simulate_reference(pattern),
+        )
+        assert_cache_pair_equal(batch, reference)
+
+    def test_direct_mapped_state_not_stale(self):
+        """The batch path must leave state a later access() trusts.
+
+        (Historical bug: the direct-mapped fast path updated tags but
+        left the LRU ages stale, so interleaving simulate() with
+        access() diverged from a pure-scalar run.)
+        """
+        config = cache_config(1, sets=2)
+        batch = SetAssociativeCache(config)
+        reference = SetAssociativeCache(config)
+        stream = np.array([0, 64, 0, 128, 64], dtype=np.uint64)
+        batch.simulate(stream)
+        for address in stream:
+            reference.access(int(address))
+        assert_cache_pair_equal(batch, reference)
+        for address in (0, 64, 128, 192, 0):
+            assert batch.access(address) == reference.access(address)
+        assert_cache_pair_equal(batch, reference)
+
+    def test_interleaved_batches_and_scalar_accesses(self):
+        rng = np.random.default_rng(11)
+        config = cache_config(3, sets=4)
+        batch = SetAssociativeCache(config)
+        reference = SetAssociativeCache(config)
+        for round_ in range(4):
+            addresses = rng.integers(0, 2048, size=200).astype(np.uint64)
+            assert np.array_equal(
+                batch.simulate(addresses),
+                reference.simulate_reference(addresses),
+            )
+            for address in rng.integers(0, 2048, size=20):
+                assert batch.access(int(address)) == reference.access(
+                    int(address)
+                )
+            assert_cache_pair_equal(batch, reference)
+
+    def test_empty_batch_is_a_no_op(self):
+        cache = SetAssociativeCache(cache_config(2))
+        cache.access(0x40)
+        stack_before = cache._stack.copy()
+        assert cache.simulate(np.empty(0, dtype=np.uint64)).shape == (0,)
+        assert np.array_equal(cache._stack, stack_before)
+        assert cache.stats.accesses == 1
+
+
+class TestTLBEquivalence:
+    def test_random_page_stream(self):
+        rng = np.random.default_rng(5)
+        pages = rng.integers(0, 200, size=4000) * 8192
+        offsets = rng.integers(0, 8192, size=4000)
+        addresses = (pages + offsets).astype(np.uint64)
+        batch, reference = TLB(entries=64), TLB(entries=64)
+        assert np.array_equal(
+            batch.simulate(addresses),
+            reference.simulate_reference(addresses),
+        )
+        assert batch.stats.misses == reference.stats.misses
+
+    def test_thrash_and_locality_mix(self):
+        # Round-robin over entries+1 pages (defeats LRU) then a tight
+        # working set (all hits) — both sides of the distance cut.
+        entries = 16
+        pages = np.arange(entries + 1) * 8192
+        stream = np.concatenate([
+            np.tile(pages, 10),
+            np.repeat(pages[:4], 50),
+        ]).astype(np.uint64)
+        batch, reference = TLB(entries=entries), TLB(entries=entries)
+        assert np.array_equal(
+            batch.simulate(stream),
+            reference.simulate_reference(stream),
+        )
+
+
+class TestPredictorEquivalence:
+    MAKERS = {
+        "bimodal": lambda: BimodalPredictor(entries=64),
+        "gshare": lambda: GSharePredictor(entries=128, history_bits=6),
+        "local": lambda: LocalHistoryPredictor(
+            history_entries=32, history_bits=5
+        ),
+        "tournament": lambda: TournamentPredictor(
+            local_entries=32,
+            local_history_bits=5,
+            global_entries=128,
+            global_history_bits=7,
+        ),
+    }
+
+    @staticmethod
+    def state_of(predictor):
+        if isinstance(predictor, TournamentPredictor):
+            return (
+                predictor._chooser.copy(),
+                predictor._history,
+                TestPredictorEquivalence.state_of(predictor._local),
+                TestPredictorEquivalence.state_of(predictor._global),
+            )
+        if isinstance(predictor, LocalHistoryPredictor):
+            return (
+                predictor._histories.copy(),
+                predictor._counters.copy(),
+            )
+        if isinstance(predictor, GSharePredictor):
+            return (predictor._history, predictor._counters.copy())
+        return (predictor._counters.copy(),)
+
+    @staticmethod
+    def states_equal(one, two):
+        if isinstance(one, tuple):
+            return all(
+                TestPredictorEquivalence.states_equal(a, b)
+                for a, b in zip(one, two)
+            )
+        if isinstance(one, np.ndarray):
+            return np.array_equal(one, two)
+        return one == two
+
+    @pytest.mark.parametrize("kind", sorted(MAKERS))
+    def test_random_streams(self, kind):
+        rng = np.random.default_rng(hash(kind) % (1 << 32))
+        for bias in (0.1, 0.5, 0.9):
+            for n in (0, 1, 2, 250, 2500):
+                pcs = (
+                    rng.integers(0, 96, size=n) * 4 + 0x1000
+                ).astype(np.uint64)
+                outcomes = rng.random(n) < bias
+                batch = self.MAKERS[kind]()
+                reference = self.MAKERS[kind]()
+                stats_b, mask_b = simulate_predictor(
+                    batch, pcs, outcomes, return_mask=True
+                )
+                stats_r, mask_r = simulate_predictor_reference(
+                    reference, pcs, outcomes, return_mask=True
+                )
+                assert np.array_equal(mask_b, mask_r)
+                assert stats_b == stats_r
+                assert self.states_equal(
+                    self.state_of(batch), self.state_of(reference)
+                )
+
+    @pytest.mark.parametrize("kind", sorted(MAKERS))
+    def test_warm_start(self, kind):
+        rng = np.random.default_rng(99)
+        batch = self.MAKERS[kind]()
+        reference = self.MAKERS[kind]()
+        for pc, taken in zip(
+            rng.integers(0, 64, size=80) * 4, rng.random(80) < 0.5
+        ):
+            batch.update(int(pc), bool(taken))
+            reference.update(int(pc), bool(taken))
+        pcs = (rng.integers(0, 64, size=500) * 4).astype(np.uint64)
+        outcomes = rng.random(500) < 0.5
+        _, mask_b = simulate_predictor(batch, pcs, outcomes, True)
+        _, mask_r = simulate_predictor_reference(
+            reference, pcs, outcomes, True
+        )
+        assert np.array_equal(mask_b, mask_r)
+        assert self.states_equal(
+            self.state_of(batch), self.state_of(reference)
+        )
+
+    @pytest.mark.parametrize("kind", sorted(MAKERS))
+    def test_periodic_patterns(self, kind):
+        pattern = [True, True, False, True, False]
+        outcomes = np.array(
+            [pattern[i % len(pattern)] for i in range(1200)]
+        )
+        pcs = np.tile(
+            np.array([0x1000, 0x2000, 0x1000], dtype=np.uint64), 400
+        )
+        batch = self.MAKERS[kind]()
+        reference = self.MAKERS[kind]()
+        _, mask_b = simulate_predictor(batch, pcs, outcomes, True)
+        _, mask_r = simulate_predictor_reference(
+            reference, pcs, outcomes, True
+        )
+        assert np.array_equal(mask_b, mask_r)
+
+    def test_foreign_predictor_falls_back_to_reference(self):
+        class AlwaysTaken(
+            BimodalPredictor.__mro__[1]  # BranchPredictor ABC.
+        ):
+            def predict(self, pc):
+                return True
+
+            def update(self, pc, taken):
+                pass
+
+        pcs = np.array([0x1000] * 4, dtype=np.uint64)
+        outcomes = np.array([True, False, True, False])
+        stats = simulate_predictor(AlwaysTaken(), pcs, outcomes)
+        assert stats.mispredictions == 2
+
+
+class TestProducerIndicesEquivalence:
+    def test_generated_traces(self):
+        for name, length, seed in (
+            ("equiv/prod/1", 4000, 0),
+            ("equiv/prod/2", 2500, 7),
+        ):
+            trace = generate_trace(
+                WorkloadProfile(name=name), length, seed=seed
+            )
+            batch = producer_indices(trace)
+            reference = producer_indices_reference(trace)
+            assert np.array_equal(batch[0], reference[0])
+            assert np.array_equal(batch[1], reference[1])
+
+    def test_self_write_is_invisible_to_own_reads(self):
+        builder = TraceBuilder()
+        builder.alu(0x1000, dst=1)
+        builder.alu(0x1004, dst=1, src1=1, src2=1)
+        builder.alu(0x1008, dst=2, src1=1, src2=2)
+        trace = builder.build()
+        producer1, producer2 = producer_indices(trace)
+        reference1, reference2 = producer_indices_reference(trace)
+        assert np.array_equal(producer1, reference1)
+        assert np.array_equal(producer2, reference2)
+        assert producer1[1] == 0  # Reads the previous writer, not itself.
+
+    def test_no_writes_trace(self):
+        builder = TraceBuilder()
+        for index in range(8):
+            builder.nop(0x1000 + 4 * index)
+        trace = builder.build()
+        batch = producer_indices(trace)
+        reference = producer_indices_reference(trace)
+        assert np.array_equal(batch[0], reference[0])
+        assert np.array_equal(batch[1], reference[1])
+
+    def test_live_reads_but_no_writes(self):
+        # Branch-only traces read registers nothing ever writes; the
+        # merged-sort path must degrade to all-NO_PRODUCER, not crash.
+        builder = TraceBuilder()
+        for index in range(6):
+            builder.branch(0x1000 + 4 * index, cond_reg=3,
+                           taken=index % 2 == 0, target=0x1000)
+        trace = builder.build()
+        batch = producer_indices(trace)
+        reference = producer_indices_reference(trace)
+        assert np.array_equal(batch[0], reference[0])
+        assert np.array_equal(batch[1], reference[1])
+        assert (batch[0] == -1).all() and (batch[1] == -1).all()
+
+
+class TestSimulateEventsEquivalence:
+    @pytest.mark.parametrize("machine", [EV56_CONFIG, EV67_CONFIG],
+                             ids=["ev56", "ev67"])
+    def test_full_event_equality(self, machine):
+        trace = generate_trace(
+            WorkloadProfile(name="equiv/events/1"), 6000
+        )
+        batch = simulate_events(trace, machine, engine="batch")
+        reference = simulate_events(trace, machine, engine="reference")
+        assert np.array_equal(batch.fetch_latency, reference.fetch_latency)
+        assert np.array_equal(
+            batch.memory_latency, reference.memory_latency
+        )
+        assert np.array_equal(batch.mispredict, reference.mispredict)
+        for level in ("l1i", "l1d", "l2", "tlb"):
+            assert getattr(batch, level).misses == getattr(
+                reference, level
+            ).misses
+            assert getattr(batch, level).accesses == getattr(
+                reference, level
+            ).accesses
+        assert batch.predictor == reference.predictor
+
+    def test_unknown_engine_rejected(self):
+        trace = generate_trace(
+            WorkloadProfile(name="equiv/events/2"), 500
+        )
+        with pytest.raises(SimulationError):
+            simulate_events(trace, EV56_CONFIG, engine="warp")
