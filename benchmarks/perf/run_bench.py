@@ -1,10 +1,13 @@
 #!/usr/bin/env python
 """MICA perf-harness entry point.
 
-Times every Table II analyzer (plus the scalar PPM/ILP references) and
+Times every Table II analyzer (plus the scalar PPM/ILP references),
 the trace-generation engine (batch interpreter/expansion vs their
-scalar references, cold-vs-warm dataset builds), then writes the
-machine-readable ``BENCH_mica.json`` trajectory file.  Also
+scalar references, cold-vs-warm dataset builds) and the HPC engines
+(event assemblies, the pipeline-model batch walks vs their retained
+reference loops over precomputed events, component engines, HPC
+cache), then writes the machine-readable ``BENCH_mica.json``
+trajectory file (schema ``BENCH_mica/v4``).  Also
 reachable as ``python -m repro bench``; this thin wrapper exists so the
 harness can be invoked from a checkout without installing the package::
 
@@ -49,7 +52,8 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     parser.add_argument(
         "--no-reference", action="store_true",
-        help="skip the slow scalar reference timings",
+        help="skip the slow scalar reference timings (PPM/ILP, generation "
+             "phases, HPC events and pipeline models)",
     )
     parser.add_argument(
         "--no-generation", action="store_true",
@@ -57,7 +61,8 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     parser.add_argument(
         "--no-hpc", action="store_true",
-        help="skip the HPC event-engine timings",
+        help="skip the HPC engine timings (events, pipeline models, "
+             "components, cache)",
     )
     args = parser.parse_args(argv)
 

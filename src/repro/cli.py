@@ -289,7 +289,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--no-reference", action="store_true",
-        help="skip the slow scalar reference timings",
+        help="skip the slow scalar reference timings (PPM/ILP, generation "
+             "phases, HPC events and pipeline models)",
     )
     bench_parser.add_argument(
         "--no-generation", action="store_true",
@@ -297,7 +298,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--no-hpc", action="store_true",
-        help="skip the HPC event-engine timings",
+        help="skip the HPC engine timings (events, pipeline models, "
+             "components, cache)",
     )
     commands.add_parser("fig1", help="Figure 1: distance scatter")
     commands.add_parser("table3", help="Table III: quadrant fractions")

@@ -40,9 +40,16 @@ How to read the output:
   engines (``cache_l1d``, ``tlb``, ``predictor_bimodal``,
   ``predictor_tournament``, ``producer_indices``) and the
   ``*_reference`` scalar specifications of each.
+* ``hpc.engines.pipeline_ev56`` / ``pipeline_ev67`` (schema v4) — one
+  pipeline-model run over precomputed events (``InOrderModel.run`` /
+  ``OutOfOrderModel.run``, the batch walk engines), isolating the
+  pipeline models from the event simulation; the ``*_reference``
+  entries time the retained scalar loops on the same events.
 * ``hpc.speedups.<engine>`` — reference-over-vectorized per engine;
   ``hpc.speedups.events`` combines both machines' event assemblies
-  (acceptance floor: 5x at the default 100k-instruction trace).
+  (acceptance floor: 5x at the default 100k-instruction trace);
+  ``hpc.speedups.pipelines`` (v4) combines both pipeline models —
+  reference loops over batch walks on precomputed events.
 * ``hpc.cache`` — one ``cached_collect_hpc`` cold vs warm through a
   throwaway HPC cache directory (a warm hit skips both pipeline
   models entirely).
@@ -166,13 +173,14 @@ class HpcBenchResult:
         trace_length: instructions simulated per timing.
         profile: registry benchmark supplying the workload profile.
         repeats: timing repetitions (the best is kept).
-        timings: per-engine wall times (``events_ev56``/``events_ev67``
-            and their ``*_reference`` scalar specifications,
-            ``collect_hpc``, the cache/TLB/predictor component engines
-            and ``producer_indices``).
+        timings: per-engine wall times (``events_ev56``/``events_ev67``,
+            ``pipeline_ev56``/``pipeline_ev67`` (one pipeline-model run
+            over precomputed events) and their ``*_reference`` scalar
+            specifications, ``collect_hpc``, the cache/TLB/predictor
+            component engines and ``producer_indices``).
         speedups: reference-over-vectorized ratios per engine plus the
             combined ``events`` ratio (acceptance floor: 5x at 100k
-            instructions).
+            instructions) and the combined ``pipelines`` ratio.
         cache: cold-vs-warm ``cached_collect_hpc`` wall times over the
             on-disk HPC cache.
     """
@@ -242,7 +250,7 @@ class MicaBenchResult:
 
     def as_dict(self) -> dict:
         payload = {
-            "schema": "BENCH_mica/v3",
+            "schema": "BENCH_mica/v4",
             "meta": {
                 "trace_length": self.trace_length,
                 "profile": self.profile,
@@ -438,19 +446,22 @@ def run_hpc_bench(
     repeats: int = 3,
     include_reference: bool = True,
 ) -> HpcBenchResult:
-    """Time the HPC event engines against their scalar references.
+    """Time the HPC engines against their scalar references.
 
     Measures, on one generated trace of ``trace_length`` instructions:
     the full :func:`~repro.uarch.events.simulate_events` assembly for
     both machines (batch engines vs the retained scalar
     specifications), one end-to-end :func:`~repro.uarch.collect_hpc`,
-    the component engines in isolation (a 2-way L1D on the data stream,
-    the fully-associative D-TLB, the bimodal and tournament
-    predictors), and :func:`~repro.mica.ilp.producer_indices` — every
-    simulator rebuilt fresh inside the timed region, exactly as the
-    event simulation uses them.  Also runs ``cached_collect_hpc`` cold
-    and warm through a throwaway directory, the gap the HPC cache
-    exists to close.
+    both pipeline models over precomputed events (batch walk engines vs
+    the retained ``run_reference`` loops — the events are threaded
+    through so the pipeline engines are timed in isolation), the
+    component engines in isolation (a 2-way L1D on the data stream, the
+    fully-associative D-TLB, the bimodal and tournament predictors),
+    and :func:`~repro.mica.ilp.producer_indices` — every simulator
+    rebuilt fresh inside the timed region, exactly as the event
+    simulation uses them.  Also runs ``cached_collect_hpc`` cold and
+    warm through a throwaway directory, the gap the HPC cache exists to
+    close.
 
     Args:
         config: supplies the default trace length.
@@ -462,11 +473,13 @@ def run_hpc_bench(
     """
     import numpy as np
 
-    from ..mica.ilp import producer_indices, producer_indices_reference
+    from ..mica.ilp import producer_indices_reference
     from ..synth import generate_trace
     from ..uarch import (
         EV56_CONFIG,
         EV67_CONFIG,
+        InOrderModel,
+        OutOfOrderModel,
         SetAssociativeCache,
         TLB,
         collect_hpc,
@@ -483,6 +496,10 @@ def run_hpc_bench(
     branch_positions = np.flatnonzero(trace.branch_mask)
     branch_pcs = trace.pc[branch_positions]
     branch_taken = trace.taken[branch_positions].astype(bool)
+    # Precomputed events isolate the pipeline engines from the event
+    # simulation, exactly as collect_hpc callers can thread them.
+    events_ev56 = simulate_events(trace, EV56_CONFIG)
+    events_ev67 = simulate_events(trace, EV67_CONFIG)
 
     def cache_case(machine_cache, stream, engine):
         def run():
@@ -508,6 +525,10 @@ def run_hpc_bench(
         ("events_ev56", lambda: simulate_events(trace, EV56_CONFIG)),
         ("events_ev67", lambda: simulate_events(trace, EV67_CONFIG)),
         ("collect_hpc", lambda: collect_hpc(trace)),
+        ("pipeline_ev56",
+         lambda: InOrderModel(EV56_CONFIG).run(trace, events=events_ev56)),
+        ("pipeline_ev67",
+         lambda: OutOfOrderModel(EV67_CONFIG).run(trace, events=events_ev67)),
         ("cache_l1d", cache_case(EV67_CONFIG.l1d, data_addresses,
                                  "simulate")),
         ("tlb", tlb_case("simulate")),
@@ -523,6 +544,12 @@ def run_hpc_bench(
              lambda: simulate_events(trace, EV56_CONFIG, engine="reference")),
             ("events_ev67_reference",
              lambda: simulate_events(trace, EV67_CONFIG, engine="reference")),
+            ("pipeline_ev56_reference",
+             lambda: InOrderModel(EV56_CONFIG).run_reference(
+                 trace, events=events_ev56)),
+            ("pipeline_ev67_reference",
+             lambda: OutOfOrderModel(EV67_CONFIG).run_reference(
+                 trace, events=events_ev67)),
             ("cache_l1d_reference",
              cache_case(EV67_CONFIG.l1d, data_addresses,
                         "simulate_reference")),
@@ -535,33 +562,31 @@ def run_hpc_bench(
              lambda: producer_indices_reference(trace)),
         ])
 
+    seconds = {
+        name: _best_of(fn, repeats) for name, fn in cases
+    }
     timings = tuple(
-        AnalyzerTiming(name=name, seconds=_best_of(fn, repeats),
-                       instructions=length)
-        for name, fn in cases
-    )
-    result = HpcBenchResult(
-        trace_length=length, profile=profile_name, repeats=repeats,
-        timings=timings,
+        AnalyzerTiming(name=name, seconds=seconds[name], instructions=length)
+        for name, _ in cases
     )
     speedups: Dict[str, float] = {}
     if include_reference:
         for engine in (
-            "events_ev56", "events_ev67", "cache_l1d", "tlb",
-            "predictor_bimodal", "predictor_tournament",
+            "events_ev56", "events_ev67", "pipeline_ev56", "pipeline_ev67",
+            "cache_l1d", "tlb", "predictor_bimodal", "predictor_tournament",
             "producer_indices",
         ):
             speedups[engine] = (
-                result.timing(f"{engine}_reference").seconds
-                / result.timing(engine).seconds
+                seconds[f"{engine}_reference"] / seconds[engine]
             )
         speedups["events"] = (
-            result.timing("events_ev56_reference").seconds
-            + result.timing("events_ev67_reference").seconds
-        ) / (
-            result.timing("events_ev56").seconds
-            + result.timing("events_ev67").seconds
-        )
+            seconds["events_ev56_reference"]
+            + seconds["events_ev67_reference"]
+        ) / (seconds["events_ev56"] + seconds["events_ev67"])
+        speedups["pipelines"] = (
+            seconds["pipeline_ev56_reference"]
+            + seconds["pipeline_ev67_reference"]
+        ) / (seconds["pipeline_ev56"] + seconds["pipeline_ev67"])
 
     from .cache import cached_collect_hpc
 

@@ -21,6 +21,7 @@ from .branch_predictors import (
     simulate_predictor_reference,
 )
 from .configs import MachineConfig, EV56_CONFIG, EV67_CONFIG
+from .events import MachineEvents, simulate_events
 from .inorder import InOrderModel
 from .ooo import OutOfOrderModel
 from .hpc import (
@@ -44,6 +45,8 @@ __all__ = [
     "simulate_predictor",
     "simulate_predictor_reference",
     "MachineConfig",
+    "MachineEvents",
+    "simulate_events",
     "EV56_CONFIG",
     "EV67_CONFIG",
     "InOrderModel",

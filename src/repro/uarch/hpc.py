@@ -27,6 +27,7 @@ import numpy as np
 from ..mica.instruction_mix import instruction_mix
 from ..trace import Trace
 from .configs import EV56_CONFIG, EV67_CONFIG, MachineConfig
+from .events import MachineEvents
 from .inorder import InOrderModel
 from .ooo import OutOfOrderModel
 
@@ -108,6 +109,8 @@ def collect_hpc(
     trace: Trace,
     inorder_machine: MachineConfig = EV56_CONFIG,
     ooo_machine: MachineConfig = EV67_CONFIG,
+    inorder_events: "MachineEvents | None" = None,
+    ooo_events: "MachineEvents | None" = None,
 ) -> HpcVector:
     """Collect the seven HPC metrics for a trace.
 
@@ -115,13 +118,22 @@ def collect_hpc(
     come from the in-order machine's run, mirroring the paper's use of
     DCPI on the 21164A; the out-of-order machine contributes its IPC
     only.
+
+    Args:
+        trace: dynamic instruction trace.
+        inorder_machine / ooo_machine: the two simulated machines.
+        inorder_events / ooo_events: precomputed
+            :func:`~repro.uarch.events.simulate_events` results for the
+            matching machine, so callers holding them (the perf harness,
+            experiment pipelines) never re-simulate caches, TLB and
+            predictors; simulated on demand otherwise.
     """
     global _hpc_calls
     _hpc_calls += 1
     inorder = InOrderModel(inorder_machine)
-    ipc_ev56, events = inorder.run(trace)
+    ipc_ev56, events = inorder.run(trace, events=inorder_events)
     ooo = OutOfOrderModel(ooo_machine)
-    ipc_ev67, _ = ooo.run(trace)
+    ipc_ev67, _ = ooo.run(trace, events=ooo_events)
 
     values = np.array(
         [

@@ -7,11 +7,21 @@ deliver their result ``l1_hit`` (or miss-latency) cycles after issue;
 branch mispredictions and instruction-fetch misses insert front-end
 bubbles.  The model is cycle-approximate, not RTL-faithful — its purpose
 is producing realistic hardware-performance-counter IPC values.
+
+**Batch engine.**  :meth:`InOrderModel.run` drives
+:func:`repro.uarch.pipeline_batch.inorder_walk`: every per-instruction
+stall term (fetch stalls, mispredict redirects, memory-port conflicts,
+result latencies) is folded into precomputed arrays by vectorized
+passes, and the remaining reduced recurrence is walked without any
+per-instruction opclass or register-validity branching.
+:meth:`InOrderModel.run_reference` retains the original scalar loop
+verbatim as the executable specification; the batch path (and the
+independent max-plus fixed-point engine in
+:mod:`~repro.uarch.pipeline_batch`) are pinned to it bit-for-bit on IPC
+by ``tests/test_uarch_pipeline_equivalence.py``.
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from ..errors import SimulationError
 from ..isa import NO_REG, OpClass
@@ -19,6 +29,7 @@ from ..isa.registers import TOTAL_REGS
 from ..trace import Trace
 from .configs import MachineConfig
 from .events import MachineEvents, simulate_events
+from .pipeline_batch import inorder_walk
 
 
 class InOrderModel:
@@ -34,7 +45,7 @@ class InOrderModel:
     def run(
         self, trace: Trace, events: "MachineEvents | None" = None
     ) -> "tuple[float, MachineEvents]":
-        """Execute the trace.
+        """Execute the trace on the batch engine.
 
         Args:
             trace: dynamic instruction trace.
@@ -42,7 +53,23 @@ class InOrderModel:
                 machine (computed on demand otherwise).
 
         Returns:
-            ``(ipc, events)``.
+            ``(ipc, events)``; bit-identical to :meth:`run_reference`.
+        """
+        if len(trace) == 0:
+            raise SimulationError("cannot simulate an empty trace")
+        if events is None:
+            events = simulate_events(trace, self.machine)
+        total_cycles = inorder_walk(trace, self.machine, events)
+        return len(trace) / total_cycles, events
+
+    def run_reference(
+        self, trace: Trace, events: "MachineEvents | None" = None
+    ) -> "tuple[float, MachineEvents]":
+        """Execute the trace with the retained scalar loop.
+
+        The executable specification of the model's semantics: the
+        original per-instruction state machine, kept verbatim for the
+        equivalence tests and the perf harness.
         """
         if len(trace) == 0:
             raise SimulationError("cannot simulate an empty trace")

@@ -7,11 +7,20 @@ resolves), enter the window, and execute as soon as their operands are
 ready; the window bounds how far fetch may run ahead of the oldest
 unfinished instruction.  Dataflow, latencies and mispredictions come
 from the same event simulation the in-order model uses.
+
+**Batch engine.**  :meth:`OutOfOrderModel.run` drives
+:func:`repro.uarch.pipeline_batch.ooo_walk`: result latencies,
+mispredict flags and register streams are precomputed as arrays by
+vectorized passes, and the remaining reduced recurrence is walked with
+no per-instruction opclass or register-validity branching.
+:meth:`OutOfOrderModel.run_reference` retains the original scalar loop
+verbatim as the executable specification; the batch path (and the
+independent max-plus fixed-point engine in
+:mod:`~repro.uarch.pipeline_batch`) are pinned to it bit-for-bit on IPC
+by ``tests/test_uarch_pipeline_equivalence.py``.
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from ..errors import SimulationError
 from ..isa import NO_REG, OpClass
@@ -19,6 +28,7 @@ from ..isa.registers import TOTAL_REGS
 from ..trace import Trace
 from .configs import MachineConfig
 from .events import MachineEvents, simulate_events
+from .pipeline_batch import ooo_walk
 
 
 class OutOfOrderModel:
@@ -34,7 +44,31 @@ class OutOfOrderModel:
     def run(
         self, trace: Trace, events: "MachineEvents | None" = None
     ) -> "tuple[float, MachineEvents]":
-        """Execute the trace; returns ``(ipc, events)``."""
+        """Execute the trace on the batch engine.
+
+        Args:
+            trace: dynamic instruction trace.
+            events: precomputed :func:`simulate_events` result for this
+                machine (computed on demand otherwise).
+
+        Returns:
+            ``(ipc, events)``; bit-identical to :meth:`run_reference`.
+        """
+        if len(trace) == 0:
+            raise SimulationError("cannot simulate an empty trace")
+        if events is None:
+            events = simulate_events(trace, self.machine)
+        total_cycles = ooo_walk(trace, self.machine, events)
+        return len(trace) / total_cycles, events
+
+    def run_reference(
+        self, trace: Trace, events: "MachineEvents | None" = None
+    ) -> "tuple[float, MachineEvents]":
+        """Execute the trace with the retained scalar loop.
+
+        The executable specification of the model's semantics, kept
+        verbatim for the equivalence tests and the perf harness.
+        """
         if len(trace) == 0:
             raise SimulationError("cannot simulate an empty trace")
         if events is None:

@@ -182,7 +182,7 @@ class TestMicaBenchHarness:
         assert result.speedups == {}
         path = write_bench_json(result, tmp_path / "BENCH_mica.json")
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "BENCH_mica/v3"
+        assert payload["schema"] == "BENCH_mica/v4"
         assert payload["meta"]["trace_length"] == len(tiny_trace)
         for entry in payload["analyzers"].values():
             assert entry["seconds"] >= 0.0
@@ -250,13 +250,17 @@ class TestHpcBenchSection:
         )
         section = payload["hpc"]
         assert set(section["speedups"]) == {
-            "events", "events_ev56", "events_ev67", "cache_l1d", "tlb",
+            "events", "events_ev56", "events_ev67",
+            "pipelines", "pipeline_ev56", "pipeline_ev67",
+            "cache_l1d", "tlb",
             "predictor_bimodal", "predictor_tournament",
             "producer_indices",
         }
         for engine in (
             "events_ev56", "events_ev56_reference",
             "events_ev67", "events_ev67_reference",
+            "pipeline_ev56", "pipeline_ev56_reference",
+            "pipeline_ev67", "pipeline_ev67_reference",
             "collect_hpc", "cache_l1d", "tlb",
             "predictor_bimodal", "predictor_tournament",
             "producer_indices", "producer_indices_reference",
@@ -291,6 +295,21 @@ def test_hpc_events_speedup_floor_at_default_trace_length():
     result = run_hpc_bench(repeats=3)
     assert result.trace_length == DEFAULT_CONFIG.trace_length
     assert result.speedups["events"] >= 5.0
+
+
+@pytest.mark.slow
+def test_pipeline_walk_never_slower_than_reference():
+    """The batch pipeline walks must at least match the retained scalar
+    loops at the default trace length (see ROADMAP: the serialized
+    pipeline recurrence bounds how far ahead of the reference any exact
+    engine can get).  The EV67 margin is only ~1.1x, so allow a little
+    wall-clock noise without letting a real regression through."""
+    from repro.perf import run_hpc_bench
+
+    result = run_hpc_bench(repeats=3)
+    assert result.speedups["pipelines"] >= 1.0
+    assert result.speedups["pipeline_ev56"] >= 1.0
+    assert result.speedups["pipeline_ev67"] >= 0.95
 
 
 @pytest.mark.slow
