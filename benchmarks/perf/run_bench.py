@@ -3,11 +3,13 @@
 
 Times every Table II analyzer (plus the scalar PPM/ILP references),
 the trace-generation engine (batch interpreter/expansion vs their
-scalar references, cold-vs-warm dataset builds) and the HPC engines
+scalar references, cold-vs-warm dataset builds), the HPC engines
 (event assemblies, the pipeline-model batch walks vs their retained
 reference loops over precomputed events, component engines, HPC
-cache), then writes the machine-readable ``BENCH_mica.json``
-trajectory file (schema ``BENCH_mica/v4``).  Also
+cache) and the phase engine (segmented interval characterization vs
+the retained chunked reference, signature extractors, phase
+detection), then writes the machine-readable ``BENCH_mica.json``
+trajectory file (schema ``BENCH_mica/v5``).  Also
 reachable as ``python -m repro bench``; this thin wrapper exists so the
 harness can be invoked from a checkout without installing the package::
 
@@ -64,6 +66,11 @@ def main(argv: "list[str] | None" = None) -> int:
         help="skip the HPC engine timings (events, pipeline models, "
              "components, cache)",
     )
+    parser.add_argument(
+        "--no-phases", action="store_true",
+        help="skip the phase engine timings (segmented timeline, "
+             "signatures, phase detection)",
+    )
     args = parser.parse_args(argv)
 
     config = (
@@ -78,6 +85,7 @@ def main(argv: "list[str] | None" = None) -> int:
         include_reference=not args.no_reference,
         include_generation=not args.no_generation,
         include_hpc=not args.no_hpc,
+        include_phases=not args.no_phases,
     )
     print(result.format())
     if args.output:

@@ -5,6 +5,7 @@ Subcommands::
     list                    list the 122 benchmarks (Table I)
     characterize BENCH      print a benchmark's 47 MICA characteristics
     hpc BENCH               print a benchmark's simulated HPC metrics
+    phases BENCH            phase decomposition + characteristic timeline
     dataset                 build (and cache) the full workload data set
     bench                   run the MICA perf harness (BENCH_mica.json)
     fig1|table3|fig2-3|fig4|fig5|table4|fig6
@@ -91,6 +92,45 @@ def _cmd_hpc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_phases(args: argparse.Namespace) -> int:
+    from .phases import detect_phases, mica_timeline, simulation_points
+    from .reporting import format_phase_report
+
+    config = _make_config(args)
+    trace = _load_trace(args.benchmark, config)
+    result = detect_phases(
+        trace,
+        interval=args.interval,
+        seed=args.seed,
+        signature=args.signature,
+        config=config,
+    )
+    points = simulation_points(result)
+    timeline = mica_timeline(trace, interval=args.interval, config=config)
+    print(
+        format_phase_report(
+            result, points, timeline=timeline, name=args.benchmark
+        )
+    )
+    if args.homogeneity:
+        # Reuse the trace and phase decomposition computed above —
+        # only the per-interval metric simulation is new work here.
+        from .experiments.phase_homogeneity import (
+            PhaseHomogeneityResult,
+            validate_benchmark,
+        )
+
+        homogeneity = PhaseHomogeneityResult(
+            rows=(validate_benchmark(args.benchmark, trace, result),),
+            interval=args.interval,
+            signature=args.signature,
+            metric_name="ipc_ev56",
+        )
+        print()
+        print(homogeneity.format())
+    return 0
+
+
 def _cmd_dataset(args: argparse.Namespace) -> int:
     from .experiments import build_dataset
 
@@ -115,6 +155,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         include_reference=not args.no_reference,
         include_generation=not args.no_generation,
         include_hpc=not args.no_hpc,
+        include_phases=not args.no_phases,
     )
     print(result.format())
     if args.output:
@@ -272,6 +313,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("dataset", help="build and cache the data set")
 
+    phases_parser = commands.add_parser(
+        "phases",
+        help="phase decomposition + characteristic timeline of one "
+             "benchmark",
+    )
+    phases_parser.add_argument(
+        "benchmark", help="name, e.g. 'mcf' or 'spec2000/bzip2/graphic'"
+    )
+    phases_parser.add_argument(
+        "--interval", type=int, default=5_000,
+        help="instructions per interval",
+    )
+    phases_parser.add_argument(
+        "--signature", choices=("bbv", "mix", "mica"), default="bbv",
+        help="per-interval signature substrate for phase detection",
+    )
+    phases_parser.add_argument(
+        "--seed", type=int, default=0, help="k-means seed",
+    )
+    phases_parser.add_argument(
+        "--homogeneity", action="store_true",
+        help="validate simulation points against per-interval EV56 IPC",
+    )
+
     bench_parser = commands.add_parser(
         "bench", help="time the MICA analyzers; write BENCH_mica.json"
     )
@@ -300,6 +365,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-hpc", action="store_true",
         help="skip the HPC engine timings (events, pipeline models, "
              "components, cache)",
+    )
+    bench_parser.add_argument(
+        "--no-phases", action="store_true",
+        help="skip the phase engine timings (segmented timeline, "
+             "signatures, phase detection)",
     )
     commands.add_parser("fig1", help="Figure 1: distance scatter")
     commands.add_parser("table3", help="Table III: quadrant fractions")
@@ -345,6 +415,7 @@ _DISPATCH = {
     "list": _cmd_list,
     "characterize": _cmd_characterize,
     "hpc": _cmd_hpc,
+    "phases": _cmd_phases,
     "dataset": _cmd_dataset,
     "bench": _cmd_bench,
     "all": _cmd_all,

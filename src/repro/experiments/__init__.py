@@ -12,6 +12,8 @@ module                    paper artifact
 ``table4_selected``       Table IV (GA-selected characteristics) +
                           the measurement-cost model (3X speedup)
 ``fig6_clusters``         Figure 6 (k-means/BIC clusters, kiviats)
+``phase_homogeneity``     extension: SimPoint-premise validation of
+                          detected phases against per-interval HPC
 ``runner``                run everything, produce the full report
 ========================  ==========================================
 """
@@ -25,6 +27,10 @@ from .fig5_correlation import Fig5Result, run_fig5
 from .table4_selected import Table4Result, run_table4, measurement_cost
 from .fig6_clusters import Fig6Result, run_fig6
 from .input_sensitivity import InputSensitivityResult, run_input_sensitivity
+from .phase_homogeneity import (
+    PhaseHomogeneityResult,
+    run_phase_homogeneity,
+)
 from .subsetting import SubsettingResult, run_subsetting
 from .runner import run_all
 
@@ -49,6 +55,8 @@ __all__ = [
     "run_fig6",
     "InputSensitivityResult",
     "run_input_sensitivity",
+    "PhaseHomogeneityResult",
+    "run_phase_homogeneity",
     "SubsettingResult",
     "run_subsetting",
     "run_all",

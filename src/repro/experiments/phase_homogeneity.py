@@ -1,0 +1,227 @@
+"""Extension: validate simulation points against per-interval HPC data.
+
+The paper's section VII leans on the SimPoint observation: intervals
+that execute similar code behave similarly on microarchitecture-
+*dependent* metrics, so one simulated interval per phase predicts the
+whole run.  This experiment checks both halves of that claim on the
+synthetic substrate, per benchmark:
+
+* **homogeneity** — a per-interval HPC metric (simulated EV56 IPC)
+  varies less within detected phases than across the run
+  (population-weighted within-phase std vs overall std);
+* **representativeness** — the phase-size-weighted average of the
+  metric at the chosen simulation points approximates the true
+  whole-run interval mean (the SimPoint estimate; relative error
+  reported).
+
+Phases are detected on a microarchitecture-*independent* signature
+(``"bbv"``, ``"mix"`` or the segmented engine's ``"mica"`` vectors), so
+the validation never peeks at the metric it predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..config import DEFAULT_CONFIG, ReproConfig
+from ..phases import (
+    PhaseResult,
+    detect_phases,
+    simulation_points,
+    split_intervals,
+)
+from ..reporting import format_table
+from ..synth import generate_trace
+from ..trace import Trace
+from ..uarch import EV56_CONFIG, InOrderModel
+from ..workloads import get_benchmark
+
+#: Benchmarks used by default: contrasting mixes, kept small because
+#: the metric simulates every interval.
+DEFAULT_PHASE_BENCHMARKS = (
+    "spec2000/gcc/166",
+    "spec2000/mcf/ref",
+    "mibench/adpcm/rawcaudio",
+)
+
+
+@dataclass(frozen=True)
+class PhaseBenchmarkRow:
+    """One benchmark's phase-homogeneity validation."""
+
+    name: str
+    intervals: int
+    k: int
+    within_std: float
+    overall_std: float
+    true_mean: float
+    simpoint_estimate: float
+
+    @property
+    def homogeneity(self) -> float:
+        """within/overall std ratio (< 1: phases are more uniform)."""
+        if self.overall_std == 0.0:
+            return 0.0
+        return self.within_std / self.overall_std
+
+    @property
+    def simpoint_error(self) -> float:
+        """Relative error of the SimPoint estimate vs the true mean."""
+        if self.true_mean == 0.0:
+            return 0.0
+        return abs(self.simpoint_estimate - self.true_mean) / abs(
+            self.true_mean
+        )
+
+
+@dataclass(frozen=True)
+class PhaseHomogeneityResult:
+    """Phase-homogeneity validation over a benchmark population.
+
+    Attributes:
+        rows: per-benchmark statistics.
+        interval: instructions per interval.
+        signature: signature substrate phases were detected on.
+        metric_name: the per-interval HPC metric used.
+    """
+
+    rows: Tuple[PhaseBenchmarkRow, ...]
+    interval: int
+    signature: str
+    metric_name: str
+
+    @property
+    def mean_homogeneity(self) -> float:
+        """Average within/overall ratio over multi-phase benchmarks."""
+        ratios = [row.homogeneity for row in self.rows if row.k > 1]
+        return float(np.mean(ratios)) if ratios else 0.0
+
+    @property
+    def mean_simpoint_error(self) -> float:
+        return float(np.mean([row.simpoint_error for row in self.rows]))
+
+    def format(self) -> str:
+        """Human-readable report section."""
+        table_rows = [
+            [
+                row.name,
+                row.intervals,
+                row.k,
+                f"{row.within_std:.4f}",
+                f"{row.overall_std:.4f}",
+                f"{row.homogeneity:.2f}",
+                f"{row.simpoint_error:.1%}",
+            ]
+            for row in self.rows
+        ]
+        table = format_table(
+            ["benchmark", "#ivals", "k", "within std", "overall std",
+             "ratio", "simpoint err"],
+            table_rows,
+            align_right=[False, True, True, True, True, True, True],
+        )
+        return (
+            "Phase homogeneity (extension; SimPoint premise, "
+            "cf. Sherwood et al.)\n"
+            f"signature: {self.signature}, metric: {self.metric_name}, "
+            f"interval: {self.interval:,} instructions\n"
+            f"mean within/overall ratio (k > 1): "
+            f"{self.mean_homogeneity:.2f}\n"
+            f"mean simulation-point estimate error: "
+            f"{self.mean_simpoint_error:.1%}\n\n"
+            + table
+        )
+
+
+def _interval_ipc_values(trace: Trace, result: PhaseResult) -> np.ndarray:
+    """Simulated EV56 IPC of every interval (the HPC metric)."""
+    model = InOrderModel(EV56_CONFIG)
+    values = []
+    for chunk in split_intervals(trace, result.interval):
+        ipc, _ = model.run(chunk)
+        values.append(float(ipc))
+    return np.array(values)
+
+
+def _weighted_within_std(
+    values: np.ndarray, result: PhaseResult
+) -> float:
+    """Population-weighted within-phase std (phase_homogeneity's
+    formula, over precomputed per-interval values so each interval is
+    simulated exactly once)."""
+    weighted = 0.0
+    for phase in range(result.k):
+        member_values = values[result.assignments == phase]
+        if len(member_values) == 0:
+            continue
+        weighted += len(member_values) / len(values) * float(
+            member_values.std()
+        )
+    return weighted
+
+
+def validate_benchmark(
+    name: str,
+    trace: Trace,
+    result: PhaseResult,
+) -> PhaseBenchmarkRow:
+    """Homogeneity + simulation-point validation for one trace."""
+    values = _interval_ipc_values(trace, result)
+    within = _weighted_within_std(values, result)
+    overall = float(values.std())
+    points = simulation_points(result)
+    sizes = result.phase_sizes()
+    if points:
+        weights = np.array(
+            [sizes[int(result.assignments[point])] for point in points],
+            dtype=float,
+        )
+        estimate = float((values[points] * weights).sum() / weights.sum())
+    else:
+        estimate = 0.0
+    return PhaseBenchmarkRow(
+        name=name,
+        intervals=len(values),
+        k=result.k,
+        within_std=within,
+        overall_std=overall,
+        true_mean=float(values.mean()),
+        simpoint_estimate=estimate,
+    )
+
+
+def run_phase_homogeneity(
+    config: ReproConfig = DEFAULT_CONFIG,
+    benchmarks: Sequence[str] = DEFAULT_PHASE_BENCHMARKS,
+    interval: int = 5_000,
+    signature: str = "bbv",
+    seed: int = 0,
+) -> PhaseHomogeneityResult:
+    """Validate phase detection against per-interval EV56 IPC.
+
+    Args:
+        config: supplies the trace length and MICA parameters.
+        benchmarks: registry benchmark names to validate.
+        interval: instructions per interval.
+        signature: phase-detection substrate (``"bbv"``/``"mix"``/
+            ``"mica"``).
+        seed: k-means seed.
+    """
+    rows: List[PhaseBenchmarkRow] = []
+    for name in benchmarks:
+        benchmark = get_benchmark(name)
+        trace = generate_trace(benchmark.profile, config.trace_length)
+        result = detect_phases(
+            trace, interval=interval, seed=seed, signature=signature,
+            config=config,
+        )
+        rows.append(validate_benchmark(benchmark.full_name, trace, result))
+    return PhaseHomogeneityResult(
+        rows=tuple(rows),
+        interval=interval,
+        signature=signature,
+        metric_name="ipc_ev56",
+    )

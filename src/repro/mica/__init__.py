@@ -24,6 +24,11 @@ from .ppm import (
     ppm_predictabilities_reference,
 )
 from .characterize import CharacteristicVector, characterize
+from .segmented import (
+    SECTION_CATEGORIES,
+    segmented_characterize,
+    segmented_producer_indices,
+)
 
 __all__ = [
     "Characteristic",
@@ -44,4 +49,7 @@ __all__ = [
     "ppm_predictabilities_reference",
     "CharacteristicVector",
     "characterize",
+    "SECTION_CATEGORIES",
+    "segmented_characterize",
+    "segmented_producer_indices",
 ]

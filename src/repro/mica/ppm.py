@@ -158,6 +158,46 @@ class PPMPredictor:
 # -- vectorized engine ----------------------------------------------------
 
 
+def _grouped_history(
+    bits: np.ndarray, group_keys: np.ndarray, max_order: int
+) -> np.ndarray:
+    """History bits that never cross group boundaries.
+
+    Bit ``k-1`` of the history at entry ``t`` is the outcome of the
+    ``k``-th most recent earlier entry *of the same group*, matching a
+    shift register that is private to each group and starts at zero.
+    Grouping by PC yields the per-branch local histories; the segmented
+    engine (:mod:`repro.mica.segmented`) additionally folds the interval
+    id into the group key so histories restart at interval boundaries.
+    """
+    n = len(bits)
+    # Narrow keys radix-sort (numpy's stable sort for <= 16-bit ints);
+    # wide keys (e.g. raw PCs) take the 64-bit merge sort.
+    if n and int(group_keys.max()) < (1 << 16):
+        group_keys = group_keys.astype(np.uint16)
+    order = np.argsort(group_keys, kind="stable")
+    sorted_bits = bits[order]
+    sorted_keys = group_keys[order]
+    new_group = np.ones(n, dtype=bool)
+    new_group[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    positions = np.arange(n, dtype=np.int64)
+    group_ids = np.cumsum(new_group) - 1
+    group_start = positions[new_group][group_ids]
+    in_group = positions - group_start
+
+    grouped_sorted = np.zeros(n, dtype=np.uint64)
+    for k in range(1, max_order + 1):
+        valid = in_group >= k
+        if not valid.any():
+            break
+        grouped_sorted[valid] |= sorted_bits[positions[valid] - k] << np.uint64(
+            k - 1
+        )
+    history = np.empty(n, dtype=np.uint64)
+    history[order] = grouped_sorted
+    return history
+
+
 def _history_streams(
     pcs: np.ndarray, outcomes: np.ndarray, max_order: int
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -179,25 +219,7 @@ def _history_streams(
     # Local histories: group the stream by PC (stable sort keeps time
     # order within each group) and apply the same shifted-OR trick
     # without crossing group boundaries.
-    order = np.argsort(pcs, kind="stable")
-    sorted_bits = bits[order]
-    new_group = np.ones(n, dtype=bool)
-    new_group[1:] = pcs[order][1:] != pcs[order][:-1]
-    positions = np.arange(n, dtype=np.int64)
-    group_ids = np.cumsum(new_group) - 1
-    group_start = positions[new_group][group_ids]
-    in_group = positions - group_start
-
-    local_sorted = np.zeros(n, dtype=np.uint64)
-    for k in range(1, max_order + 1):
-        valid = in_group >= k
-        if not valid.any():
-            break
-        local_sorted[valid] |= sorted_bits[positions[valid] - k] << np.uint64(
-            k - 1
-        )
-    local_history = np.empty(n, dtype=np.uint64)
-    local_history[order] = local_sorted
+    local_history = _grouped_history(bits, pcs, max_order)
     return global_history, local_history
 
 
@@ -240,14 +262,15 @@ def _prior_outcome_counts(
     return taken_before, not_taken_before
 
 
-def _variant_correct_count(
+def _variant_predictions(
     history: np.ndarray,
     pc_keys: "np.ndarray | None",
     outcomes: np.ndarray,
     max_order: int,
     order0_counts,
-) -> int:
-    """Number of correct predictions for one variant, fully vectorized.
+    segment_keys: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Per-branch predictions for one variant, fully vectorized.
 
     Walks orders longest-first exactly like :meth:`PPMPredictor._predict`
     (unseen and tied contexts both escape; the cold default predicts
@@ -255,6 +278,8 @@ def _variant_correct_count(
 
     ``order0_counts()`` supplies the order-0 table state, which ignores
     history and is therefore shared by both variants of a table scheme.
+    ``segment_keys`` (when given) is OR-ed above every context key so the
+    segmented engine can restart the count tables per interval.
     """
     n = len(outcomes)
     prediction = np.ones(n, dtype=bool)
@@ -268,6 +293,8 @@ def _variant_correct_count(
             keys = history & np.uint64((1 << order) - 1)
             if pc_keys is not None:
                 keys = keys | pc_keys
+            if segment_keys is not None:
+                keys = keys | segment_keys
             taken_before, not_taken_before = _prior_outcome_counts(
                 keys, outcomes
             )
@@ -276,7 +303,7 @@ def _variant_correct_count(
             taken_before[informative] > not_taken_before[informative]
         )
         undecided &= ~informative
-    return int((prediction == outcomes).sum())
+    return prediction
 
 
 def ppm_predictabilities_reference(
@@ -367,12 +394,12 @@ def ppm_predictabilities(trace: Trace, max_order: int = 4) -> np.ndarray:
     accuracies = np.empty(len(VARIANTS), dtype=float)
     for position, (_, use_global, shared_table) in enumerate(VARIANTS):
         history = global_history if use_global else local_history
-        correct = _variant_correct_count(
+        prediction = _variant_predictions(
             history,
             None if shared_table else pc_keys,
             outcomes,
             max_order,
             lambda shared=shared_table: order0_counts(shared),
         )
-        accuracies[position] = correct / n
+        accuracies[position] = int((prediction == outcomes).sum()) / n
     return accuracies

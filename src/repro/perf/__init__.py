@@ -42,9 +42,11 @@ from .timing import (
     GenerationBenchResult,
     HpcBenchResult,
     MicaBenchResult,
+    PhasesBenchResult,
     run_generation_bench,
     run_hpc_bench,
     run_mica_bench,
+    run_phases_bench,
     write_bench_json,
 )
 
@@ -60,8 +62,10 @@ __all__ = [
     "GenerationBenchResult",
     "HpcBenchResult",
     "MicaBenchResult",
+    "PhasesBenchResult",
     "run_generation_bench",
     "run_hpc_bench",
     "run_mica_bench",
+    "run_phases_bench",
     "write_bench_json",
 ]

@@ -53,6 +53,17 @@ How to read the output:
 * ``hpc.cache`` — one ``cached_collect_hpc`` cold vs warm through a
   throwaway HPC cache directory (a warm hit skips both pipeline
   models entirely).
+* ``phases.engines.<name>`` (schema v5) — phase-engine timings:
+  ``mica_timeline`` (the segmented interval-characterization engine on
+  the default six-key timeline), ``mica_timeline_reference`` (the
+  retained per-chunk loop), ``interval_mica`` (full 47-column
+  per-interval vectors, the MICA phase-detection substrate), the
+  BBV/mix signature extractors and one end-to-end BBV
+  ``detect_phases``.
+* ``phases.speedups.timeline`` / top-level ``speedups.phases`` —
+  chunked-reference-over-engine for the default timeline; the
+  acceptance floor is 5x at 100k instructions x 5k-instruction
+  intervals.
 """
 
 from __future__ import annotations
@@ -231,6 +242,70 @@ class HpcBenchResult:
 
 
 @dataclass(frozen=True)
+class PhasesBenchResult:
+    """Phase-engine timings: segmented engine vs the chunked reference.
+
+    Attributes:
+        trace_length: instructions analyzed per timing.
+        profile: registry benchmark supplying the workload profile.
+        repeats: timing repetitions (the best is kept).
+        interval: instructions per interval.
+        timings: per-path wall times (``mica_timeline`` — the segmented
+            engine on the default six-key timeline —
+            ``mica_timeline_reference`` — the retained per-chunk loop —
+            ``interval_mica`` — full 47-column per-interval vectors,
+            the ``detect_phases(signature="mica")`` substrate —
+            ``basic_block_vectors``, ``interval_mix`` and an
+            end-to-end ``detect_phases`` BBV clustering).
+        speedups: reference-over-engine ratios (``timeline`` — the
+            acceptance-floor ratio, >= 5x at 100k instructions x
+            5k-instruction intervals).
+    """
+
+    trace_length: int
+    profile: str
+    repeats: int
+    interval: int
+    timings: Tuple[AnalyzerTiming, ...]
+    speedups: Dict[str, float] = field(default_factory=dict)
+
+    def timing(self, name: str) -> AnalyzerTiming:
+        for entry in self.timings:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_length": self.trace_length,
+            "profile": self.profile,
+            "repeats": self.repeats,
+            "interval": self.interval,
+            "engines": {
+                entry.name: entry.as_dict() for entry in self.timings
+            },
+            "speedups": dict(self.speedups),
+        }
+
+    def format(self) -> str:
+        """Human-readable report section."""
+        lines = [
+            f"  phase engine — {self.trace_length:,} instructions x "
+            f"{self.interval:,}-instruction intervals"
+        ]
+        for entry in self.timings:
+            lines.append(
+                f"  {entry.name:<22} {entry.seconds * 1e3:>9.2f} ms"
+                f"  {entry.instructions_per_second / 1e6:>8.1f} Minstr/s"
+            )
+        for name, ratio in self.speedups.items():
+            lines.append(
+                f"  phase speedup[{name}]: {ratio:.1f}x vs reference"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
 class MicaBenchResult:
     """One harness run: per-analyzer timings plus derived speedups."""
 
@@ -241,6 +316,7 @@ class MicaBenchResult:
     speedups: Dict[str, float] = field(default_factory=dict)
     generation: "Optional[GenerationBenchResult]" = None
     hpc: "Optional[HpcBenchResult]" = None
+    phases: "Optional[PhasesBenchResult]" = None
 
     def timing(self, name: str) -> AnalyzerTiming:
         for entry in self.timings:
@@ -250,7 +326,7 @@ class MicaBenchResult:
 
     def as_dict(self) -> dict:
         payload = {
-            "schema": "BENCH_mica/v4",
+            "schema": "BENCH_mica/v5",
             "meta": {
                 "trace_length": self.trace_length,
                 "profile": self.profile,
@@ -267,6 +343,8 @@ class MicaBenchResult:
             payload["generation"] = self.generation.as_dict()
         if self.hpc is not None:
             payload["hpc"] = self.hpc.as_dict()
+        if self.phases is not None:
+            payload["phases"] = self.phases.as_dict()
         return payload
 
     def format(self) -> str:
@@ -286,6 +364,8 @@ class MicaBenchResult:
             lines.append(self.generation.format())
         if self.hpc is not None:
             lines.append(self.hpc.format())
+        if self.phases is not None:
+            lines.append(self.phases.format())
         return "\n".join(lines)
 
 
@@ -615,6 +695,98 @@ def run_hpc_bench(
     )
 
 
+def run_phases_bench(
+    config: ReproConfig = DEFAULT_CONFIG,
+    trace_length: "int | None" = None,
+    profile_name: str = DEFAULT_BENCH_PROFILE,
+    repeats: int = 3,
+    include_reference: bool = True,
+    interval: int = 5_000,
+) -> PhasesBenchResult:
+    """Time the segmented phase engine against the chunked reference.
+
+    Measures, on one generated trace of ``trace_length`` instructions
+    at ``interval``-instruction intervals: the default six-key
+    :func:`~repro.phases.mica_timeline` on the segmented engine vs the
+    retained per-chunk :func:`~repro.phases.mica_timeline_reference`
+    (the acceptance-floor ratio: >= 5x at 100k x 5k), full per-interval
+    47-column MICA vectors (the ``detect_phases(signature="mica")``
+    substrate), the cheap BBV/mix signature extractors, and one
+    end-to-end BBV ``detect_phases`` (k-means + BIC included).
+
+    Args:
+        config: supplies the default trace length and MICA parameters.
+        trace_length: analyzed-trace length (default: the config's).
+        profile_name: registry benchmark supplying the workload profile.
+        repeats: timing repetitions; the best (minimum) is reported.
+        include_reference: also time the per-chunk reference timeline
+            and report ``speedups`` (skip for quick trend-only runs).
+        interval: instructions per interval.
+    """
+    from ..phases import (
+        basic_block_vectors,
+        detect_phases,
+        interval_mica_vectors,
+        interval_mix,
+        mica_timeline,
+        mica_timeline_reference,
+    )
+    from ..synth import generate_trace
+    from ..workloads import get_benchmark
+
+    length = trace_length or config.trace_length
+    benchmark = get_benchmark(profile_name)
+    trace = generate_trace(benchmark.profile, length)
+    if length < 2 * interval:
+        # Small smoke traces: shrink to four intervals so the section
+        # still measures a segmented run rather than erroring out.
+        interval = max(1, length // 4)
+
+    # Wake the CPU governor before timing: the engine runs are short
+    # enough that a cold core never reaches steady clocks inside their
+    # own repeats, which would systematically bias the ratio against
+    # the faster path (the long reference runs warm the core for free).
+    deadline = time.perf_counter() + 1.0
+    while time.perf_counter() < deadline:
+        mica_timeline(trace, interval, config=config)
+
+    cases: List[Tuple[str, Callable[[], object]]] = [
+        ("mica_timeline",
+         lambda: mica_timeline(trace, interval, config=config)),
+        ("interval_mica",
+         lambda: interval_mica_vectors(trace, interval, config)),
+        ("basic_block_vectors",
+         lambda: basic_block_vectors(trace, interval)),
+        ("interval_mix", lambda: interval_mix(trace, interval)),
+        ("detect_phases",
+         lambda: detect_phases(trace, interval=interval, config=config)),
+    ]
+    if include_reference:
+        cases.append((
+            "mica_timeline_reference",
+            lambda: mica_timeline_reference(trace, interval, config=config),
+        ))
+
+    seconds = {name: _best_of(fn, repeats) for name, fn in cases}
+    timings = tuple(
+        AnalyzerTiming(name=name, seconds=seconds[name], instructions=length)
+        for name, _ in cases
+    )
+    speedups: Dict[str, float] = {}
+    if include_reference:
+        speedups["timeline"] = (
+            seconds["mica_timeline_reference"] / seconds["mica_timeline"]
+        )
+    return PhasesBenchResult(
+        trace_length=length,
+        profile=profile_name,
+        repeats=repeats,
+        interval=interval,
+        timings=timings,
+        speedups=speedups,
+    )
+
+
 def run_mica_bench(
     trace: "Trace | None" = None,
     config: ReproConfig = DEFAULT_CONFIG,
@@ -624,6 +796,7 @@ def run_mica_bench(
     include_reference: bool = True,
     include_generation: bool = False,
     include_hpc: bool = False,
+    include_phases: bool = False,
 ) -> MicaBenchResult:
     """Time every MICA analyzer on one trace.
 
@@ -640,6 +813,9 @@ def run_mica_bench(
             attach its result (the CLI harness enables this).
         include_hpc: also run :func:`run_hpc_bench` and attach its
             result (the CLI harness enables this).
+        include_phases: also run :func:`run_phases_bench` and attach
+            its result (the CLI harness enables this); its timeline
+            ratio is surfaced as the top-level ``speedups.phases``.
     """
     if repeats < 1:
         from ..errors import ConfigurationError
@@ -741,7 +917,21 @@ def run_mica_bench(
             repeats=repeats,
             include_reference=include_reference,
         )
-    if include_reference or include_generation or include_hpc:
+    phases = None
+    if include_phases:
+        phases = run_phases_bench(
+            config=config,
+            trace_length=trace_length,
+            profile_name=profile_name,
+            repeats=repeats,
+            include_reference=include_reference,
+        )
+        if "timeline" in phases.speedups:
+            speedups["phases"] = phases.speedups["timeline"]
+    if (
+        include_reference or include_generation or include_hpc
+        or include_phases
+    ):
         result = MicaBenchResult(
             trace_length=result.trace_length,
             profile=result.profile,
@@ -750,6 +940,7 @@ def run_mica_bench(
             speedups=speedups,
             generation=generation,
             hpc=hpc,
+            phases=phases,
         )
     return result
 

@@ -9,15 +9,32 @@ benchmarks.  This package implements that methodology:
 
 * :func:`basic_block_vectors` — per-interval code signatures (BBVs);
 * :func:`interval_mix` — per-interval instruction-mix vectors;
+* :func:`interval_mica_vectors` / :func:`mica_timeline` — full or
+  selected per-interval MICA characteristics from the segmented
+  characterization engine (:mod:`repro.mica.segmented`): one pass over
+  the trace, bit-identical to characterizing every chunk separately
+  (the retained per-chunk loop is :func:`mica_timeline_reference`);
 * :func:`detect_phases` — cluster intervals into phases (k-means +
-  BIC) and pick one simulation point per phase;
+  BIC) on a ``"bbv"``, ``"mix"`` or ``"mica"`` signature substrate and
+  pick one simulation point per phase;
 * :func:`phase_homogeneity` — verify the premise: metric variation
   within phases vs across the whole run.
 """
 
-from .intervals import basic_block_vectors, interval_mix, split_intervals
+from .intervals import (
+    basic_block_vectors,
+    interval_count,
+    interval_mix,
+    split_intervals,
+)
+from .engine import (
+    interval_characteristics,
+    interval_mica_vectors,
+    resolve_keys,
+)
 from .detect import (
     PhaseResult,
+    SIGNATURE_KINDS,
     detect_phases,
     phase_homogeneity,
     simulation_points,
@@ -26,17 +43,24 @@ from .timeline import (
     CharacteristicTimeline,
     DEFAULT_TIMELINE_KEYS,
     mica_timeline,
+    mica_timeline_reference,
 )
 
 __all__ = [
     "basic_block_vectors",
+    "interval_count",
     "interval_mix",
     "split_intervals",
+    "interval_characteristics",
+    "interval_mica_vectors",
+    "resolve_keys",
     "PhaseResult",
+    "SIGNATURE_KINDS",
     "detect_phases",
     "phase_homogeneity",
     "simulation_points",
     "CharacteristicTimeline",
     "DEFAULT_TIMELINE_KEYS",
     "mica_timeline",
+    "mica_timeline_reference",
 ]

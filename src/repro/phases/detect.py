@@ -1,24 +1,40 @@
 """Phase detection and simulation-point selection.
 
-Intervals with similar code signatures are grouped into phases with the
-same k-means + BIC machinery used for benchmark clustering; one
+Intervals with similar signatures are grouped into phases with the same
+k-means + BIC machinery used for benchmark clustering; one
 representative interval per phase (the one nearest its centroid) is a
-*simulation point*.  :func:`phase_homogeneity` checks the SimPoint
-premise on this substrate: a microarchitecture-dependent metric should
-vary less within a phase than across the whole run.
+*simulation point*.  Three signature substrates are supported:
+
+* ``"bbv"`` — basic-block vectors (the SimPoint code signature);
+* ``"mix"`` — per-interval instruction-mix fractions;
+* ``"mica"`` — full 47-dimensional per-interval MICA vectors from the
+  segmented characterization engine (bit-identical to characterizing
+  each chunk separately), clustered in column-z-scored space because
+  raw Table II scales are wildly heterogeneous (working-set counts vs
+  fractions).
+
+:func:`phase_homogeneity` checks the SimPoint premise on this
+substrate: a microarchitecture-dependent metric should vary less within
+a phase than across the whole run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Callable, List, Tuple
 
 import numpy as np
 
-from ..errors import AnalysisError
 from ..analysis.cluster import choose_k
+from ..analysis.normalize import zscore
+from ..config import DEFAULT_CONFIG, ReproConfig
+from ..errors import AnalysisError
 from ..trace import Trace
-from .intervals import basic_block_vectors, split_intervals
+from .engine import interval_mica_vectors
+from .intervals import basic_block_vectors, interval_mix, split_intervals
+
+#: Supported per-interval signature substrates.
+SIGNATURE_KINDS = ("bbv", "mix", "mica")
 
 
 @dataclass(frozen=True)
@@ -29,13 +45,29 @@ class PhaseResult:
         interval: instructions per interval.
         assignments: phase label per interval, in time order.
         k: number of phases.
-        signatures: the per-interval feature matrix used.
+        signatures: the per-interval feature matrix used (raw values;
+            for ``signature="mica"`` these are exactly the per-chunk
+            47-dimensional characteristic vectors).
+        signature: which substrate produced ``signatures``
+            (``"bbv"``/``"mix"``/``"mica"``; empty for hand-built
+            results).
+        trace_length: length of the trace the phases were detected on
+            (0 for hand-built results).
+        trace_digest: content digest of that trace
+            (:meth:`repro.trace.Trace.content_digest`; empty for
+            hand-built results).  :func:`phase_homogeneity` checks it
+            so a *different* trace that happens to split into the same
+            number of intervals is rejected instead of silently
+            producing nonsense.
     """
 
     interval: int
     assignments: np.ndarray
     k: int
     signatures: np.ndarray
+    signature: str = ""
+    trace_length: int = 0
+    trace_digest: str = ""
 
     def phase_sizes(self) -> np.ndarray:
         """Interval count per phase."""
@@ -55,27 +87,64 @@ class PhaseResult:
         return "\n".join(lines)
 
 
+def _check_result_matches(trace: Trace, result: PhaseResult) -> None:
+    """Reject a phase result computed on a different trace."""
+    if result.trace_length and result.trace_length != len(trace):
+        raise AnalysisError(
+            f"phase result was detected on a {result.trace_length}-"
+            f"instruction trace, got {len(trace)}"
+        )
+    if result.trace_digest and result.trace_digest != trace.content_digest():
+        raise AnalysisError(
+            "phase result does not match this trace (same length, "
+            "different content)"
+        )
+
+
 def detect_phases(
     trace: Trace,
     interval: int = 5_000,
     max_phases: int = 12,
     seed: int = 0,
+    signature: str = "bbv",
+    config: ReproConfig = DEFAULT_CONFIG,
 ) -> PhaseResult:
-    """Decompose a trace into phases by code signature.
+    """Decompose a trace into phases by per-interval signature.
 
     Args:
         trace: the dynamic instruction trace.
         interval: instructions per interval.
         max_phases: upper bound on the phase count explored.
         seed: k-means seed.
+        signature: ``"bbv"`` (code signatures, the SimPoint default),
+            ``"mix"`` (instruction-mix vectors) or ``"mica"`` (full
+            per-interval MICA vectors from the segmented engine,
+            clustered z-scored).
+        config: characterization parameters (``"mica"`` only).
 
     Raises:
-        AnalysisError: if the trace yields fewer than two intervals.
+        AnalysisError: on an unknown signature kind, a non-positive
+            interval, or a trace yielding fewer than two intervals.
     """
-    signatures = basic_block_vectors(trace, interval)
+    if signature == "bbv":
+        signatures = basic_block_vectors(trace, interval)
+        clustering_space = signatures
+    elif signature == "mix":
+        signatures = interval_mix(trace, interval)
+        clustering_space = signatures
+    elif signature == "mica":
+        signatures = interval_mica_vectors(trace, interval, config)
+        # Raw Table II columns span orders of magnitude (working-set
+        # counts vs probabilities): cluster z-scored, report raw.
+        clustering_space = zscore(signatures)
+    else:
+        raise AnalysisError(
+            f"unknown signature kind: {signature!r} "
+            f"(expected one of {SIGNATURE_KINDS})"
+        )
     upper = min(max_phases, len(signatures) - 1)
     clustering = choose_k(
-        signatures, k_range=(1, max(upper, 1)), score_fraction=0.9,
+        clustering_space, k_range=(1, max(upper, 1)), score_fraction=0.9,
         seed=seed,
     )
     return PhaseResult(
@@ -83,14 +152,25 @@ def detect_phases(
         assignments=clustering.result.assignments,
         k=clustering.result.k,
         signatures=signatures,
+        signature=signature,
+        trace_length=len(trace),
+        trace_digest=trace.content_digest(),
     )
 
 
 def simulation_points(result: PhaseResult) -> List[int]:
     """One representative interval index per phase (nearest to the
-    phase's signature centroid), ordered by phase population."""
+    phase's signature centroid).
+
+    Ordered by descending phase population; equal-population phases tie
+    -break to the earliest (lowest) phase label, so the order is
+    deterministic and stable across runs.
+    """
     points = []
-    order = np.argsort(result.phase_sizes())[::-1]
+    # A reversed ascending argsort would order equal populations by
+    # *descending* label; sorting on the negated sizes with a stable
+    # sort keeps ties in ascending label order instead.
+    order = np.argsort(-result.phase_sizes(), kind="stable")
     for phase in order:
         member_indices = np.flatnonzero(result.assignments == phase)
         if len(member_indices) == 0:
@@ -109,26 +189,49 @@ def simulation_points(result: PhaseResult) -> List[int]:
 def phase_homogeneity(
     trace: Trace,
     result: PhaseResult,
-    metric,
+    metric: Callable,
+    on: str = "trace",
 ) -> Tuple[float, float]:
     """Within-phase vs overall variability of a per-interval metric.
 
     Args:
-        trace: the trace the phases were detected on.
+        trace: the trace the phases were detected on (verified against
+            the identity carried by ``result`` — a different trace of
+            the same length is rejected).
         result: the phase decomposition.
-        metric: callable mapping an interval :class:`Trace` to a float
-            (e.g. simulated IPC or a miss rate).
+        metric: with ``on="trace"``, a callable mapping an interval
+            :class:`Trace` to a float (e.g. simulated IPC or a miss
+            rate); with ``on="signatures"``, a callable mapping one row
+            of ``result.signatures`` to a float — the trace is *not*
+            re-split, the result's own per-interval signatures are
+            reused.
+        on: ``"trace"`` or ``"signatures"``.
 
     Returns:
         ``(within_std, overall_std)`` — the population-weighted average
         of per-phase standard deviations, and the standard deviation
         over all intervals.  The SimPoint premise holds when the first
         is clearly smaller.
+
+    Raises:
+        AnalysisError: if ``result`` was not computed on ``trace``, or
+            on an unknown ``on`` kind.
     """
-    intervals = split_intervals(trace, result.interval)
-    if len(intervals) != len(result.assignments):
-        raise AnalysisError("phase result does not match this trace")
-    values = np.array([float(metric(chunk)) for chunk in intervals])
+    _check_result_matches(trace, result)
+    if on == "trace":
+        intervals = split_intervals(trace, result.interval)
+        if len(intervals) != len(result.assignments):
+            raise AnalysisError("phase result does not match this trace")
+        values = np.array([float(metric(chunk)) for chunk in intervals])
+    elif on == "signatures":
+        values = np.array(
+            [float(metric(row)) for row in result.signatures]
+        )
+    else:
+        raise AnalysisError(
+            f"unknown metric substrate: {on!r} "
+            "(expected 'trace' or 'signatures')"
+        )
     overall_std = float(values.std())
     weighted = 0.0
     for phase in range(result.k):

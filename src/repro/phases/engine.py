@@ -1,0 +1,105 @@
+"""Phase-layer entry to the segmented characterization engine.
+
+The phase modules consume per-interval MICA data in two shapes: selected
+Table II characteristics for timelines (:func:`interval_characteristics`)
+and full 47-dimensional vectors for MICA-signature phase detection
+(:func:`interval_mica_vectors`).  Both map their request onto the
+section-granular :func:`repro.mica.segmented_characterize` engine — one
+pass over the full trace, computing *only* the Table II sections the
+requested keys actually need, with per-chunk state-restart semantics
+reproduced exactly (see :mod:`repro.mica.segmented` for how).
+
+This module also owns key validation, shared with the retained
+per-chunk ``mica_timeline_reference`` so the engine and its executable
+specification accept and reject exactly the same inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..config import DEFAULT_CONFIG, ReproConfig
+from ..errors import AnalysisError
+from ..mica.characteristics import characteristic_by_key
+from ..mica.segmented import segmented_characterize
+from ..trace import Trace
+from .intervals import interval_count
+
+
+def resolve_keys(
+    keys: Sequence[str],
+) -> Tuple[List[int], Tuple[str, ...]]:
+    """Map characteristic keys to vector indices and needed sections.
+
+    Returns:
+        ``(array_indices, categories)`` — the 0-based positions of the
+        requested keys in Table II order, and the (deduplicated,
+        schema-ordered) Table II categories that must be computed to
+        fill them.  Everything outside ``categories`` can be skipped —
+        requesting only ``mix_loads`` must not run PPM or ILP.
+
+    Raises:
+        AnalysisError: on an empty key list or an unknown key.
+    """
+    if not keys:
+        raise AnalysisError("need at least one characteristic key")
+    indices: List[int] = []
+    categories: List[str] = []
+    for key in keys:
+        try:
+            characteristic = characteristic_by_key(key)
+        except KeyError:
+            raise AnalysisError(f"unknown characteristic key: {key!r}")
+        indices.append(characteristic.array_index)
+        if characteristic.category not in categories:
+            categories.append(characteristic.category)
+    return indices, tuple(categories)
+
+
+def interval_characteristics(
+    trace: Trace,
+    interval: int,
+    keys: Sequence[str],
+    config: ReproConfig = DEFAULT_CONFIG,
+) -> np.ndarray:
+    """Selected characteristics per interval, one engine pass.
+
+    Args:
+        trace: the dynamic instruction trace.
+        interval: instructions per interval.
+        keys: Table II characteristic keys (columns of the result).
+        config: characterization parameters.
+
+    Returns:
+        ``(intervals x len(keys))`` matrix, bit-identical to
+        characterizing every chunk separately and selecting ``keys``.
+
+    Raises:
+        AnalysisError: on unknown keys, a non-positive interval, or a
+            trace yielding fewer than two intervals.
+    """
+    indices, _ = resolve_keys(keys)
+    interval_count(trace, interval)  # Phase-layer validation (>= 2).
+    values = segmented_characterize(trace, interval, config, indices=indices)
+    return values[:, indices]
+
+
+def interval_mica_vectors(
+    trace: Trace,
+    interval: int,
+    config: ReproConfig = DEFAULT_CONFIG,
+) -> np.ndarray:
+    """Full 47-dimensional MICA vector per interval, one engine pass.
+
+    The MICA-signature substrate for :func:`repro.phases.detect_phases`:
+    row ``i`` is bit-identical to
+    ``characterize(trace[i * interval : (i + 1) * interval]).values``.
+
+    Raises:
+        AnalysisError: on a non-positive interval or a trace yielding
+            fewer than two intervals.
+    """
+    interval_count(trace, interval)  # Phase-layer validation (>= 2).
+    return segmented_characterize(trace, interval, config)

@@ -24,20 +24,38 @@ from ..trace import Trace
 BBV_REGION_BYTES = 128
 
 
-def split_intervals(trace: Trace, interval: int) -> List[Trace]:
-    """Consecutive fixed-size intervals (trailing partial dropped).
+def interval_count(trace: Trace, interval: int) -> int:
+    """Number of full intervals — the phase layer's shared validation.
+
+    Every per-interval feature extractor (:func:`split_intervals`,
+    :func:`basic_block_vectors`, :func:`interval_mix`, and the
+    segmented timeline engine) funnels through this check, so a bad
+    interval always surfaces as the same :class:`AnalysisError` rather
+    than a ``ZeroDivisionError`` from ``len(trace) // interval``.
 
     Raises:
-        AnalysisError: if the trace yields fewer than two intervals.
+        AnalysisError: on ``interval <= 0`` or a trace yielding fewer
+            than two intervals.
     """
     if interval <= 0:
-        raise AnalysisError("interval must be positive")
+        raise AnalysisError(f"interval must be positive, got {interval}")
     count = len(trace) // interval
     if count < 2:
         raise AnalysisError(
             f"trace too short: {len(trace)} instructions give "
             f"{count} interval(s) of {interval}"
         )
+    return count
+
+
+def split_intervals(trace: Trace, interval: int) -> List[Trace]:
+    """Consecutive fixed-size intervals (trailing partial dropped).
+
+    Raises:
+        AnalysisError: on a non-positive interval or a trace yielding
+            fewer than two intervals.
+    """
+    count = interval_count(trace, interval)
     return [
         trace[start : start + interval]
         for start in range(0, count * interval, interval)
@@ -54,15 +72,13 @@ def basic_block_vectors(
     region.  Rows sum to one.
 
     Raises:
-        AnalysisError: on a non-power-of-two region size or a trace
-            shorter than two intervals.
+        AnalysisError: on a non-power-of-two region size, a non-positive
+            interval, or a trace yielding fewer than two intervals.
     """
     if region_bytes <= 0 or region_bytes & (region_bytes - 1):
         raise AnalysisError("region_bytes must be a positive power of two")
     shift = region_bytes.bit_length() - 1
-    count = len(trace) // interval
-    if count < 2:
-        raise AnalysisError("trace too short for interval analysis")
+    count = interval_count(trace, interval)
     regions = (trace.pc[: count * interval] >> np.uint64(shift)).astype(
         np.int64
     )
@@ -78,10 +94,12 @@ def interval_mix(trace: Trace, interval: int) -> np.ndarray:
 
     Columns follow Table II order: loads, stores, branches, arithmetic,
     integer multiplies, FP.
+
+    Raises:
+        AnalysisError: on a non-positive interval or a trace yielding
+            fewer than two intervals.
     """
-    count = len(trace) // interval
-    if count < 2:
-        raise AnalysisError("trace too short for interval analysis")
+    count = interval_count(trace, interval)
     classes = trace.opclass[: count * interval].astype(np.int64)
     interval_index = np.repeat(np.arange(count), interval)
     order = [

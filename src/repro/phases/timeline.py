@@ -9,20 +9,40 @@ cross-benchmark workload space.
 Only interval-computable characteristics are supported (the global
 working-set counts are cumulative by definition and are reported as
 per-interval unique counts instead).
+
+Two implementations are provided:
+
+* :func:`mica_timeline` — the production path, backed by the segmented
+  interval-characterization engine
+  (:func:`repro.mica.segmented_characterize` via
+  :func:`repro.phases.engine.interval_characteristics`): one pass over
+  the full trace, computing only the Table II sections the requested
+  keys need.
+* :func:`mica_timeline_reference` — the original per-chunk loop,
+  retained as the executable specification
+  (``tests/test_phases_segmented_equivalence.py`` pins the engine to it
+  bit-for-bit).  It too computes only the needed sections: requesting
+  ``mix_loads`` alone must not run PPM or ILP on every chunk in either
+  implementation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from ..config import DEFAULT_CONFIG, ReproConfig
-from ..errors import AnalysisError
-from ..mica import characterize
-from ..mica.characteristics import characteristic_by_key
+from ..mica.characteristics import NUM_CHARACTERISTICS, category_slices
+from ..mica.ilp import ilp_ipc, producer_indices
+from ..mica.instruction_mix import instruction_mix
+from ..mica.ppm import ppm_predictabilities
+from ..mica.register_traffic import register_traffic
+from ..mica.strides import stride_profile
+from ..mica.working_set import working_set
 from ..trace import Trace
+from .engine import interval_characteristics, resolve_keys
 from .intervals import split_intervals
 
 #: Characteristics cheap enough to compute per interval by default —
@@ -99,6 +119,11 @@ def mica_timeline(
 ) -> CharacteristicTimeline:
     """Compute selected characteristics for every interval of a trace.
 
+    One pass of the segmented engine over the full trace — no per-chunk
+    re-characterization — computing only the Table II sections the
+    requested keys need.  Bit-identical to
+    :func:`mica_timeline_reference`.
+
     Args:
         trace: the dynamic instruction trace.
         interval: instructions per interval.
@@ -106,21 +131,73 @@ def mica_timeline(
         config: characterization parameters.
 
     Raises:
-        AnalysisError: on unknown keys or a trace shorter than two
+        AnalysisError: on unknown keys, an empty key list, a
+            non-positive interval, or a trace shorter than two
             intervals.
     """
-    if not keys:
-        raise AnalysisError("need at least one characteristic key")
-    indices: List[int] = []
-    for key in keys:
-        try:
-            indices.append(characteristic_by_key(key).array_index)
-        except KeyError:
-            raise AnalysisError(f"unknown characteristic key: {key!r}")
+    values = interval_characteristics(trace, interval, keys, config)
+    return CharacteristicTimeline(
+        keys=tuple(keys),
+        values=values,
+        interval=interval,
+    )
 
+
+def _chunk_sections(
+    chunk: Trace, categories: "tuple[str, ...]", config: ReproConfig
+) -> np.ndarray:
+    """One chunk's Table II sections, exactly as ``characterize`` runs
+    them (shared producer recovery included); unrequested sections are
+    left ``NaN``."""
+    slices = category_slices()
+    row = np.full(NUM_CHARACTERISTICS, np.nan)
+    producers = None
+    if "ILP" in categories or "register traffic" in categories:
+        producers = producer_indices(chunk)
+    if "instruction mix" in categories:
+        row[slices["instruction mix"]] = instruction_mix(chunk)
+    if "ILP" in categories:
+        row[slices["ILP"]] = ilp_ipc(
+            chunk, config.ilp_window_sizes, producers=producers
+        )
+    if "register traffic" in categories:
+        row[slices["register traffic"]] = register_traffic(
+            chunk, config.reg_dep_thresholds, producers=producers
+        )
+    if "working set size" in categories:
+        row[slices["working set size"]] = working_set(
+            chunk, config.block_bytes, config.page_bytes
+        )
+    if "data stream strides" in categories:
+        row[slices["data stream strides"]] = stride_profile(
+            chunk, config.stride_thresholds
+        )
+    if "branch predictability" in categories:
+        row[slices["branch predictability"]] = ppm_predictabilities(
+            chunk, config.ppm_max_order
+        )
+    return row
+
+
+def mica_timeline_reference(
+    trace: Trace,
+    interval: int = 10_000,
+    keys: Sequence[str] = DEFAULT_TIMELINE_KEYS,
+    config: ReproConfig = DEFAULT_CONFIG,
+) -> CharacteristicTimeline:
+    """Per-chunk timeline — the executable specification.
+
+    Slices the trace into intervals and runs the Table II analyzers on
+    every chunk, exactly as :func:`repro.mica.characterize` would
+    (restricted to the sections the requested keys need).  Retained for
+    the equivalence tests and the perf harness; the segmented
+    :func:`mica_timeline` must match it bit-for-bit.
+    """
+    indices, categories = resolve_keys(keys)
     chunks = split_intervals(trace, interval)
     rows = [
-        characterize(chunk, config).values[indices] for chunk in chunks
+        _chunk_sections(chunk, categories, config)[indices]
+        for chunk in chunks
     ]
     return CharacteristicTimeline(
         keys=tuple(keys),

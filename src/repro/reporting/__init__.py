@@ -4,6 +4,7 @@ export.  Everything the experiment drivers print goes through here."""
 from .tables import format_table
 from .ascii_plots import ascii_scatter, ascii_lines
 from .export import matrix_to_csv, dataset_to_json
+from .phases import format_phase_report
 
 __all__ = [
     "format_table",
@@ -11,4 +12,5 @@ __all__ = [
     "ascii_lines",
     "matrix_to_csv",
     "dataset_to_json",
+    "format_phase_report",
 ]

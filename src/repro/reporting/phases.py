@@ -1,0 +1,70 @@
+"""Plain-text phase-analysis report: timeline, phase table, points.
+
+Rendering for the ``repro phases`` CLI command: one
+:class:`~repro.phases.PhaseResult` (plus the characteristic timeline of
+the same trace) becomes a compact terminal report — the within-run
+analogue of the cross-benchmark experiment reports.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .tables import format_table
+
+
+def format_phase_report(
+    result,
+    points: List[int],
+    timeline=None,
+    name: str = "",
+) -> str:
+    """Render a phase decomposition (and optional timeline) as text.
+
+    Args:
+        result: a :class:`repro.phases.PhaseResult`.
+        points: simulation points from
+            :func:`repro.phases.simulation_points` (ordered by phase
+            population, earliest label first on ties).
+        timeline: optional
+            :class:`repro.phases.CharacteristicTimeline` of the same
+            trace, appended as sparklines.
+        name: benchmark label for the header.
+    """
+    intervals = len(result.assignments)
+    header = (
+        f"phase analysis of {name or '<unnamed>'} — "
+        f"{result.k} phase(s) over {intervals} intervals x "
+        f"{result.interval:,} instructions"
+        + (f" ({result.signature} signatures)" if result.signature else "")
+    )
+    lines = [header, "", "phase timeline (one symbol per interval):",
+             result.format_timeline(), ""]
+
+    sizes = result.phase_sizes()
+    point_by_phase = {
+        int(result.assignments[point]): point for point in points
+    }
+    rows = []
+    for phase, point in point_by_phase.items():
+        share = sizes[phase] / intervals if intervals else 0.0
+        rows.append([
+            phase,
+            int(sizes[phase]),
+            f"{share:.1%}",
+            point,
+            f"{point * result.interval:,}..."
+            f"{(point + 1) * result.interval:,}",
+        ])
+    lines.append(
+        format_table(
+            ["phase", "intervals", "share", "sim point", "instructions"],
+            rows,
+            align_right=[True, True, True, True, False],
+            title="simulation points (by population, earliest label "
+                  "first on ties)",
+        )
+    )
+    if timeline is not None:
+        lines.extend(["", timeline.format()])
+    return "\n".join(lines)

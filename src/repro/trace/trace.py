@@ -17,6 +17,7 @@ trace was built.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterator
 
 import numpy as np
@@ -55,6 +56,7 @@ class Trace:
         # Memoized column views / masks / derived streams; safe because
         # the backing array is read-only for the trace's lifetime.
         self._derived: Dict[str, np.ndarray] = {}
+        self._digest: "str | None" = None
 
     def _cached(self, key: str, compute) -> np.ndarray:
         array = self._derived.get(key)
@@ -211,6 +213,21 @@ class Trace:
             "branch_outcomes",
             lambda: self.taken[self.branch_mask].astype(bool),
         )
+
+    def content_digest(self) -> str:
+        """Short content hash of the instruction stream (name-blind).
+
+        Memoized (the backing array is immutable).  Used by analysis
+        results that must later verify they are being applied to the
+        trace they were computed from — e.g.
+        :class:`repro.phases.PhaseResult` — where equal length alone
+        would let a wrong trace pass silently.
+        """
+        if self._digest is None:
+            hasher = hashlib.sha256()
+            hasher.update(self._data.tobytes())
+            self._digest = hasher.hexdigest()[:16]
+        return self._digest
 
     def class_counts(self) -> "dict[OpClass, int]":
         """Dynamic instruction count per class."""

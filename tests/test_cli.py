@@ -48,6 +48,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ipc_ev56" in out
 
+    def test_phases(self, capsys):
+        code = main([
+            "--trace-length", "4000", "phases", "mcf", "--interval", "1000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase analysis of mcf" in out
+        assert "phase timeline" in out
+        assert "simulation points" in out
+        assert "characteristic timeline" in out
+
+    def test_phases_homogeneity(self, capsys):
+        code = main([
+            "--trace-length", "4000", "phases", "mcf",
+            "--interval", "1000", "--signature", "mix", "--homogeneity",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Phase homogeneity" in out
+        assert "simpoint err" in out
+
+    def test_phases_signature_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["phases", "mcf", "--signature", "mica"])
+        assert args.signature == "mica"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["phases", "mcf", "--signature", "bogus"])
+
     def test_unknown_benchmark_is_error(self, capsys):
         code = main(["--trace-length", "3000", "characterize", "nonesuch"])
         assert code == 1

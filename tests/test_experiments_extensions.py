@@ -83,3 +83,52 @@ class TestSubsetting:
         text = run_subsetting(multi_input_dataset, SMALL_CONFIG).format()
         assert "representative subset" in text
         assert "simulation reduction" in text
+
+
+class TestPhaseHomogeneity:
+    @pytest.fixture(scope="class")
+    def homogeneity_result(self):
+        from repro.experiments import run_phase_homogeneity
+
+        return run_phase_homogeneity(
+            ReproConfig(trace_length=6_000),
+            benchmarks=("spec2000/gcc/166", "spec2000/mcf/ref"),
+            interval=1_000,
+        )
+
+    def test_one_row_per_benchmark(self, homogeneity_result):
+        assert len(homogeneity_result.rows) == 2
+        names = [row.name for row in homogeneity_result.rows]
+        assert names == ["spec2000/gcc/166", "spec2000/mcf/ref"]
+
+    def test_rows_are_consistent(self, homogeneity_result):
+        for row in homogeneity_result.rows:
+            assert row.intervals == 6
+            assert 1 <= row.k <= row.intervals
+            assert row.within_std <= row.overall_std + 1e-9
+            assert row.true_mean > 0.0
+            assert np.isfinite(row.simpoint_estimate)
+            assert row.simpoint_error < 1.0
+
+    def test_simpoint_estimate_near_truth(self, homogeneity_result):
+        # The SimPoint premise on this substrate: the phase-weighted
+        # simulation-point IPC approximates the whole-run interval mean.
+        assert homogeneity_result.mean_simpoint_error < 0.25
+
+    def test_signature_choice_respected(self):
+        from repro.experiments import run_phase_homogeneity
+
+        result = run_phase_homogeneity(
+            ReproConfig(trace_length=4_000),
+            benchmarks=("spec2000/mcf/ref",),
+            interval=1_000,
+            signature="mica",
+        )
+        assert result.signature == "mica"
+        assert len(result.rows) == 1
+
+    def test_format_renders(self, homogeneity_result):
+        text = homogeneity_result.format()
+        assert "Phase homogeneity" in text
+        assert "ipc_ev56" in text
+        assert "simpoint err" in text

@@ -5,8 +5,10 @@ import pytest
 
 from repro.errors import AnalysisError
 from repro.phases import (
+    PhaseResult,
     basic_block_vectors,
     detect_phases,
+    interval_count,
     interval_mix,
     phase_homogeneity,
     simulation_points,
@@ -76,6 +78,41 @@ class TestIntervals:
         vectors = interval_mix(small_trace, 1000)
         assert (vectors.sum(axis=1) <= 1.0 + 1e-9).all()
 
+    @pytest.mark.parametrize("bad_interval", [0, -1, -1000])
+    def test_non_positive_interval_rejected_everywhere(
+        self, small_trace, bad_interval
+    ):
+        """All three extractors raise AnalysisError on interval <= 0
+        (historically basic_block_vectors and interval_mix crashed with
+        ZeroDivisionError)."""
+        for extractor in (
+            split_intervals, basic_block_vectors, interval_mix
+        ):
+            with pytest.raises(AnalysisError):
+                extractor(small_trace, bad_interval)
+
+    def test_interval_equal_to_trace_length_rejected(self, small_trace):
+        for extractor in (
+            split_intervals, basic_block_vectors, interval_mix
+        ):
+            with pytest.raises(AnalysisError):
+                extractor(small_trace, len(small_trace))
+
+    def test_exactly_two_intervals(self, small_trace):
+        interval = len(small_trace) // 2
+        assert interval_count(small_trace, interval) == 2
+        assert len(split_intervals(small_trace, interval)) == 2
+        assert basic_block_vectors(small_trace, interval).shape[0] == 2
+        assert interval_mix(small_trace, interval).shape[0] == 2
+
+    def test_trailing_partial_dropped(self, small_trace):
+        # 5000 instructions at 1500 per interval: 3 intervals, 500 dropped.
+        intervals = split_intervals(small_trace, 1500)
+        assert len(intervals) == 3
+        assert all(len(chunk) == 1500 for chunk in intervals)
+        assert interval_count(small_trace, 1500) == 3
+        assert basic_block_vectors(small_trace, 1500).shape[0] == 3
+
 
 class TestPhaseDetection:
     def test_two_phases_detected(self):
@@ -113,6 +150,64 @@ class TestPhaseDetection:
         result = detect_phases(trace, interval=2000, seed=1)
         assert result.phase_sizes().sum() == len(result.assignments)
 
+    def test_signature_modes(self):
+        trace = two_phase_trace()
+        for signature, columns in (("bbv", None), ("mix", 6), ("mica", 47)):
+            result = detect_phases(
+                trace, interval=4000, seed=1, signature=signature
+            )
+            assert result.signature == signature
+            assert result.k == 2
+            if columns is not None:
+                assert result.signatures.shape == (4, columns)
+
+    def test_unknown_signature_rejected(self, small_trace):
+        with pytest.raises(AnalysisError):
+            detect_phases(small_trace, interval=1000, signature="bogus")
+
+    def test_result_carries_trace_identity(self):
+        trace = two_phase_trace()
+        result = detect_phases(trace, interval=4000, seed=1)
+        assert result.trace_length == len(trace)
+        assert result.trace_digest == trace.content_digest()
+
+    def test_simulation_points_tie_broken_by_label(self):
+        """Equal-population phases order earliest label first (a plain
+        reversed argsort would produce descending labels)."""
+        signatures = np.array(
+            [[0.0, 1.0], [0.0, 1.1], [5.0, 0.0], [5.0, 0.1]]
+        )
+        result = PhaseResult(
+            interval=100,
+            assignments=np.array([0, 0, 1, 1]),
+            k=2,
+            signatures=signatures,
+        )
+        points = simulation_points(result)
+        labels = [int(result.assignments[point]) for point in points]
+        assert labels == [0, 1]
+
+    def test_simulation_points_population_order(self):
+        result = PhaseResult(
+            interval=100,
+            assignments=np.array([1, 1, 1, 0, 2, 2]),
+            k=3,
+            signatures=np.arange(12, dtype=float).reshape(6, 2),
+        )
+        points = simulation_points(result)
+        labels = [int(result.assignments[point]) for point in points]
+        assert labels == [1, 2, 0]  # By population, then label.
+
+    def test_single_phase_trace_single_point(self):
+        builder = TraceBuilder()
+        for index in range(8000):
+            builder.alu(0x1000 + 4 * (index % 32), dst=1 + index % 4)
+        result = detect_phases(builder.build(), interval=1000, seed=1)
+        assert result.k == 1
+        points = simulation_points(result)
+        assert len(points) == 1
+        assert 0 <= points[0] < 8
+
 
 class TestPhaseHomogeneity:
     def test_within_phase_variation_smaller(self):
@@ -141,3 +236,45 @@ class TestPhaseHomogeneity:
             small_trace, result, branch_fraction
         )
         assert within <= overall + 1e-9
+
+    def test_wrong_trace_same_length_rejected(self):
+        """A different trace that happens to split into the same number
+        of intervals must be rejected (content digest check), not
+        silently accepted."""
+        trace = two_phase_trace()
+        impostor = two_phase_trace(interval_pc_a=0x2000)
+        assert len(trace) == len(impostor)
+        result = detect_phases(trace, interval=4000, seed=1)
+        with pytest.raises(AnalysisError):
+            phase_homogeneity(impostor, result, lambda chunk: 0.0)
+
+    def test_signature_metric_reuses_signatures(self):
+        """on="signatures" evaluates the metric on the stored rows
+        without re-splitting the trace."""
+        trace = two_phase_trace()
+        result = detect_phases(trace, interval=4000, seed=1)
+        within, overall = phase_homogeneity(
+            trace, result, lambda row: float(row.max()), on="signatures"
+        )
+        values = np.array([float(row.max()) for row in result.signatures])
+        assert overall == pytest.approx(float(values.std()))
+
+    def test_unknown_metric_substrate_rejected(self):
+        trace = two_phase_trace()
+        result = detect_phases(trace, interval=4000, seed=1)
+        with pytest.raises(AnalysisError):
+            phase_homogeneity(trace, result, lambda c: 0.0, on="bogus")
+
+    def test_hand_built_result_skips_identity_check(self, small_trace):
+        """Results without a digest (hand-constructed) keep the legacy
+        length-only check."""
+        result = PhaseResult(
+            interval=1000,
+            assignments=np.zeros(5, dtype=int),
+            k=1,
+            signatures=np.zeros((5, 2)),
+        )
+        within, overall = phase_homogeneity(
+            small_trace, result, lambda chunk: 1.0
+        )
+        assert within == overall == 0.0

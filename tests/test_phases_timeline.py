@@ -5,7 +5,11 @@ import pytest
 
 from repro.config import ReproConfig
 from repro.errors import AnalysisError
-from repro.phases import DEFAULT_TIMELINE_KEYS, mica_timeline
+from repro.phases import (
+    DEFAULT_TIMELINE_KEYS,
+    mica_timeline,
+    mica_timeline_reference,
+)
 from repro.trace import TraceBuilder
 
 CONFIG = ReproConfig(trace_length=5_000)
@@ -79,3 +83,73 @@ class TestMicaTimeline:
         first = small_trace[0:1000]
         direct = characterize(first, CONFIG)["mix_loads"]
         assert timeline.values[0, 0] == pytest.approx(direct)
+
+    def test_non_positive_interval_rejected(self, small_trace):
+        for bad in (0, -5):
+            with pytest.raises(AnalysisError):
+                mica_timeline(small_trace, interval=bad, config=CONFIG)
+            with pytest.raises(AnalysisError):
+                mica_timeline_reference(
+                    small_trace, interval=bad, config=CONFIG
+                )
+
+
+class TestKeyDrivenComputation:
+    """Requesting a key must not run unrelated analyzers (historically
+    a mix-only timeline still ran PPM and ILP on every chunk)."""
+
+    def test_engine_mix_only_skips_ppm_ilp_producers(
+        self, small_trace, monkeypatch
+    ):
+        from repro.mica import segmented as segmented_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("unrequested analyzer ran")
+
+        monkeypatch.setattr(segmented_module, "_segmented_ppm", boom)
+        monkeypatch.setattr(segmented_module, "_segmented_ilp", boom)
+        monkeypatch.setattr(
+            segmented_module, "segmented_producer_indices", boom
+        )
+        timeline = mica_timeline(
+            small_trace, interval=1000, keys=("mix_loads",), config=CONFIG
+        )
+        assert timeline.values.shape == (5, 1)
+
+    def test_reference_mix_only_skips_ppm_ilp_producers(
+        self, small_trace, monkeypatch
+    ):
+        from repro.phases import timeline as timeline_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("unrequested analyzer ran")
+
+        monkeypatch.setattr(timeline_module, "ppm_predictabilities", boom)
+        monkeypatch.setattr(timeline_module, "ilp_ipc", boom)
+        monkeypatch.setattr(timeline_module, "producer_indices", boom)
+        timeline = mica_timeline_reference(
+            small_trace, interval=1000, keys=("mix_loads",), config=CONFIG
+        )
+        assert timeline.values.shape == (5, 1)
+
+    def test_engine_single_window_skips_other_sweeps(
+        self, small_trace, monkeypatch
+    ):
+        """ilp_w32 alone walks one window size, not four."""
+        from repro.mica import segmented as segmented_module
+
+        walked = []
+        original = segmented_module._segmented_window_cycles
+
+        def spy(producer1, producer2, count, interval, window_sizes):
+            walked.extend(int(w) for w in window_sizes)
+            return original(producer1, producer2, count, interval,
+                           window_sizes)
+
+        monkeypatch.setattr(
+            segmented_module, "_segmented_window_cycles", spy
+        )
+        mica_timeline(
+            small_trace, interval=1000, keys=("ilp_w32",), config=CONFIG
+        )
+        assert walked == [32]
