@@ -7,6 +7,7 @@ Subcommands::
     hpc BENCH               print a benchmark's simulated HPC metrics
     phases BENCH            phase decomposition + characteristic timeline
     dataset                 build (and cache) the full workload data set
+    cache verify|clear      scan-and-quarantine / wipe the cache levels
     bench                   run the MICA perf harness (BENCH_mica.json)
     fig1|table3|fig2-3|fig4|fig5|table4|fig6
                             reproduce one table/figure
@@ -135,11 +136,41 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     from .experiments import build_dataset
 
     config = _make_config(args)
-    dataset = build_dataset(config, progress=True, **_dataset_kwargs(args))
+    dataset = build_dataset(
+        config, progress=True, strict=not args.keep_going,
+        **_dataset_kwargs(args),
+    )
     print(
         f"dataset ready: {len(dataset)} benchmarks, "
         f"MICA {dataset.mica.shape}, HPC {dataset.hpc.shape}"
     )
+    if dataset.report is not None and (
+        dataset.report.failed or dataset.report.quarantines
+        or dataset.report.pool_rebuilds
+    ):
+        print(dataset.report.format())
+    return 1 if dataset.report is not None and dataset.report.failed else 0
+
+
+def _cache_directory(args: argparse.Namespace):
+    from .experiments.dataset import default_cache_dir
+
+    if getattr(args, "cache_dir", None):
+        return Path(args.cache_dir)
+    return default_cache_dir()
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .experiments import clear_dataset_cache
+    from .perf import verify_cache
+
+    directory = _cache_directory(args)
+    if args.cache_command == "clear":
+        removed = clear_dataset_cache(directory)
+        print(f"cache clear: removed {removed} file(s) from {directory}")
+        return 0
+    report = verify_cache(directory, sweep_older_than=args.sweep_age)
+    print(report.format())
     return 0
 
 
@@ -311,7 +342,34 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("benchmark", help="name, e.g. 'mcf' or "
                          "'spec2000/bzip2/graphic'")
 
-    commands.add_parser("dataset", help="build and cache the data set")
+    dataset_parser = commands.add_parser(
+        "dataset", help="build and cache the data set"
+    )
+    dataset_parser.add_argument(
+        "--keep-going", action="store_true",
+        help="salvage surviving benchmarks when some fail (exit 1 and "
+             "report the casualties instead of aborting the build)",
+    )
+
+    cache_parser = commands.add_parser(
+        "cache",
+        help="cache maintenance: verify entry integrity or clear levels",
+    )
+    cache_commands = cache_parser.add_subparsers(
+        dest="cache_command", required=True
+    )
+    verify_parser = cache_commands.add_parser(
+        "verify",
+        help="scan all cache levels, quarantine entries that fail "
+             "integrity checks, sweep stale writer temp files",
+    )
+    verify_parser.add_argument(
+        "--sweep-age", type=float, default=3600.0, metavar="SECONDS",
+        help="minimum age of tmp-*.npz files to sweep (default: 1h)",
+    )
+    cache_commands.add_parser(
+        "clear", help="delete every cache entry (all four levels)"
+    )
 
     phases_parser = commands.add_parser(
         "phases",
@@ -417,6 +475,7 @@ _DISPATCH = {
     "hpc": _cmd_hpc,
     "phases": _cmd_phases,
     "dataset": _cmd_dataset,
+    "cache": _cmd_cache,
     "bench": _cmd_bench,
     "all": _cmd_all,
     "export": _cmd_export,

@@ -51,3 +51,40 @@ class AnalysisError(ReproError):
 
 class ConfigurationError(ReproError):
     """A configuration value is out of its valid range."""
+
+
+class CacheError(ReproError):
+    """An on-disk cache operation failed."""
+
+
+class CacheIntegrityError(CacheError):
+    """A cache entry's bytes cannot be trusted.
+
+    Raised by the verification layer when an entry is truncated,
+    bit-flipped, has the wrong shape/dtype, carries a stale semantic
+    version, or belongs to a different cache level.  Loads translate
+    this into a *verified miss* (the entry is quarantined); it only
+    propagates from explicit verification APIs.
+    """
+
+
+class DatasetBuildError(ReproError):
+    """A strict dataset build could not characterize every benchmark.
+
+    Carries the full :class:`~repro.experiments.DatasetBuildReport` as
+    ``report``, so callers see per-benchmark status, attempt counts and
+    quarantine events instead of a bare pool error.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+class CacheDegradedWarning(UserWarning):
+    """A cache directory is unusable; computing without the cache.
+
+    Emitted once per directory per process when stores fail (read-only
+    directory, disk full).  The build continues uncached rather than
+    raising.
+    """

@@ -18,7 +18,13 @@ module                    paper artifact
 ========================  ==========================================
 """
 
-from .dataset import WorkloadDataset, build_dataset, clear_dataset_cache
+from .dataset import (
+    BenchmarkBuildStatus,
+    DatasetBuildReport,
+    WorkloadDataset,
+    build_dataset,
+    clear_dataset_cache,
+)
 from .fig1_distance_scatter import Fig1Result, run_fig1
 from .table3_classification import Table3Result, run_table3
 from .fig23_case_study import CaseStudyResult, run_case_study
@@ -35,6 +41,8 @@ from .subsetting import SubsettingResult, run_subsetting
 from .runner import run_all
 
 __all__ = [
+    "BenchmarkBuildStatus",
+    "DatasetBuildReport",
     "WorkloadDataset",
     "build_dataset",
     "clear_dataset_cache",

@@ -15,17 +15,22 @@ from __future__ import annotations
 
 import hashlib
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..config import DEFAULT_CONFIG, ReproConfig
-from ..errors import AnalysisError
+from ..errors import AnalysisError, DatasetBuildError
 from ..analysis import pairwise_distances, zscore
 from ..mica import characterize, characteristic_names
+from ..perf import integrity
+from ..perf.integrity import QuarantineEvent
 from ..uarch import HPC_METRIC_NAMES
 from ..workloads import Benchmark, all_benchmarks
 
@@ -34,6 +39,80 @@ from ..workloads import Benchmark, all_benchmarks
 CACHE_VERSION = 5
 
 _MEMORY_CACHE: "Dict[str, WorkloadDataset]" = {}
+
+
+@dataclass(frozen=True)
+class BenchmarkBuildStatus:
+    """Outcome of building one benchmark's vectors.
+
+    Attributes:
+        name: the benchmark's full name.
+        ok: whether the vectors were produced.
+        attempts: charged attempts (submissions whose failure — or
+            success — is attributable to this benchmark; a worker lost
+            to *another* benchmark's crash is not charged).
+        seconds: wall time from first submission to final outcome.
+        error: the final failure (``None`` when ok).
+        quarantines: cache entries quarantined while building it.
+    """
+
+    name: str
+    ok: bool
+    attempts: int
+    seconds: float
+    error: Optional[str] = None
+    quarantines: Tuple[QuarantineEvent, ...] = ()
+
+
+@dataclass(frozen=True)
+class DatasetBuildReport:
+    """Per-benchmark accounting of one (possibly faulty) dataset build.
+
+    Returned on every build via ``WorkloadDataset.report`` and carried
+    by :class:`~repro.errors.DatasetBuildError` when ``strict=True``
+    aborts, so a failure always names its benchmarks instead of dying
+    as a bare ``BrokenProcessPoolError``.
+    """
+
+    statuses: Tuple[BenchmarkBuildStatus, ...]
+    jobs: int
+    pool_rebuilds: int = 0
+    dataset_quarantines: Tuple[QuarantineEvent, ...] = ()
+
+    @property
+    def succeeded(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self.statuses if s.ok)
+
+    @property
+    def failed(self) -> Tuple[BenchmarkBuildStatus, ...]:
+        return tuple(s for s in self.statuses if not s.ok)
+
+    @property
+    def quarantines(self) -> Tuple[QuarantineEvent, ...]:
+        events = list(self.dataset_quarantines)
+        for status in self.statuses:
+            events.extend(status.quarantines)
+        return tuple(events)
+
+    def format(self) -> str:
+        """Human-readable multi-line summary (CLI failure output)."""
+        failed = self.failed
+        lines = [
+            f"dataset build: {len(self.succeeded)}/{len(self.statuses)} "
+            f"benchmarks ok, jobs={self.jobs}, "
+            f"pool rebuilds={self.pool_rebuilds}, "
+            f"quarantined entries={len(self.quarantines)}",
+        ]
+        for status in failed:
+            lines.append(
+                f"  FAILED {status.name} after {status.attempts} "
+                f"attempt(s): {status.error}"
+            )
+        for event in self.quarantines:
+            lines.append(
+                f"  quarantined {event.path}: {event.reason}"
+            )
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -46,6 +125,8 @@ class WorkloadDataset:
         mica: (n x 47) microarchitecture-independent matrix.
         hpc: (n x 7) hardware-performance-counter matrix.
         config: the configuration the data was produced under.
+        report: per-benchmark build accounting (``None`` when the
+            dataset came straight from the dataset-level cache).
     """
 
     names: Tuple[str, ...]
@@ -53,6 +134,9 @@ class WorkloadDataset:
     mica: np.ndarray
     hpc: np.ndarray
     config: ReproConfig
+    report: Optional[DatasetBuildReport] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __len__(self) -> int:
         return len(self.names)
@@ -119,9 +203,12 @@ def _characterize_one(args: "Tuple[str, int, int, dict, str | None]"):
         cached_characterize,
         cached_collect_hpc,
         cached_generate_trace,
+        faults,
     )
     from ..workloads import get_benchmark
 
+    faults.maybe_fail_worker(name)
+    integrity.drain_quarantine_log()  # discard events of earlier jobs
     config = ReproConfig(**config_kwargs)
     benchmark = get_benchmark(name)
     trace = cached_generate_trace(
@@ -129,7 +216,7 @@ def _characterize_one(args: "Tuple[str, int, int, dict, str | None]"):
     )
     mica_vector = cached_characterize(trace, config, cache_dir).values
     hpc_vector = cached_collect_hpc(trace, cache_dir=cache_dir).values
-    return name, mica_vector, hpc_vector
+    return name, mica_vector, hpc_vector, integrity.drain_quarantine_log()
 
 
 def _config_kwargs(config: ReproConfig) -> dict:
@@ -179,18 +266,197 @@ def clear_dataset_cache(cache_dir: "Path | None" = None) -> int:
         Number of disk cache files removed.
     """
     from ..perf import CharacterizationCache, HpcCache, TraceCache
+    from ..perf.cache import _unlink_quietly
 
     _MEMORY_CACHE.clear()
     directory = cache_dir or default_cache_dir()
     removed = 0
     if directory.is_dir():
-        for path in directory.glob("dataset-*.npz"):
-            path.unlink()
-            removed += 1
+        # Tolerate concurrent workers clearing the same entries, and
+        # sweep dataset-level quarantine + stale writer temp files too
+        # (the per-trace levels sweep their own in clear()).
+        for pattern in (
+            "dataset-*.npz",
+            f"dataset-*.npz{integrity.QUARANTINE_SUFFIX}",
+            "tmp-dataset-*.npz",
+        ):
+            for path in directory.glob(pattern):
+                removed += _unlink_quietly(path)
         removed += CharacterizationCache(directory).clear()
         removed += HpcCache(directory).clear()
         removed += TraceCache(directory).clear()
     return removed
+
+
+#: Ceiling on the exponential retry backoff (seconds).
+_RETRY_BACKOFF_CAP = 2.0
+
+
+class _JobOutcomes:
+    """Mutable accounting shared by the serial and parallel runners."""
+
+    def __init__(self) -> None:
+        self.results: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        self.attempts: Dict[str, int] = {}
+        self.errors: Dict[str, str] = {}
+        self.quarantines: Dict[str, Tuple[QuarantineEvent, ...]] = {}
+        self.started: Dict[str, float] = {}
+        self.finished: Dict[str, float] = {}
+        self.pool_rebuilds = 0
+
+    def record_ok(self, name, mica, hpc, events, progress, total) -> None:
+        self.results[name] = (mica, hpc)
+        self.quarantines[name] = tuple(events)
+        self.finished[name] = time.perf_counter()
+        if progress:
+            print(f"  [{len(self.results):>3}/{total}] {name}")
+
+    def record_failed(self, name: str, message: str) -> None:
+        self.errors[name] = message
+        self.finished[name] = time.perf_counter()
+
+    def statuses(self, names: Sequence[str]) -> Tuple[
+        BenchmarkBuildStatus, ...
+    ]:
+        rows = []
+        for name in names:
+            start = self.started.get(name, 0.0)
+            end = self.finished.get(name, start)
+            rows.append(BenchmarkBuildStatus(
+                name=name,
+                ok=name in self.results,
+                attempts=self.attempts.get(name, 0),
+                seconds=max(0.0, end - start),
+                error=self.errors.get(name),
+                quarantines=self.quarantines.get(name, ()),
+            ))
+        return tuple(rows)
+
+
+def _retry_sleep(backoff: float, round_index: int) -> None:
+    if backoff > 0.0:
+        time.sleep(min(backoff * (2 ** round_index), _RETRY_BACKOFF_CAP))
+
+
+def _run_jobs_serial(
+    jobs: "Dict[str, tuple]",
+    order: Sequence[str],
+    max_attempts: int,
+    retry_backoff: float,
+    progress: bool,
+) -> _JobOutcomes:
+    outcomes = _JobOutcomes()
+    for name in order:
+        outcomes.started[name] = time.perf_counter()
+        for attempt in range(1, max_attempts + 1):
+            outcomes.attempts[name] = attempt
+            try:
+                _, mica, hpc, events = _characterize_one(jobs[name])
+            except Exception as error:
+                if attempt >= max_attempts:
+                    outcomes.record_failed(
+                        name, f"{type(error).__name__}: {error}"
+                    )
+                else:
+                    _retry_sleep(retry_backoff, attempt - 1)
+            else:
+                outcomes.record_ok(
+                    name, mica, hpc, events, progress, len(order)
+                )
+                break
+    return outcomes
+
+
+def _run_jobs_parallel(
+    jobs: "Dict[str, tuple]",
+    order: Sequence[str],
+    worker_count: int,
+    max_attempts: int,
+    retry_backoff: float,
+    progress: bool,
+) -> _JobOutcomes:
+    """Submit jobs with per-future failure handling and crash isolation.
+
+    Normal rounds submit every queued benchmark at once.  When a worker
+    process dies, *every* in-flight future fails with
+    ``BrokenProcessPool`` — the culprit is indistinguishable from
+    collateral — so the casualties move to an *isolation* queue and run
+    one at a time against a rebuilt pool: a benchmark that breaks the
+    pool while alone in flight is charged the crash; everyone else is
+    re-run uncharged.  A benchmark is only declared failed after
+    ``max_attempts`` charged attempts, and the failure names it.
+    """
+    outcomes = _JobOutcomes()
+    pending = deque(order)
+    isolation: "deque[str]" = deque()
+    retry_round = 0
+    pool = ProcessPoolExecutor(max_workers=worker_count)
+    try:
+        while pending or isolation:
+            if isolation:
+                batch = [isolation.popleft()]
+            else:
+                batch = list(pending)
+                pending.clear()
+            submitted = {}
+            broken = False
+            for position, name in enumerate(batch):
+                outcomes.started.setdefault(name, time.perf_counter())
+                try:
+                    future = pool.submit(_characterize_one, jobs[name])
+                except Exception:
+                    # The pool broke between rounds; nothing here was
+                    # actually submitted, so nothing is charged.
+                    isolation.extend(batch[position:])
+                    broken = True
+                    break
+                outcomes.attempts[name] = (
+                    outcomes.attempts.get(name, 0) + 1
+                )
+                submitted[future] = name
+            for future in as_completed(submitted):
+                name = submitted[future]
+                try:
+                    _, mica, hpc, events = future.result()
+                except BrokenProcessPool as error:
+                    broken = True
+                    if len(submitted) == 1:
+                        # Alone in flight: this benchmark's worker died.
+                        if outcomes.attempts[name] >= max_attempts:
+                            outcomes.record_failed(
+                                name,
+                                "worker process died while building "
+                                f"{name!r}: {error}",
+                            )
+                        else:
+                            isolation.append(name)
+                    else:
+                        # Collateral of another benchmark's crash:
+                        # uncharge the attempt and isolate the batch to
+                        # find the culprit.
+                        outcomes.attempts[name] -= 1
+                        isolation.append(name)
+                except Exception as error:
+                    if outcomes.attempts[name] >= max_attempts:
+                        outcomes.record_failed(
+                            name, f"{type(error).__name__}: {error}"
+                        )
+                    else:
+                        pending.append(name)
+                else:
+                    outcomes.record_ok(
+                        name, mica, hpc, events, progress, len(order)
+                    )
+            if broken:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=worker_count)
+                outcomes.pool_rebuilds += 1
+            if pending or isolation:
+                _retry_sleep(retry_backoff, retry_round)
+                retry_round += 1
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return outcomes
 
 
 def build_dataset(
@@ -201,6 +467,9 @@ def build_dataset(
     jobs: "int | None" = None,
     workers: "int | None" = None,
     progress: bool = False,
+    strict: bool = True,
+    max_attempts: int = 3,
+    retry_backoff: float = 0.1,
 ) -> WorkloadDataset:
     """Build (or load) the workload data set.
 
@@ -216,10 +485,30 @@ def build_dataset(
             at the benchmark count; 1 runs serially in-process).
         workers: deprecated alias for ``jobs``.
         progress: print one line per completed benchmark.
+        strict: when True (default), raise
+            :class:`~repro.errors.DatasetBuildError` — carrying the
+            full :class:`DatasetBuildReport` — if any benchmark still
+            fails after its retries.  When False, salvage the surviving
+            benchmarks: the returned dataset holds only their rows and
+            ``dataset.report`` names the casualties.
+        max_attempts: charged attempts per benchmark before it is
+            declared failed (worker crashes, raises and timeouts all
+            count; a worker lost to *another* benchmark's crash does
+            not).
+        retry_backoff: base of the bounded exponential sleep between
+            retry rounds (seconds; 0 disables sleeping).
 
     The result is identical — bit-for-bit — whether built serially with
     cold caches or with ``jobs=N`` against warm caches; workers are pure
-    functions of (benchmark name, config).
+    functions of (benchmark name, config).  That equivalence extends to
+    the failure paths: corrupted cache entries are quarantined and
+    recomputed, crashed workers are retried in a rebuilt pool, and an
+    unwritable cache degrades to compute-without-cache — a build that
+    completes is bit-for-bit the cold serial result.
+
+    Raises:
+        DatasetBuildError: in strict mode when a benchmark exhausts its
+            attempts, or (any mode) when *no* benchmark could be built.
     """
     population = tuple(benchmarks if benchmarks is not None else all_benchmarks())
     names = tuple(benchmark.full_name for benchmark in population)
@@ -231,50 +520,95 @@ def build_dataset(
 
     directory = cache_dir or default_cache_dir()
     cache_path = directory / f"dataset-{key}.npz"
-    if use_cache and cache_path.is_file():
-        archive = np.load(cache_path, allow_pickle=False)
-        dataset = WorkloadDataset(
-            names=names,
-            suites=suites,
-            mica=archive["mica"],
-            hpc=archive["hpc"],
-            config=config,
+    dataset_quarantines: Tuple[QuarantineEvent, ...] = ()
+    if use_cache:
+        integrity.drain_quarantine_log()
+        arrays = integrity.load_entry(
+            cache_path,
+            level="dataset",
+            version=CACHE_VERSION,
+            expected={
+                "mica": (
+                    (len(names), len(characteristic_names())), np.float64
+                ),
+                "hpc": ((len(names), len(HPC_METRIC_NAMES)), np.float64),
+            },
         )
-        _MEMORY_CACHE[key] = dataset
-        return dataset
+        # A corrupted dataset-level entry is a verified miss: it was
+        # quarantined and the matrices are rebuilt below.
+        dataset_quarantines = integrity.drain_quarantine_log()
+        if arrays is not None:
+            dataset = WorkloadDataset(
+                names=names,
+                suites=suites,
+                mica=arrays["mica"],
+                hpc=arrays["hpc"],
+                config=config,
+            )
+            _MEMORY_CACHE[key] = dataset
+            return dataset
 
     trace_cache_dir = str(directory) if use_cache else None
-    pending = [
-        (name, config.trace_length, 0, _config_kwargs(config),
-         trace_cache_dir)
+    jobs_by_name = {
+        name: (name, config.trace_length, 0, _config_kwargs(config),
+               trace_cache_dir)
         for name in names
-    ]
-    results: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    }
     if jobs is None:
         jobs = workers
-    worker_count = min(jobs or os.cpu_count() or 1, len(pending))
+    worker_count = min(jobs or os.cpu_count() or 1, len(jobs_by_name))
     if worker_count > 1:
-        with ProcessPoolExecutor(max_workers=worker_count) as pool:
-            for name, mica_vector, hpc_vector in pool.map(
-                _characterize_one, pending
-            ):
-                results[name] = (mica_vector, hpc_vector)
-                if progress:
-                    print(f"  [{len(results):>3}/{len(pending)}] {name}")
+        outcomes = _run_jobs_parallel(
+            jobs_by_name, names, worker_count, max_attempts,
+            retry_backoff, progress,
+        )
     else:
-        for job in pending:
-            name, mica_vector, hpc_vector = _characterize_one(job)
-            results[name] = (mica_vector, hpc_vector)
-            if progress:
-                print(f"  [{len(results):>3}/{len(pending)}] {name}")
+        outcomes = _run_jobs_serial(
+            jobs_by_name, names, max_attempts, retry_backoff, progress
+        )
 
-    mica = np.vstack([results[name][0] for name in names])
-    hpc = np.vstack([results[name][1] for name in names])
-    dataset = WorkloadDataset(
-        names=names, suites=suites, mica=mica, hpc=hpc, config=config
+    report = DatasetBuildReport(
+        statuses=outcomes.statuses(names),
+        jobs=worker_count,
+        pool_rebuilds=outcomes.pool_rebuilds,
+        dataset_quarantines=dataset_quarantines,
     )
-    if use_cache:
-        directory.mkdir(parents=True, exist_ok=True)
-        np.savez_compressed(cache_path, mica=mica, hpc=hpc)
+    failed = report.failed
+    if failed and strict:
+        raise DatasetBuildError(
+            f"dataset build failed for {len(failed)} of {len(names)} "
+            "benchmark(s): "
+            + ", ".join(status.name for status in failed),
+            report=report,
+        )
+    if len(failed) == len(names):
+        raise DatasetBuildError(
+            "dataset build failed for every benchmark", report=report
+        )
+
+    kept = tuple(name for name in names if name in outcomes.results)
+    kept_suites = tuple(
+        suite for name, suite in zip(names, suites) if name in
+        outcomes.results
+    )
+    mica = np.vstack([outcomes.results[name][0] for name in kept])
+    hpc = np.vstack([outcomes.results[name][1] for name in kept])
+    dataset = WorkloadDataset(
+        names=kept, suites=kept_suites, mica=mica, hpc=hpc,
+        config=config, report=report,
+    )
+    if use_cache and not failed:
+        try:
+            integrity.write_entry(
+                cache_path,
+                level="dataset",
+                version=CACHE_VERSION,
+                fields={"mica": mica, "hpc": hpc},
+                compress=True,
+            )
+        except OSError as error:
+            from ..perf.cache import _degrade
+
+            _degrade(directory, error)
         _MEMORY_CACHE[key] = dataset
     return dataset

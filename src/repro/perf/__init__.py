@@ -14,6 +14,13 @@ semantics:
   TRACE_GEN_VERSION** (a benchmark whose profile has not changed is
   never re-generated — the gap a content-addressed cache cannot close,
   since hashing content requires the bytes).
+* :mod:`repro.perf.integrity` — the trust layer under every cache
+  level: checksum + schema metadata embedded in each ``.npz``, verified
+  loads that quarantine (never re-serve) corrupt entries, and atomic
+  writes that clean up after themselves.
+* :mod:`repro.perf.faults` — the deterministic fault-injection harness
+  (entry corruption modes, IO errors at store/load/rename time, worker
+  crashes/errors/timeouts) that the robustness tests drive.
 * :mod:`repro.perf.timing` — the MICA benchmark harness: it times every
   analyzer (and the retained scalar reference implementations of PPM
   and ILP) on a standard trace, times the generation engine against its
@@ -28,15 +35,21 @@ cache under parallel workers) and the CLI (``--jobs``, ``--cache-dir``,
 ``python -m repro bench``).
 """
 
+from . import faults, integrity
 from .cache import (
+    CacheVerifyReport,
     CharacterizationCache,
     HpcCache,
     TraceCache,
     cached_characterize,
     cached_collect_hpc,
     cached_generate_trace,
+    reset_cache_degradation,
+    sweep_temporaries,
     trace_fingerprint,
+    verify_cache,
 )
+from .integrity import QuarantineEvent
 from .timing import (
     AnalyzerTiming,
     GenerationBenchResult,
@@ -51,13 +64,20 @@ from .timing import (
 )
 
 __all__ = [
+    "CacheVerifyReport",
     "CharacterizationCache",
     "HpcCache",
+    "QuarantineEvent",
     "TraceCache",
     "cached_characterize",
     "cached_collect_hpc",
     "cached_generate_trace",
+    "faults",
+    "integrity",
+    "reset_cache_degradation",
+    "sweep_temporaries",
     "trace_fingerprint",
+    "verify_cache",
     "AnalyzerTiming",
     "GenerationBenchResult",
     "HpcBenchResult",

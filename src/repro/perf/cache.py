@@ -43,25 +43,39 @@ dataset-level cache, which is keyed by the full benchmark name list).
 
 Bump :data:`CHAR_CACHE_VERSION` whenever analyzer semantics change and
 :data:`repro.uarch.HPC_SIM_VERSION` whenever simulation semantics do.
+
+Every entry is integrity-stamped via :mod:`repro.perf.integrity`
+(level, semantic version, per-field shape/dtype, payload checksums);
+loads verify and quarantine rather than serve corrupt bytes, stores
+stay atomic and degrade to compute-without-cache — with one
+:class:`~repro.errors.CacheDegradedWarning` per directory — when the
+directory is unwritable.  ``verify_cache`` is the scan-and-quarantine
+entry point behind ``repro cache verify``.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from . import integrity
+from .integrity import QuarantineEvent
 from ..config import DEFAULT_CONFIG, ReproConfig
+from ..errors import CacheDegradedWarning, CacheIntegrityError
 from ..isa import TRACE_DTYPE
-from ..mica import CharacteristicVector, characterize
+from ..mica import NUM_CHARACTERISTICS, CharacteristicVector, characterize
 from ..synth import TRACE_GEN_VERSION, WorkloadProfile, generate_trace
 from ..trace import Trace
 from ..uarch import (
     EV56_CONFIG,
     EV67_CONFIG,
+    HPC_METRIC_NAMES,
     HPC_SIM_VERSION,
     HpcVector,
     MachineConfig,
@@ -70,6 +84,33 @@ from ..uarch import (
 
 #: Bump when any analyzer changes its output for the same trace/config.
 CHAR_CACHE_VERSION = 1
+
+# -- graceful degradation ---------------------------------------------------
+#
+# A cache directory that cannot be written (read-only filesystem, disk
+# full) must never turn a build into an exception: every ``cached_*``
+# function computes without the cache instead, warning once per
+# directory per process.
+
+_DEGRADED_DIRECTORIES: Set[str] = set()
+
+
+def reset_cache_degradation() -> None:
+    """Forget which directories have warned (for tests)."""
+    _DEGRADED_DIRECTORIES.clear()
+
+
+def _degrade(directory: "Path | str", error: BaseException) -> None:
+    key = os.path.abspath(str(directory))
+    if key in _DEGRADED_DIRECTORIES:
+        return
+    _DEGRADED_DIRECTORIES.add(key)
+    warnings.warn(
+        f"cache directory {directory} is not writable ({error}); "
+        "continuing without the cache",
+        CacheDegradedWarning,
+        stacklevel=3,
+    )
 
 
 def trace_fingerprint(trace: Trace) -> str:
@@ -92,56 +133,121 @@ def _entry_key(trace: Trace, config: ReproConfig) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:32]
 
 
+def _unlink_quietly(path: Path) -> int:
+    """Unlink tolerating a concurrent deletion; 1 when we removed it."""
+    try:
+        path.unlink()
+    except FileNotFoundError:
+        # A concurrent worker deleted the same entry first — the goal
+        # (entry gone) is met either way.
+        return 0
+    return 1
+
+
 class _NpzCacheDirectory:
     """Shared machinery of the on-disk cache levels.
 
     One ``.npz`` file per entry under a common directory (created
     lazily on first store), distinguished per level by ``_prefix``.
     Entries are written atomically (temp file + rename) so concurrent
-    workers producing the same entry cannot corrupt each other, and a
-    truncated or foreign file always reads as a miss, never an error.
+    workers producing the same entry cannot corrupt each other, and
+    every entry embeds the :mod:`repro.perf.integrity` metadata: level,
+    semantic version, per-field shape/dtype and payload checksums.  A
+    file that fails verification — truncated, bit-flipped,
+    wrong-shape, stale-version or foreign — is a *verified miss*: it is
+    quarantined (renamed aside, never re-served), not raised and not
+    silently returned.
     """
 
     _prefix = ""
+    #: ``{field: (expected shape | None, expected dtype | None)}`` for
+    #: verification scans, where the expectation is key-independent.
+    _static_expected: "integrity.ExpectedFields" = {}
 
     def __init__(self, directory: "Path | str"):
         self.directory = Path(directory)
 
+    def _schema_version(self) -> object:
+        """The level's current semantic version (stamped into entries)."""
+        raise NotImplementedError
+
     def _path(self, key: str) -> Path:
         return self.directory / f"{self._prefix}-{key}.npz"
 
-    def _load_entry(self, key: str, field: str) -> "Optional[np.ndarray]":
-        path = self._path(key)
-        if not path.is_file():
-            return None
-        try:
-            with np.load(path, allow_pickle=False) as archive:
-                return archive[field]
-        except (OSError, ValueError, KeyError):
-            # A truncated or foreign file is a miss, not an error.
-            return None
+    def _load_entry(
+        self,
+        key: str,
+        field: str,
+        expected_shape: "tuple | None" = None,
+        expected_dtype: "object | None" = None,
+    ) -> "Optional[np.ndarray]":
+        arrays = integrity.load_entry(
+            self._path(key),
+            level=self._prefix,
+            version=self._schema_version(),
+            expected={field: (expected_shape, expected_dtype)},
+        )
+        return None if arrays is None else arrays.get(field)
 
     def _store_entry(
         self, key: str, compress: bool = False, **fields: np.ndarray
     ) -> Path:
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path(key)
-        # The tmp- prefix keeps half-written files out of the entry
-        # glob; the .npz suffix stops np.savez renaming the file.
-        temporary = path.with_name(f"tmp-{path.stem}.{os.getpid()}.npz")
-        writer = np.savez_compressed if compress else np.savez
-        writer(temporary, **fields)
-        os.replace(temporary, path)
-        return path
+        return integrity.write_entry(
+            self._path(key),
+            level=self._prefix,
+            version=self._schema_version(),
+            fields=fields,
+            compress=compress,
+        )
+
+    def verify(self) -> "List[QuarantineEvent]":
+        """Scan every entry of this level; quarantine the bad ones.
+
+        Returns the quarantine events (empty when all entries passed).
+        Healthy entries are left untouched.
+        """
+        if not self.directory.is_dir():
+            return []
+        events: "List[QuarantineEvent]" = []
+        for path in sorted(self.directory.glob(f"{self._prefix}-*.npz")):
+            try:
+                integrity.verify_entry(
+                    path,
+                    level=self._prefix,
+                    version=self._schema_version(),
+                    expected=self._static_expected,
+                )
+            except CacheIntegrityError as error:
+                quarantined = integrity.quarantine_entry(path)
+                events.append(QuarantineEvent(
+                    path=str(path),
+                    quarantined_to=(
+                        str(quarantined) if quarantined is not None else None
+                    ),
+                    reason=str(error),
+                ))
+            except OSError:
+                continue
+        return events
 
     def clear(self) -> int:
-        """Delete all entries; returns the number removed."""
+        """Delete all entries; returns the number removed.
+
+        Also sweeps this level's quarantined entries and any stale
+        ``tmp-*.npz`` files left behind by crashed writers.  Tolerates
+        concurrent workers clearing the same directory (an entry
+        deleted under our feet counts for whoever unlinked it).
+        """
         if not self.directory.is_dir():
             return 0
         removed = 0
-        for path in self.directory.glob(f"{self._prefix}-*.npz"):
-            path.unlink()
-            removed += 1
+        for pattern in (
+            f"{self._prefix}-*.npz",
+            f"{self._prefix}-*.npz{integrity.QUARANTINE_SUFFIX}",
+            f"tmp-{self._prefix}-*.npz",
+        ):
+            for path in self.directory.glob(pattern):
+                removed += _unlink_quietly(path)
         return removed
 
     def __len__(self) -> int:
@@ -160,12 +266,24 @@ class CharacterizationCache(_NpzCacheDirectory):
     """
 
     _prefix = "char"
+    _static_expected = {"values": ((NUM_CHARACTERISTICS,), np.float64)}
+
+    def _schema_version(self) -> object:
+        return CHAR_CACHE_VERSION
 
     def load(
         self, trace: Trace, config: ReproConfig = DEFAULT_CONFIG
     ) -> "Optional[np.ndarray]":
-        """The cached 47-dimensional vector, or None on a miss."""
-        return self._load_entry(_entry_key(trace, config), "values")
+        """The cached 47-dimensional vector, or None on a miss.
+
+        Wrong-shape or wrong-dtype entries are verified misses — they
+        are quarantined and never flow into ``np.vstack``.
+        """
+        return self._load_entry(
+            _entry_key(trace, config), "values",
+            expected_shape=(NUM_CHARACTERISTICS,),
+            expected_dtype=np.float64,
+        )
 
     def store(
         self,
@@ -197,7 +315,10 @@ def cached_characterize(
     values = cache.load(trace, config)
     if values is None:
         vector = characterize(trace, config)
-        cache.store(trace, config, vector.values)
+        try:
+            cache.store(trace, config, vector.values)
+        except OSError as error:
+            _degrade(cache.directory, error)
         return vector
     return CharacteristicVector(name=trace.name, values=values)
 
@@ -231,6 +352,10 @@ class HpcCache(_NpzCacheDirectory):
     """
 
     _prefix = "hpc"
+    _static_expected = {"values": ((len(HPC_METRIC_NAMES),), np.float64)}
+
+    def _schema_version(self) -> object:
+        return HPC_SIM_VERSION
 
     def load(
         self,
@@ -238,8 +363,16 @@ class HpcCache(_NpzCacheDirectory):
         inorder: MachineConfig = EV56_CONFIG,
         ooo: MachineConfig = EV67_CONFIG,
     ) -> "Optional[np.ndarray]":
-        """The cached 7-dimensional vector, or None on a miss."""
-        return self._load_entry(_hpc_key(trace, inorder, ooo), "values")
+        """The cached 7-dimensional vector, or None on a miss.
+
+        Wrong-shape or wrong-dtype entries are verified misses — they
+        are quarantined and never flow into ``np.vstack``.
+        """
+        return self._load_entry(
+            _hpc_key(trace, inorder, ooo), "values",
+            expected_shape=(len(HPC_METRIC_NAMES),),
+            expected_dtype=np.float64,
+        )
 
     def store(
         self,
@@ -276,7 +409,10 @@ def cached_collect_hpc(
     values = cache.load(trace, inorder, ooo)
     if values is None:
         vector = collect_hpc(trace, inorder, ooo)
-        cache.store(trace, inorder, ooo, vector.values)
+        try:
+            cache.store(trace, inorder, ooo, vector.values)
+        except OSError as error:
+            _degrade(cache.directory, error)
         return vector
     return HpcVector(name=trace.name, values=values)
 
@@ -303,13 +439,24 @@ class TraceCache(_NpzCacheDirectory):
     """
 
     _prefix = "trace"
+    _static_expected = {"data": (None, TRACE_DTYPE)}
+
+    def _schema_version(self) -> object:
+        return TRACE_GEN_VERSION
 
     def load(
         self, profile: WorkloadProfile, length: int, seed: int = 0
     ) -> "Optional[Trace]":
-        """The cached trace (renamed after the profile), or None."""
-        data = self._load_entry(_trace_key(profile, length, seed), "data")
-        if data is None or data.dtype != TRACE_DTYPE or len(data) != length:
+        """The cached trace (renamed after the profile), or None.
+
+        Wrong-dtype or wrong-length entries are verified misses (the
+        file is quarantined, not re-served).
+        """
+        data = self._load_entry(
+            _trace_key(profile, length, seed), "data",
+            expected_shape=(length,), expected_dtype=TRACE_DTYPE,
+        )
+        if data is None:
             return None
         return Trace(data, name=profile.name)
 
@@ -345,5 +492,135 @@ def cached_generate_trace(
     trace = cache.load(profile, length, seed)
     if trace is None:
         trace = generate_trace(profile, length, seed=seed)
-        cache.store(profile, length, seed, trace)
+        try:
+            cache.store(profile, length, seed, trace)
+        except OSError as error:
+            _degrade(cache.directory, error)
     return trace
+
+
+# ---------------------------------------------------------------------------
+# Whole-directory verification (``repro cache verify``)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheVerifyReport:
+    """Result of one integrity scan over a cache directory.
+
+    Attributes:
+        directory: the scanned cache root.
+        scanned: entries examined per level (including ``dataset``).
+        quarantined: one event per entry that failed verification.
+        swept_temporaries: stale ``tmp-*.npz`` writer leftovers removed.
+    """
+
+    directory: str
+    scanned: Dict[str, int]
+    quarantined: Tuple[QuarantineEvent, ...]
+    swept_temporaries: int
+
+    @property
+    def total_scanned(self) -> int:
+        return sum(self.scanned.values())
+
+    @property
+    def ok(self) -> int:
+        return self.total_scanned - len(self.quarantined)
+
+    def format(self) -> str:
+        lines = [
+            f"cache verify: {self.directory}",
+            "  scanned " + ", ".join(
+                f"{count} {level}" for level, count in self.scanned.items()
+            ) + f" ({self.ok} ok, {len(self.quarantined)} quarantined, "
+                f"{self.swept_temporaries} stale temp files swept)",
+        ]
+        for event in self.quarantined:
+            target = event.quarantined_to or "<rename failed>"
+            lines.append(f"  quarantined {event.path} -> {target}")
+            lines.append(f"    reason: {event.reason}")
+        return "\n".join(lines)
+
+
+def sweep_temporaries(
+    directory: "Path | str", older_than: float = 3600.0
+) -> int:
+    """Remove ``tmp-*.npz`` files left behind by crashed writers.
+
+    Only files whose mtime is at least ``older_than`` seconds old are
+    removed, so a live writer's in-flight temporary survives.  Returns
+    the number removed.
+    """
+    import time
+
+    root = Path(directory)
+    if not root.is_dir():
+        return 0
+    removed = 0
+    now = time.time()
+    for path in root.glob("tmp-*.npz"):
+        try:
+            age = now - path.stat().st_mtime
+        except OSError:
+            continue
+        if age >= older_than:
+            removed += _unlink_quietly(path)
+    return removed
+
+
+def verify_cache(
+    directory: "Path | str",
+    sweep_older_than: float = 3600.0,
+) -> CacheVerifyReport:
+    """Scan all four cache levels; quarantine entries that fail.
+
+    Covers the per-trace levels (``char``/``hpc``/``trace``) via each
+    level's :meth:`~_NpzCacheDirectory.verify` and the dataset-level
+    ``dataset-*.npz`` matrices, then sweeps stale writer temporaries.
+    Healthy entries are untouched; the scan never raises on bad bytes.
+    """
+    root = Path(directory)
+    scanned: "Dict[str, int]" = {}
+    events: "List[QuarantineEvent]" = []
+    for level in (CharacterizationCache, HpcCache, TraceCache):
+        cache = level(root)
+        scanned[cache._prefix] = len(cache)
+        events.extend(cache.verify())
+
+    # Dataset-level matrices (population-dependent shapes: verified
+    # against their own recorded metadata + checksums).
+    from ..experiments.dataset import CACHE_VERSION
+
+    dataset_paths = (
+        sorted(root.glob("dataset-*.npz")) if root.is_dir() else []
+    )
+    scanned["dataset"] = len(dataset_paths)
+    for path in dataset_paths:
+        try:
+            integrity.verify_entry(
+                path, level="dataset", version=CACHE_VERSION,
+                expected={
+                    "mica": (None, np.float64),
+                    "hpc": (None, np.float64),
+                },
+            )
+        except CacheIntegrityError as error:
+            quarantined = integrity.quarantine_entry(path)
+            events.append(QuarantineEvent(
+                path=str(path),
+                quarantined_to=(
+                    str(quarantined) if quarantined is not None else None
+                ),
+                reason=str(error),
+            ))
+        except OSError:
+            continue
+
+    swept = sweep_temporaries(root, older_than=sweep_older_than)
+    return CacheVerifyReport(
+        directory=str(root),
+        scanned=scanned,
+        quarantined=tuple(events),
+        swept_temporaries=swept,
+    )

@@ -1,0 +1,305 @@
+"""Deterministic fault injection for the cache hierarchy and builds.
+
+The robustness tier-1 tests (and, later, the service layer's chaos
+checks) need *reproducible* failure: the same seed, the same fault, the
+same outcome, every run.  Three injector families live here:
+
+* **Entry corruption** — :func:`corrupt_entry` damages one cache
+  ``.npz`` in a chosen mode (:data:`CORRUPTION_MODES`), seeded, so a
+  test can assert that every mode reads back as a verified miss and
+  quarantines the file:
+
+  - ``truncate``   — drop the second half of the file's bytes.
+  - ``bitflip``    — flip one seeded bit inside a payload array while
+    keeping the original metadata (exercises the payload checksum, not
+    the zip CRC).
+  - ``wrong_shape``— rewrite one payload array with a different shape
+    and *freshly consistent* metadata (only expected-shape validation
+    can catch it).
+  - ``wrong_version`` — re-stamp valid payloads with a stale semantic
+    version.
+  - ``foreign``    — re-stamp valid payloads as belonging to another
+    cache level.
+
+* **IO errors** — :func:`inject_io_faults` patches the
+  :mod:`repro.perf.integrity` IO seams so the i-th store/load/rename
+  call inside the context raises a chosen ``OSError`` (ENOSPC by
+  default).  Call indices are explicit, hence deterministic.
+
+* **Worker faults** — :func:`inject_worker_faults` arms
+  :func:`maybe_fail_worker` (called by every dataset worker) through an
+  environment variable, so faults cross the ``ProcessPoolExecutor``
+  boundary.  A fault names its benchmark, a mode (``crash`` kills the
+  worker process, ``error`` raises, ``timeout`` sleeps then raises
+  ``TimeoutError``) and how many times to fire; firing is claimed
+  through ``O_CREAT | O_EXCL`` token files in a state directory, so
+  "fail the first N attempts, then succeed" holds across processes and
+  retries.
+
+Nothing here runs unless explicitly armed: ``maybe_fail_worker`` is a
+no-op without the environment variable, and the IO seams are only
+patched inside the context manager.
+"""
+
+from __future__ import annotations
+
+import errno as errno_module
+import hashlib
+import itertools
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from . import integrity
+
+#: Supported :func:`corrupt_entry` modes.
+CORRUPTION_MODES = (
+    "truncate", "bitflip", "wrong_shape", "wrong_version", "foreign",
+)
+
+#: Environment variable carrying the armed worker-fault plan.
+WORKER_FAULTS_ENV = "REPRO_WORKER_FAULTS"
+
+
+class InjectedWorkerError(RuntimeError):
+    """The failure raised by an armed ``error``-mode worker fault."""
+
+
+# ---------------------------------------------------------------------------
+# Entry corruption
+# ---------------------------------------------------------------------------
+
+
+def _read_raw(path: Path) -> "Tuple[Dict[str, np.ndarray], dict]":
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {
+            name: archive[name]
+            for name in archive.files
+            if name != integrity.METADATA_FIELD
+        }
+        metadata = json.loads(str(archive[integrity.METADATA_FIELD][()]))
+    return arrays, metadata
+
+
+def _write_raw(
+    path: Path, arrays: "Dict[str, np.ndarray]", metadata: dict
+) -> None:
+    payload = dict(arrays)
+    payload[integrity.METADATA_FIELD] = np.array(json.dumps(metadata))
+    np.savez(path, **payload)
+
+
+def corrupt_entry(path: "Path | str", mode: str, seed: int = 0) -> Path:
+    """Damage one cache entry in place, deterministically.
+
+    Args:
+        path: an existing integrity-stamped ``.npz`` entry.
+        mode: one of :data:`CORRUPTION_MODES`.
+        seed: drives every random choice (field, bit position), so the
+            corrupted bytes are identical across runs.
+
+    Returns:
+        The (same) path, now holding the corrupted entry.
+    """
+    path = Path(path)
+    if mode not in CORRUPTION_MODES:
+        raise ValueError(
+            f"unknown corruption mode {mode!r}; pick one of "
+            f"{CORRUPTION_MODES}"
+        )
+    rng = np.random.default_rng(seed)
+    if mode == "truncate":
+        data = path.read_bytes()
+        path.write_bytes(data[: max(1, len(data) // 2)])
+        return path
+
+    arrays, metadata = _read_raw(path)
+    field = sorted(arrays)[int(rng.integers(len(arrays)))]
+    if mode == "bitflip":
+        source = np.ascontiguousarray(arrays[field])
+        buffer = bytearray(source.tobytes())
+        position = int(rng.integers(len(buffer)))
+        buffer[position] ^= 1 << int(rng.integers(8))
+        arrays[field] = np.frombuffer(
+            bytes(buffer), dtype=source.dtype
+        ).reshape(source.shape)
+        # Keep the original metadata: the recorded checksum no longer
+        # matches the flipped payload, which is exactly the detection
+        # path under test.
+        _write_raw(path, arrays, metadata)
+        return path
+
+    if mode == "wrong_shape":
+        flat = np.ascontiguousarray(arrays[field]).reshape(-1)
+        arrays[field] = np.concatenate([flat, flat[:1]])
+    level = metadata["level"]
+    version = metadata["version"]
+    if mode == "wrong_version":
+        version = str(int(metadata["version"]) + 1)
+    elif mode == "foreign":
+        level = "foreign"
+    # Re-stamp with freshly consistent metadata so the self-checksums
+    # pass and only the targeted check (shape expectation, version,
+    # level) can reject the entry.
+    _write_raw(
+        path, arrays, integrity.build_metadata(level, version, arrays)
+    )
+    return path
+
+
+# ---------------------------------------------------------------------------
+# IO errors at store/load/rename time
+# ---------------------------------------------------------------------------
+
+_IO_SEAMS = {"store": "_savez", "load": "_open_archive", "rename": "_replace"}
+
+
+@contextmanager
+def inject_io_faults(
+    op: str,
+    indices: "Iterable[int]" = (0,),
+    errno: int = errno_module.ENOSPC,
+    partial_write: bool = False,
+):
+    """Raise ``OSError(errno)`` on chosen calls to one IO operation.
+
+    Args:
+        op: ``"store"`` (the npz writer), ``"load"`` (archive open) or
+            ``"rename"`` (the atomic replace).
+        indices: 0-based call indices, counted within this context,
+            that fail.  Everything else passes through.
+        errno: the error to raise (default ENOSPC — disk full).
+        partial_write: for ``store`` faults, first leave a partial
+            temporary file behind (as a writer dying mid-write would),
+            then raise.
+    """
+    if op not in _IO_SEAMS:
+        raise ValueError(f"unknown io op {op!r}; pick one of "
+                         f"{tuple(_IO_SEAMS)}")
+    attribute = _IO_SEAMS[op]
+    original = getattr(integrity, attribute)
+    counter = itertools.count()
+    failing = frozenset(indices)
+
+    def seam(*args, **kwargs):
+        if next(counter) in failing:
+            if partial_write and op == "store":
+                Path(args[0]).write_bytes(b"partial write")
+            raise OSError(
+                errno, f"{os.strerror(errno)} [injected {op} fault]"
+            )
+        return original(*args, **kwargs)
+
+    setattr(integrity, attribute, seam)
+    try:
+        yield
+    finally:
+        setattr(integrity, attribute, original)
+
+
+# ---------------------------------------------------------------------------
+# Worker crashes / errors / timeouts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One armed fault for a dataset worker.
+
+    Attributes:
+        benchmark: the full benchmark name the fault targets.
+        mode: ``"crash"`` (``os._exit`` — kills the pool process),
+            ``"error"`` (raises :class:`InjectedWorkerError`) or
+            ``"timeout"`` (sleeps briefly, then raises
+            ``TimeoutError``).
+        times: how many triggers before the benchmark succeeds.
+    """
+
+    benchmark: str
+    mode: str = "error"
+    times: int = 1
+
+
+@contextmanager
+def inject_worker_faults(
+    faults: "Sequence[WorkerFault]", state_dir: "Path | str"
+):
+    """Arm worker faults for every dataset worker started inside.
+
+    The plan travels via :data:`WORKER_FAULTS_ENV`, so it reaches
+    ``ProcessPoolExecutor`` children (which inherit the environment at
+    pool creation).  ``state_dir`` holds the cross-process trigger
+    tokens; use a fresh directory per experiment so counts start at
+    zero.
+    """
+    state = Path(state_dir)
+    state.mkdir(parents=True, exist_ok=True)
+    plan = json.dumps({
+        "state_dir": str(state),
+        "faults": [
+            {"benchmark": fault.benchmark, "mode": fault.mode,
+             "times": fault.times}
+            for fault in faults
+        ],
+    })
+    previous = os.environ.get(WORKER_FAULTS_ENV)
+    os.environ[WORKER_FAULTS_ENV] = plan
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(WORKER_FAULTS_ENV, None)
+        else:
+            os.environ[WORKER_FAULTS_ENV] = previous
+
+
+def _claim_trigger(state_dir: str, benchmark: str, times: int) -> bool:
+    """Atomically claim one of the fault's remaining triggers."""
+    token_base = hashlib.sha256(benchmark.encode()).hexdigest()[:16]
+    for index in range(times):
+        token = Path(state_dir) / f"worker-fault-{token_base}-{index}"
+        try:
+            handle = os.open(
+                token, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            continue
+        os.close(handle)
+        return True
+    return False
+
+
+def maybe_fail_worker(benchmark: str) -> None:
+    """Fire an armed fault for this benchmark, if any triggers remain.
+
+    Called by every dataset worker at the start of a job; a no-op
+    unless :func:`inject_worker_faults` is active.
+    """
+    raw = os.environ.get(WORKER_FAULTS_ENV)
+    if not raw:
+        return
+    plan = json.loads(raw)
+    for fault in plan["faults"]:
+        if fault["benchmark"] != benchmark:
+            continue
+        if not _claim_trigger(
+            plan["state_dir"], benchmark, int(fault["times"])
+        ):
+            continue
+        mode = fault["mode"]
+        if mode == "crash":
+            os._exit(17)
+        if mode == "timeout":
+            time.sleep(0.05)
+            raise TimeoutError(
+                f"injected worker timeout for {benchmark}"
+            )
+        raise InjectedWorkerError(
+            f"injected worker failure for {benchmark}"
+        )
