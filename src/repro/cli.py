@@ -8,6 +8,7 @@ Subcommands::
     phases BENCH            phase decomposition + characteristic timeline
     dataset                 build (and cache) the full workload data set
     cache verify|clear      scan-and-quarantine / wipe the cache levels
+    serve                   run the characterization HTTP service
     bench                   run the MICA perf harness (BENCH_mica.json)
     fig1|table3|fig2-3|fig4|fig5|table4|fig6
                             reproduce one table/figure
@@ -45,6 +46,10 @@ def _dataset_kwargs(args: argparse.Namespace) -> dict:
         kwargs["jobs"] = args.jobs
     if getattr(args, "cache_dir", None):
         kwargs["cache_dir"] = Path(args.cache_dir)
+    if getattr(args, "max_attempts", None):
+        kwargs["max_attempts"] = args.max_attempts
+    if getattr(args, "retry_backoff", None) is not None:
+        kwargs["retry_backoff"] = args.retry_backoff
     return kwargs
 
 
@@ -149,7 +154,15 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
         or dataset.report.pool_rebuilds
     ):
         print(dataset.report.format())
-    return 1 if dataset.report is not None and dataset.report.failed else 0
+    if dataset.report is not None and dataset.report.failed:
+        failed = dataset.report.failed
+        print(
+            f"error: {len(failed)} benchmark(s) failed to build: "
+            + ", ".join(status.name for status in failed),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cache_directory(args: argparse.Namespace):
@@ -171,7 +184,36 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 0
     report = verify_cache(directory, sweep_older_than=args.sweep_age)
     print(report.format())
+    if report.quarantined:
+        print(
+            f"error: {len(report.quarantined)} cache entr"
+            f"{'y' if len(report.quarantined) == 1 else 'ies'} failed "
+            "verification and were quarantined",
+            file=sys.stderr,
+        )
+        return 1
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import CharacterizationService, ServiceSettings, serve
+
+    config = _make_config(args)
+    settings = ServiceSettings(
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        use_cache=not args.no_cache,
+        queue_capacity=args.queue_capacity,
+        workers=args.service_workers,
+        default_deadline=args.deadline_ms / 1000.0,
+        max_attempts=args.max_attempts,
+        retry_backoff=args.retry_backoff,
+        breaker_failure_threshold=args.breaker_threshold,
+        breaker_recovery=args.breaker_recovery,
+        drain_timeout=args.drain_timeout,
+        dataset_jobs=args.jobs or 1,
+    )
+    service = CharacterizationService(config=config, settings=settings)
+    return serve(service, host=args.host, port=args.port)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -350,6 +392,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="salvage surviving benchmarks when some fail (exit 1 and "
              "report the casualties instead of aborting the build)",
     )
+    dataset_parser.add_argument(
+        "--max-attempts", type=int, default=0, metavar="N",
+        help="charged attempts per benchmark before it is declared "
+             "failed (default: 3)",
+    )
+    dataset_parser.add_argument(
+        "--retry-backoff", type=float, default=None, metavar="SECONDS",
+        help="base of the bounded exponential sleep between retry "
+             "rounds (default: 0.1; 0 disables sleeping)",
+    )
 
     cache_parser = commands.add_parser(
         "cache",
@@ -393,6 +445,53 @@ def build_parser() -> argparse.ArgumentParser:
     phases_parser.add_argument(
         "--homogeneity", action="store_true",
         help="validate simulation points against per-interval EV56 IPC",
+    )
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the characterization HTTP service (bounded admission "
+             "queue, per-request deadlines, circuit breaker, graceful "
+             "drain on SIGTERM)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8177,
+        help="bind port (0 picks a free one; the chosen address is "
+             "printed on startup)",
+    )
+    serve_parser.add_argument(
+        "--queue-capacity", type=int, default=64, metavar="N",
+        help="bounded admission-queue size (429 + Retry-After beyond)",
+    )
+    serve_parser.add_argument(
+        "--service-workers", type=int, default=2, metavar="N",
+        help="worker threads executing cold jobs",
+    )
+    serve_parser.add_argument(
+        "--deadline-ms", type=float, default=30_000.0, metavar="MS",
+        help="default per-request deadline (requests may lower it)",
+    )
+    serve_parser.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="compute attempts per job before it fails",
+    )
+    serve_parser.add_argument(
+        "--retry-backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base of the bounded retry backoff (jittered)",
+    )
+    serve_parser.add_argument(
+        "--breaker-threshold", type=int, default=5, metavar="N",
+        help="consecutive worker failures that open the circuit breaker",
+    )
+    serve_parser.add_argument(
+        "--breaker-recovery", type=float, default=5.0, metavar="SECONDS",
+        help="seconds the breaker stays open before a half-open probe",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="seconds granted to in-flight jobs on SIGTERM",
     )
 
     bench_parser = commands.add_parser(
@@ -476,6 +575,7 @@ _DISPATCH = {
     "phases": _cmd_phases,
     "dataset": _cmd_dataset,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
     "all": _cmd_all,
     "export": _cmd_export,

@@ -81,6 +81,95 @@ class DatasetBuildError(ReproError):
         self.report = report
 
 
+class ServiceError(ReproError):
+    """Base of the characterization-service error family.
+
+    Every service failure mode maps to exactly one subclass, and every
+    subclass carries the HTTP ``status`` and machine-readable ``code``
+    the service returns, so a fault injected at any seam always yields
+    the documented typed response instead of an ad-hoc 500.
+    """
+
+    #: HTTP status the service answers with.
+    status = 500
+    #: Stable machine-readable error code (``body()["error"]["code"]``).
+    code = "internal"
+
+    def __init__(self, message: str, retry_after: "float | None" = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+    def body(self) -> dict:
+        """The JSON error body served for this failure."""
+        error = {
+            "code": self.code,
+            "status": self.status,
+            "message": str(self),
+        }
+        if self.retry_after is not None:
+            error["retry_after"] = self.retry_after
+        return {"error": error}
+
+
+class BadRequestError(ServiceError):
+    """The request body or query string could not be interpreted."""
+
+    status = 400
+    code = "bad_request"
+
+
+class NotFoundError(ServiceError):
+    """The requested route or resource does not exist."""
+
+    status = 404
+    code = "not_found"
+
+
+class JobNotFoundError(NotFoundError):
+    """A job id does not name a known (or still-retained) job."""
+
+    code = "job_not_found"
+
+
+class QueueFullError(ServiceError):
+    """The bounded admission queue rejected a submission.
+
+    Served as 429 with a ``Retry-After`` header; the queue never grows
+    without bound.
+    """
+
+    status = 429
+    code = "queue_full"
+
+
+class CircuitOpenError(ServiceError):
+    """The circuit breaker is open; cold work is refused for now."""
+
+    status = 503
+    code = "circuit_open"
+
+
+class ServiceDrainingError(ServiceError):
+    """The service received SIGTERM and no longer admits new work."""
+
+    status = 503
+    code = "draining"
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline elapsed before its job finished."""
+
+    status = 504
+    code = "deadline_exceeded"
+
+
+class JobCancelledError(ServiceError):
+    """A job was cancelled before completion (drain timeout)."""
+
+    status = 503
+    code = "cancelled"
+
+
 class CacheDegradedWarning(UserWarning):
     """A cache directory is unusable; computing without the cache.
 

@@ -24,6 +24,7 @@ from .dataset import (
     WorkloadDataset,
     build_dataset,
     clear_dataset_cache,
+    load_cached_dataset,
 )
 from .fig1_distance_scatter import Fig1Result, run_fig1
 from .table3_classification import Table3Result, run_table3
@@ -46,6 +47,7 @@ __all__ = [
     "WorkloadDataset",
     "build_dataset",
     "clear_dataset_cache",
+    "load_cached_dataset",
     "Fig1Result",
     "run_fig1",
     "Table3Result",

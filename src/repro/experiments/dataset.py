@@ -333,9 +333,53 @@ class _JobOutcomes:
         return tuple(rows)
 
 
-def _retry_sleep(backoff: float, round_index: int) -> None:
-    if backoff > 0.0:
-        time.sleep(min(backoff * (2 ** round_index), _RETRY_BACKOFF_CAP))
+def _retry_delay(
+    backoff: float,
+    round_index: int,
+    jitter_seed: "int | None" = None,
+    token: str = "",
+) -> float:
+    """Bounded exponential backoff with deterministic, seedable jitter.
+
+    Without a ``jitter_seed`` this is the historical schedule:
+    ``min(backoff * 2**round, _RETRY_BACKOFF_CAP)``.  With one, the
+    delay is scaled into ``[delay/2, delay]`` by a factor derived from
+    ``sha256(jitter_seed, token, round)`` — deterministic (the same
+    seed/token/round always sleeps the same), seedable (tests can pin
+    it) and de-synchronizing (builders retrying the same round with
+    different seeds or tokens spread out instead of thundering back
+    onto the cache in lockstep).  The jittered delay never exceeds the
+    :data:`_RETRY_BACKOFF_CAP` ceiling and never drops below half the
+    un-jittered delay.
+    """
+    if backoff <= 0.0:
+        return 0.0
+    delay = min(backoff * (2 ** round_index), _RETRY_BACKOFF_CAP)
+    if jitter_seed is None:
+        return delay
+    digest = hashlib.sha256(
+        f"{jitter_seed}:{token}:{round_index}".encode()
+    ).digest()
+    unit = int.from_bytes(digest[:8], "big") / 2.0 ** 64  # [0, 1)
+    return delay * (0.5 + 0.5 * unit)
+
+
+def _retry_sleep(
+    backoff: float,
+    round_index: int,
+    jitter_seed: "int | None" = None,
+    token: str = "",
+    deadline_at: "float | None" = None,
+) -> None:
+    delay = _retry_delay(backoff, round_index, jitter_seed, token)
+    if deadline_at is not None:
+        delay = min(delay, max(0.0, deadline_at - time.monotonic()))
+    if delay > 0.0:
+        time.sleep(delay)
+
+
+def _deadline_passed(deadline_at: "float | None") -> bool:
+    return deadline_at is not None and time.monotonic() >= deadline_at
 
 
 def _run_jobs_serial(
@@ -344,21 +388,32 @@ def _run_jobs_serial(
     max_attempts: int,
     retry_backoff: float,
     progress: bool,
+    jitter_seed: "int | None" = None,
+    deadline_at: "float | None" = None,
 ) -> _JobOutcomes:
     outcomes = _JobOutcomes()
     for name in order:
         outcomes.started[name] = time.perf_counter()
+        if _deadline_passed(deadline_at):
+            outcomes.attempts.setdefault(name, 0)
+            outcomes.record_failed(name, "build deadline exceeded")
+            continue
         for attempt in range(1, max_attempts + 1):
             outcomes.attempts[name] = attempt
             try:
                 _, mica, hpc, events = _characterize_one(jobs[name])
             except Exception as error:
-                if attempt >= max_attempts:
+                if attempt >= max_attempts or _deadline_passed(
+                    deadline_at
+                ):
                     outcomes.record_failed(
                         name, f"{type(error).__name__}: {error}"
                     )
-                else:
-                    _retry_sleep(retry_backoff, attempt - 1)
+                    break
+                _retry_sleep(
+                    retry_backoff, attempt - 1, jitter_seed,
+                    token=name, deadline_at=deadline_at,
+                )
             else:
                 outcomes.record_ok(
                     name, mica, hpc, events, progress, len(order)
@@ -374,6 +429,8 @@ def _run_jobs_parallel(
     max_attempts: int,
     retry_backoff: float,
     progress: bool,
+    jitter_seed: "int | None" = None,
+    deadline_at: "float | None" = None,
 ) -> _JobOutcomes:
     """Submit jobs with per-future failure handling and crash isolation.
 
@@ -393,6 +450,12 @@ def _run_jobs_parallel(
     pool = ProcessPoolExecutor(max_workers=worker_count)
     try:
         while pending or isolation:
+            if _deadline_passed(deadline_at):
+                for name in list(pending) + list(isolation):
+                    outcomes.started.setdefault(name, time.perf_counter())
+                    outcomes.attempts.setdefault(name, 0)
+                    outcomes.record_failed(name, "build deadline exceeded")
+                break
             if isolation:
                 batch = [isolation.popleft()]
             else:
@@ -452,11 +515,72 @@ def _run_jobs_parallel(
                 pool = ProcessPoolExecutor(max_workers=worker_count)
                 outcomes.pool_rebuilds += 1
             if pending or isolation:
-                _retry_sleep(retry_backoff, retry_round)
+                _retry_sleep(
+                    retry_backoff, retry_round, jitter_seed,
+                    token="round", deadline_at=deadline_at,
+                )
                 retry_round += 1
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
     return outcomes
+
+
+def load_cached_dataset(
+    config: ReproConfig = DEFAULT_CONFIG,
+    benchmarks: "Optional[Sequence[Benchmark]]" = None,
+    benchmark_names: "Optional[Sequence[str]]" = None,
+    cache_dir: "Path | None" = None,
+) -> "Optional[WorkloadDataset]":
+    """Warm-probe the dataset-level cache without ever building.
+
+    Returns the cached :class:`WorkloadDataset` for this config +
+    population (from the in-memory cache or a verified disk entry), or
+    ``None`` on any miss.  The service layer uses this to answer warm
+    dataset requests with an immediate 200 while cold ones queue.
+
+    Args:
+        benchmarks: population as :class:`~repro.workloads.Benchmark`
+            objects (default: all 122).
+        benchmark_names: population as full names — an alternative to
+            ``benchmarks`` for callers that only hold names.
+    """
+    if benchmark_names is not None:
+        if benchmarks is not None:
+            raise AnalysisError(
+                "pass benchmarks or benchmark_names, not both"
+            )
+        from ..workloads import get_benchmark
+
+        benchmarks = [get_benchmark(name) for name in benchmark_names]
+    population = tuple(
+        benchmarks if benchmarks is not None else all_benchmarks()
+    )
+    names = tuple(benchmark.full_name for benchmark in population)
+    suites = tuple(benchmark.suite for benchmark in population)
+    key = _cache_key(config, names)
+    if key in _MEMORY_CACHE:
+        return _MEMORY_CACHE[key]
+    directory = cache_dir or default_cache_dir()
+    arrays = integrity.load_entry(
+        directory / f"dataset-{key}.npz",
+        level="dataset",
+        version=CACHE_VERSION,
+        expected={
+            "mica": ((len(names), len(characteristic_names())), np.float64),
+            "hpc": ((len(names), len(HPC_METRIC_NAMES)), np.float64),
+        },
+    )
+    if arrays is None:
+        return None
+    dataset = WorkloadDataset(
+        names=names,
+        suites=suites,
+        mica=arrays["mica"],
+        hpc=arrays["hpc"],
+        config=config,
+    )
+    _MEMORY_CACHE[key] = dataset
+    return dataset
 
 
 def build_dataset(
@@ -470,6 +594,8 @@ def build_dataset(
     strict: bool = True,
     max_attempts: int = 3,
     retry_backoff: float = 0.1,
+    retry_jitter_seed: "int | None" = None,
+    deadline: "float | None" = None,
 ) -> WorkloadDataset:
     """Build (or load) the workload data set.
 
@@ -497,6 +623,17 @@ def build_dataset(
             not).
         retry_backoff: base of the bounded exponential sleep between
             retry rounds (seconds; 0 disables sleeping).
+        retry_jitter_seed: when given, retry sleeps are scaled into
+            ``[delay/2, delay]`` by a deterministic factor derived from
+            the seed, the retrying benchmark/round and the round index,
+            so concurrent builders do not synchronize into
+            thundering-herd rebuild rounds.  ``None`` keeps the exact
+            historical schedule.
+        deadline: wall-clock budget in seconds for the whole build.
+            Once it elapses, benchmarks not yet built are recorded as
+            failed with ``"build deadline exceeded"`` (cooperatively —
+            checked between jobs, attempts and retry rounds) and the
+            usual strict/salvage semantics apply.
 
     The result is identical — bit-for-bit — whether built serially with
     cold caches or with ``jobs=N`` against warm caches; workers are pure
@@ -556,15 +693,20 @@ def build_dataset(
     }
     if jobs is None:
         jobs = workers
+    deadline_at = (
+        None if deadline is None else time.monotonic() + deadline
+    )
     worker_count = min(jobs or os.cpu_count() or 1, len(jobs_by_name))
     if worker_count > 1:
         outcomes = _run_jobs_parallel(
             jobs_by_name, names, worker_count, max_attempts,
-            retry_backoff, progress,
+            retry_backoff, progress, jitter_seed=retry_jitter_seed,
+            deadline_at=deadline_at,
         )
     else:
         outcomes = _run_jobs_serial(
-            jobs_by_name, names, max_attempts, retry_backoff, progress
+            jobs_by_name, names, max_attempts, retry_backoff, progress,
+            jitter_seed=retry_jitter_seed, deadline_at=deadline_at,
         )
 
     report = DatasetBuildReport(

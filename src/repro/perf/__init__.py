@@ -44,6 +44,7 @@ from .cache import (
     cached_characterize,
     cached_collect_hpc,
     cached_generate_trace,
+    is_cache_degraded,
     reset_cache_degradation,
     sweep_temporaries,
     trace_fingerprint,
@@ -74,6 +75,7 @@ __all__ = [
     "cached_generate_trace",
     "faults",
     "integrity",
+    "is_cache_degraded",
     "reset_cache_degradation",
     "sweep_temporaries",
     "trace_fingerprint",

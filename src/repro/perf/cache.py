@@ -100,6 +100,17 @@ def reset_cache_degradation() -> None:
     _DEGRADED_DIRECTORIES.clear()
 
 
+def is_cache_degraded(directory: "Path | str") -> bool:
+    """Whether this process has degraded the directory's caches.
+
+    True once any ``cached_*`` store against ``directory`` failed with
+    an OSError (read-only filesystem, disk full) and the directory
+    dropped to compute-without-cache mode.  The service layer polls
+    this after each job to switch itself into degraded mode.
+    """
+    return os.path.abspath(str(directory)) in _DEGRADED_DIRECTORIES
+
+
 def _degrade(directory: "Path | str", error: BaseException) -> None:
     key = os.path.abspath(str(directory))
     if key in _DEGRADED_DIRECTORIES:

@@ -66,6 +66,9 @@ CORRUPTION_MODES = (
 #: Environment variable carrying the armed worker-fault plan.
 WORKER_FAULTS_ENV = "REPRO_WORKER_FAULTS"
 
+#: Environment variable carrying the armed service-fault plan.
+SERVICE_FAULTS_ENV = "REPRO_SERVICE_FAULTS"
+
 
 class InjectedWorkerError(RuntimeError):
     """The failure raised by an armed ``error``-mode worker fault."""
@@ -259,11 +262,15 @@ def inject_worker_faults(
             os.environ[WORKER_FAULTS_ENV] = previous
 
 
-def _claim_trigger(state_dir: str, benchmark: str, times: int) -> bool:
+def _claim_trigger(
+    state_dir: str, benchmark: str, times: int, namespace: str = "worker"
+) -> bool:
     """Atomically claim one of the fault's remaining triggers."""
     token_base = hashlib.sha256(benchmark.encode()).hexdigest()[:16]
     for index in range(times):
-        token = Path(state_dir) / f"worker-fault-{token_base}-{index}"
+        token = Path(state_dir) / (
+            f"{namespace}-fault-{token_base}-{index}"
+        )
         try:
             handle = os.open(
                 token, os.O_CREAT | os.O_EXCL | os.O_WRONLY
@@ -273,6 +280,103 @@ def _claim_trigger(state_dir: str, benchmark: str, times: int) -> bool:
         os.close(handle)
         return True
     return False
+
+
+# ---------------------------------------------------------------------------
+# Service-seam faults (queue saturation, crash mid-request, slow handler)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServiceFault:
+    """One armed fault for a characterization-service job.
+
+    Attributes:
+        benchmark: full benchmark name the fault targets (``"*"``
+            matches every job — useful for saturating the queue).
+        mode: ``"slow"`` (sleeps ``seconds`` inside the handler — the
+            lever for queue-saturation and past-deadline experiments),
+            ``"error"`` (raises :class:`InjectedWorkerError`) or
+            ``"crash"`` (raises ``BrokenProcessPool``, the signature a
+            dead worker process leaves behind — exercises the service's
+            retry and circuit-breaker paths).
+        times: how many triggers before the job succeeds.
+        seconds: the ``slow`` mode's sleep.
+    """
+
+    benchmark: str
+    mode: str = "error"
+    times: int = 1
+    seconds: float = 0.25
+
+
+@contextmanager
+def inject_service_faults(
+    faults: "Sequence[ServiceFault]", state_dir: "Path | str"
+):
+    """Arm service-job faults inside the context.
+
+    Mirrors :func:`inject_worker_faults` at the service seam: the plan
+    travels through :data:`SERVICE_FAULTS_ENV` and triggers are claimed
+    through ``O_CREAT | O_EXCL`` tokens in ``state_dir`` (namespaced
+    apart from worker-fault tokens), so "fail the first N attempts,
+    then succeed" holds across the service's retry rounds.
+    """
+    state = Path(state_dir)
+    state.mkdir(parents=True, exist_ok=True)
+    plan = json.dumps({
+        "state_dir": str(state),
+        "faults": [
+            {"benchmark": fault.benchmark, "mode": fault.mode,
+             "times": fault.times, "seconds": fault.seconds}
+            for fault in faults
+        ],
+    })
+    previous = os.environ.get(SERVICE_FAULTS_ENV)
+    os.environ[SERVICE_FAULTS_ENV] = plan
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(SERVICE_FAULTS_ENV, None)
+        else:
+            os.environ[SERVICE_FAULTS_ENV] = previous
+
+
+def maybe_fail_service_job(benchmark: str) -> None:
+    """Fire an armed service fault for this job, if triggers remain.
+
+    Called by every service compute attempt; a no-op unless
+    :func:`inject_service_faults` is active.
+    """
+    raw = os.environ.get(SERVICE_FAULTS_ENV)
+    if not raw:
+        return
+    plan = json.loads(raw)
+    for fault in plan["faults"]:
+        if fault["benchmark"] not in ("*", benchmark):
+            continue
+        token_name = (
+            benchmark if fault["benchmark"] != "*" else f"*:{benchmark}"
+        )
+        if not _claim_trigger(
+            plan["state_dir"], token_name, int(fault["times"]),
+            namespace="service",
+        ):
+            continue
+        mode = fault["mode"]
+        if mode == "slow":
+            time.sleep(float(fault.get("seconds", 0.25)))
+            return
+        if mode == "crash":
+            from concurrent.futures.process import BrokenProcessPool
+
+            raise BrokenProcessPool(
+                f"injected service worker crash for {benchmark}"
+            )
+        raise InjectedWorkerError(
+            f"injected service failure for {benchmark}"
+        )
 
 
 def maybe_fail_worker(benchmark: str) -> None:

@@ -1,0 +1,157 @@
+"""Circuit breaker guarding the service's cold-compute path.
+
+The breaker watches *infrastructure* failures — worker crashes
+(``BrokenProcessPool``), pool rebuilds reported by
+:func:`~repro.experiments.build_dataset`, injected worker faults — and
+never user errors (an unknown benchmark cannot trip it).  Classic three
+states:
+
+* **closed** — normal operation; ``failure_threshold`` consecutive
+  failures open it.
+* **open** — cold submissions are refused (503 +
+  ``Retry-After``) until ``recovery_seconds`` elapse.
+* **half-open** — one probe submission is admitted; its success closes
+  the breaker, its failure re-opens it (and restarts the recovery
+  clock).
+
+All transitions happen under one lock, so concurrent handler threads
+observe a consistent state, and exactly one of them wins the half-open
+probe slot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing.
+
+    Args:
+        failure_threshold: consecutive failures that open the breaker.
+        recovery_seconds: time the breaker stays open before admitting
+            a half-open probe.
+        clock: monotonic time source (overridable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_seconds: float = 5.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._trip_count = 0
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether a cold submission may proceed right now.
+
+        In the half-open state at most one caller is granted the probe
+        slot; everyone else keeps getting False until the probe's
+        outcome is recorded.
+        """
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def retry_after(self) -> float:
+        """Seconds until a half-open probe will be admitted."""
+        with self._lock:
+            if self._state == CLOSED:
+                return 0.0
+            elapsed = self._clock() - self._opened_at
+            return max(0.0, self.recovery_seconds - elapsed)
+
+    def snapshot(self) -> dict:
+        """State summary for health/stats bodies."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "trips": self._trip_count,
+                "retry_after": round(max(
+                    0.0,
+                    self.recovery_seconds - (
+                        self._clock() - self._opened_at
+                    ),
+                ), 3) if self._state != CLOSED else 0.0,
+            }
+
+    def release_probe(self) -> None:
+        """Return an unused half-open probe slot.
+
+        Called when a submission that won the probe slot was refused
+        downstream (queue full, draining) before any work ran — the
+        probe produced no evidence either way.
+        """
+        with self._lock:
+            self._probe_in_flight = False
+
+    # -- outcome recording ---------------------------------------------
+
+    def record_success(self) -> None:
+        """A guarded operation finished cleanly: close the breaker."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            self._state = CLOSED
+
+    def record_failure(self) -> None:
+        """A guarded operation hit an infrastructure failure."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                # The probe failed: re-open and restart the clock.
+                self._trip_locked()
+            elif (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip_locked()
+
+    # -- internals -----------------------------------------------------
+
+    def _trip_locked(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._probe_in_flight = False
+        self._trip_count += 1
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.recovery_seconds
+        ):
+            self._state = HALF_OPEN
+            self._probe_in_flight = False

@@ -1,0 +1,61 @@
+"""Liveness and readiness bodies for the characterization service.
+
+``/healthz`` answers 200 for as long as the process can serve HTTP at
+all — it reflects *liveness*, so an orchestrator never kills a service
+that is merely overloaded, draining or running with an open breaker.
+
+``/readyz`` reflects *readiness to accept cold work*: it goes 503 when
+the breaker is open, when the admission queue is saturated past the
+high-water fraction, or when the service is draining — exactly the
+conditions under which a new cold submission would be refused — while
+still reporting the full state in its body (including the degraded
+cache flag, which by itself does not unready the service: degraded mode
+keeps serving by computing without the cache).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def liveness_body(started_at: float) -> dict:
+    """The ``/healthz`` payload (always served with 200)."""
+    return {
+        "status": "ok",
+        "uptime": round(time.monotonic() - started_at, 3),
+    }
+
+
+def readiness(
+    breaker_snapshot: dict,
+    queue_depth: int,
+    queue_capacity: int,
+    draining: bool,
+    degraded: bool,
+    high_water_fraction: float = 0.8,
+    job_counts: "dict | None" = None,
+) -> "tuple[int, dict]":
+    """The ``/readyz`` (status, payload) pair.
+
+    Ready means a cold submission posted right now would be admitted:
+    breaker not open, queue below the high-water mark, not draining.
+    """
+    saturated = queue_depth >= max(
+        1, int(queue_capacity * high_water_fraction)
+    )
+    breaker_open = breaker_snapshot.get("state") == "open"
+    ready = not (breaker_open or saturated or draining)
+    body = {
+        "ready": ready,
+        "breaker": breaker_snapshot,
+        "queue": {
+            "depth": queue_depth,
+            "capacity": queue_capacity,
+            "saturated": saturated,
+        },
+        "draining": draining,
+        "cache_degraded": degraded,
+    }
+    if job_counts is not None:
+        body["jobs"] = job_counts
+    return (200 if ready else 503), body

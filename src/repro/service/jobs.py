@@ -1,0 +1,204 @@
+"""Job lifecycle and registry for the characterization service.
+
+A *job* is one admitted cold request (warm content-hash hits never
+become jobs — they answer 200 inline).  Jobs move through a fixed state
+machine::
+
+    queued -> running -> done | failed
+         \\-> expired (deadline passed while queued or running)
+         \\-> cancelled (drain timeout)
+
+Transitions into a terminal state are first-writer-wins under the job's
+lock: a watchdog that expires an overdue job wins against the worker
+thread that later finishes the abandoned computation, so a client can
+never observe a result after being told 504.  The registry keeps a
+bounded history of terminal jobs (oldest evicted first), so a service
+under sustained traffic holds O(capacity + history) job records, never
+unbounded memory.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import JobNotFoundError, ServiceError
+
+#: Job states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+EXPIRED = "expired"
+CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({DONE, FAILED, EXPIRED, CANCELLED})
+
+
+class Job:
+    """One admitted cold request.
+
+    Attributes:
+        id: opaque job id (path segment of the poll URL).
+        kind: request kind (``characterize``/``hpc``/``phases``/
+            ``dataset``).
+        params: validated request parameters.
+        deadline: absolute ``time.monotonic()`` instant the request
+            must finish by.
+        state: current lifecycle state.
+        result: response payload dict (set once, on ``done``).
+        error: the :class:`~repro.errors.ServiceError` explaining a
+            ``failed``/``expired``/``cancelled`` outcome.
+        attempts: compute attempts started so far.
+    """
+
+    def __init__(
+        self, job_id: str, kind: str, params: dict, deadline: float
+    ):
+        self.id = job_id
+        self.kind = kind
+        self.params = params
+        self.deadline = deadline
+        self.created_at = time.monotonic()
+        self.state = QUEUED
+        self.result: Optional[dict] = None
+        self.error: Optional[ServiceError] = None
+        self.attempts = 0
+        self.cancel_requested = threading.Event()
+        self._terminal = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- time ----------------------------------------------------------
+
+    def remaining(self) -> float:
+        """Seconds until the deadline (negative once overdue)."""
+        return self.deadline - time.monotonic()
+
+    def overdue(self) -> bool:
+        return self.remaining() <= 0.0
+
+    # -- transitions (first terminal writer wins) ----------------------
+
+    def start_running(self) -> bool:
+        """Move queued -> running; False when already terminal."""
+        with self._lock:
+            if self.state != QUEUED:
+                return False
+            self.state = RUNNING
+            return True
+
+    def finish_ok(self, result: dict) -> bool:
+        """Record a successful result; False when the job already
+        reached a terminal state (e.g. expired by the watchdog — the
+        late result is abandoned, never served)."""
+        with self._lock:
+            if self.state in TERMINAL_STATES:
+                return False
+            self.state = DONE
+            self.result = result
+        self._terminal.set()
+        return True
+
+    def finish_error(
+        self, error: ServiceError, state: str = FAILED
+    ) -> bool:
+        """Record a failure/expiry/cancellation; first writer wins."""
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"not a terminal state: {state!r}")
+        with self._lock:
+            if self.state in TERMINAL_STATES:
+                return False
+            self.state = state
+            self.error = error
+        self.cancel_requested.set()
+        self._terminal.set()
+        return True
+
+    # -- observation ---------------------------------------------------
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def wait(self, timeout: "float | None" = None) -> bool:
+        """Block until the job is terminal; True when it finished."""
+        return self._terminal.wait(timeout)
+
+    def status_body(self) -> dict:
+        """The 202 poll body for a not-yet-finished job."""
+        return {
+            "job": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "attempts": self.attempts,
+            "deadline_in": round(max(0.0, self.remaining()), 3),
+            "poll": f"/v1/jobs/{self.id}",
+        }
+
+
+class JobRegistry:
+    """Thread-safe id -> :class:`Job` map with bounded terminal history.
+
+    Args:
+        max_finished: terminal jobs retained for polling before the
+            oldest are evicted (keeps the registry's memory bounded
+            under sustained traffic).
+    """
+
+    def __init__(self, max_finished: int = 256):
+        self.max_finished = max_finished
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    def create(self, kind: str, params: dict, deadline: float) -> Job:
+        """Register a new queued job."""
+        with self._lock:
+            job_id = f"{kind}-{next(self._ids):08x}"
+            job = Job(job_id, kind, params, deadline)
+            self._jobs[job_id] = job
+            self._evict_locked()
+            return job
+
+    def get(self, job_id: str) -> Job:
+        """Look a job up.
+
+        Raises:
+            JobNotFoundError: unknown (or already-evicted) id.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"unknown job id: {job_id!r}")
+        return job
+
+    def active(self) -> "List[Job]":
+        """Jobs not yet terminal (the watchdog's scan set)."""
+        with self._lock:
+            return [
+                job for job in self._jobs.values() if not job.terminal
+            ]
+
+    def counts(self) -> "Dict[str, int]":
+        """State -> job count (for health/stats bodies)."""
+        with self._lock:
+            counts: "Dict[str, int]" = {}
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+            return counts
+
+    def _evict_locked(self) -> None:
+        terminal = [
+            job_id for job_id, job in self._jobs.items() if job.terminal
+        ]
+        excess = len(terminal) - self.max_finished
+        for job_id in terminal[:max(0, excess)]:
+            del self._jobs[job_id]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)

@@ -1,0 +1,222 @@
+"""Bounded admission queue, worker threads and the deadline watchdog.
+
+Admission is strictly bounded: ``capacity`` queued jobs at most, a full
+queue rejects with :class:`~repro.errors.QueueFullError` (served as 429
++ ``Retry-After``) — the service can never buffer unbounded work in
+memory.  A fixed pool of daemon worker threads drains the queue; each
+job is executed by the callable the service installs.
+
+The *watchdog* is a separate thread that periodically sweeps every
+non-terminal job and expires the overdue ones: the job transitions to
+``expired`` (first-writer-wins, so a worker finishing late cannot
+overwrite the 504), its cooperative cancel flag is set, and the event
+is counted and reported through the service log.  Cooperative
+checkpoints in the executor (before start, between retry attempts)
+observe the flag; a genuinely wedged computation cannot be interrupted
+mid-numpy-call, but its job is still answered on time and its eventual
+result abandoned.
+
+Draining (SIGTERM) stops admission immediately — submissions raise
+:class:`~repro.errors.ServiceDrainingError` — and gives in-flight jobs
+until the drain timeout to finish; whatever remains is cancelled with a
+typed error.  Workers only ever go through the atomic cache writers, so
+a drain never leaves torn entries behind.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue as queue_module
+import threading
+from typing import Callable, List, Optional
+
+from ..errors import (
+    JobCancelledError,
+    QueueFullError,
+    ServiceDrainingError,
+)
+from .jobs import Job, JobRegistry, QUEUED, RUNNING
+
+logger = logging.getLogger("repro.service")
+
+
+class ServiceQueue:
+    """Admission-controlled work queue with deadline watchdog.
+
+    Args:
+        capacity: maximum queued (not yet running) jobs.
+        workers: worker-thread count.
+        execute: callable invoked with each admitted :class:`Job`.
+        registry: the job registry the watchdog sweeps.
+        watchdog_interval: seconds between deadline sweeps.
+        retry_after: the ``Retry-After`` hint attached to 429s.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        workers: int,
+        execute: "Callable[[Job], None]",
+        registry: JobRegistry,
+        watchdog_interval: float = 0.05,
+        retry_after: float = 1.0,
+    ):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        if workers < 1:
+            raise ValueError("worker count must be >= 1")
+        self.capacity = capacity
+        self.retry_after = retry_after
+        self._execute = execute
+        self._registry = registry
+        self._watchdog_interval = watchdog_interval
+        self._queue: "queue_module.Queue[Optional[Job]]" = (
+            queue_module.Queue(maxsize=capacity)
+        )
+        self._threads: "List[threading.Thread]" = []
+        self._watchdog: "Optional[threading.Thread]" = None
+        self._stop = threading.Event()
+        self._draining = threading.Event()
+        self._workers = workers
+        self.expired_total = 0
+        self.rejected_total = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker and watchdog threads (idempotent)."""
+        if self._threads:
+            return
+        for index in range(self._workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        self._watchdog = threading.Thread(
+            target=self._watchdog_loop,
+            name="repro-service-watchdog",
+            daemon=True,
+        )
+        self._watchdog.start()
+
+    def begin_drain(self) -> None:
+        """Stop admitting new jobs (submissions now get 503)."""
+        self._draining.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Finish or cancel everything, then stop the threads.
+
+        In-flight and queued jobs get ``timeout`` seconds (their own
+        deadlines still apply — the watchdog keeps running during the
+        drain); jobs still alive after that are cancelled with a typed
+        :class:`~repro.errors.JobCancelledError`.
+
+        Returns:
+            True when every job reached a terminal state on its own.
+        """
+        import time
+
+        self.begin_drain()
+        deadline = time.monotonic() + timeout
+        clean = True
+        while True:
+            active = self._registry.active()
+            if not active:
+                break
+            if time.monotonic() >= deadline:
+                clean = False
+                for job in active:
+                    job.finish_error(
+                        JobCancelledError(
+                            "service drained before the job finished"
+                        ),
+                        state="cancelled",
+                    )
+                break
+            time.sleep(min(self._watchdog_interval, 0.02))
+        self._stop.set()
+        for _ in self._threads:
+            # Wake workers blocked on an empty queue.
+            try:
+                self._queue.put_nowait(None)
+            except queue_module.Full:
+                break
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=2.0)
+        return clean
+
+    # -- admission -----------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Admit one job or raise the typed refusal.
+
+        Raises:
+            ServiceDrainingError: the service is shutting down.
+            QueueFullError: the bounded queue is at capacity.
+        """
+        if self._draining.is_set() or self._stop.is_set():
+            raise ServiceDrainingError(
+                "service is draining; not admitting new work",
+                retry_after=self.retry_after,
+            )
+        try:
+            self._queue.put_nowait(job)
+        except queue_module.Full:
+            self.rejected_total += 1
+            raise QueueFullError(
+                f"admission queue is full ({self.capacity} jobs); "
+                "retry later",
+                retry_after=self.retry_after,
+            ) from None
+
+    def depth(self) -> int:
+        """Queued-but-not-yet-running jobs (approximate, lock-free)."""
+        return self._queue.qsize()
+
+    # -- threads -------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job = self._queue.get(timeout=0.1)
+            except queue_module.Empty:
+                continue
+            if job is None:
+                continue
+            try:
+                if job.terminal:
+                    # Expired or cancelled while waiting in the queue.
+                    continue
+                self._execute(job)
+            except Exception:  # pragma: no cover - executor guards
+                logger.exception("service worker crashed on %s", job.id)
+            finally:
+                self._queue.task_done()
+
+    def _watchdog_loop(self) -> None:
+        while not self._stop.is_set():
+            for job in self._registry.active():
+                if job.state in (QUEUED, RUNNING) and job.overdue():
+                    from ..errors import DeadlineExceededError
+
+                    if job.finish_error(
+                        DeadlineExceededError(
+                            f"job {job.id} exceeded its deadline"
+                        ),
+                        state="expired",
+                    ):
+                        self.expired_total += 1
+                        logger.warning(
+                            "watchdog expired overdue job %s (%s)",
+                            job.id, job.kind,
+                        )
+            self._stop.wait(self._watchdog_interval)

@@ -341,9 +341,12 @@ class TestCacheCli:
         bad = next(tmp_path.glob("char-*.npz"))
         faults.corrupt_entry(bad, "truncate")
         code = main(["--cache-dir", str(tmp_path), "cache", "verify"])
-        assert code == 0
-        out = capsys.readouterr().out
-        assert "1 quarantined" in out
+        # Quarantined entries are a reportable failure: exit 1 with a
+        # one-line error on stderr (clean directories still exit 0).
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "1 quarantined" in captured.out
+        assert captured.err.startswith("error:")
         assert list(tmp_path.glob("*.quarantined"))
 
     def test_cache_clear_command(self, tiny_trace, tmp_path, capsys):
