@@ -46,11 +46,17 @@ def _dataset_kwargs(args: argparse.Namespace) -> dict:
         kwargs["jobs"] = args.jobs
     if getattr(args, "cache_dir", None):
         kwargs["cache_dir"] = Path(args.cache_dir)
-    if getattr(args, "max_attempts", None):
-        kwargs["max_attempts"] = args.max_attempts
+    if getattr(args, "max_attempts", None) is not None:
+        kwargs["max_attempts"] = _positive_attempts(args.max_attempts)
     if getattr(args, "retry_backoff", None) is not None:
         kwargs["retry_backoff"] = args.retry_backoff
     return kwargs
+
+
+def _positive_attempts(value: int) -> int:
+    if value < 1:
+        raise ReproError(f"--max-attempts must be >= 1, got {value}")
+    return value
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -195,24 +201,41 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from .service import CharacterizationService, ServiceSettings, serve
+def _serve_settings(args: argparse.Namespace):
+    """Validated ``ServiceSettings`` for ``repro serve``."""
+    from .service import ServiceSettings
 
-    config = _make_config(args)
-    settings = ServiceSettings(
+    if args.deadline_ms <= 0:
+        raise ReproError(
+            f"--deadline-ms must be positive, got {args.deadline_ms}"
+        )
+    default_deadline = args.deadline_ms / 1000.0
+    return ServiceSettings(
         cache_dir=Path(args.cache_dir) if args.cache_dir else None,
         use_cache=not args.no_cache,
         queue_capacity=args.queue_capacity,
         workers=args.service_workers,
-        default_deadline=args.deadline_ms / 1000.0,
-        max_attempts=args.max_attempts,
+        default_deadline=default_deadline,
+        # Per-request deadlines are clamped to max_deadline; keep the
+        # ceiling at or above the flag so a large --deadline-ms is
+        # never silently shortened.
+        max_deadline=max(ServiceSettings.max_deadline, default_deadline),
+        max_attempts=_positive_attempts(args.max_attempts),
         retry_backoff=args.retry_backoff,
         breaker_failure_threshold=args.breaker_threshold,
         breaker_recovery=args.breaker_recovery,
         drain_timeout=args.drain_timeout,
         dataset_jobs=args.jobs or 1,
     )
-    service = CharacterizationService(config=config, settings=settings)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import CharacterizationService, serve
+
+    config = _make_config(args)
+    service = CharacterizationService(
+        config=config, settings=_serve_settings(args)
+    )
     return serve(service, host=args.host, port=args.port)
 
 
@@ -393,7 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
              "report the casualties instead of aborting the build)",
     )
     dataset_parser.add_argument(
-        "--max-attempts", type=int, default=0, metavar="N",
+        "--max-attempts", type=int, default=None, metavar="N",
         help="charged attempts per benchmark before it is declared "
              "failed (default: 3)",
     )

@@ -342,9 +342,10 @@ class CharacterizationService:
             return 200, warm, {"X-Repro-Source": "cache"}
 
         deadline_seconds = self._deadline_seconds(body)
-        probe_consumed = False
+        probe = False
         if not self.queue.draining:
-            if not self.breaker.allow():
+            allowed, probe = self.breaker.acquire()
+            if not allowed:
                 raise CircuitOpenError(
                     "circuit breaker is open after repeated worker "
                     "failures; cold work is refused",
@@ -353,16 +354,20 @@ class CharacterizationService:
                         self.settings.retry_after,
                     ),
                 )
-            probe_consumed = True
+        # A probe job owes the breaker exactly one outcome.  Workers
+        # report success/failure; _settle_probe fires on the job's
+        # terminal transition and returns an unreported slot (queue
+        # refusal, watchdog expiry, drain cancellation, typed error),
+        # so a probe can never leak and wedge the breaker half-open.
         job = self.registry.create(
-            kind, params, time.monotonic() + deadline_seconds
+            kind, params, time.monotonic() + deadline_seconds,
+            probe=probe,
+            on_terminal=self._settle_probe if probe else None,
         )
         try:
             self.queue.submit(job)
         except ServiceError as error:
             job.finish_error(error, state="cancelled")
-            if probe_consumed:
-                self.breaker.release_probe()
             raise
 
         wait_for = self._wait_seconds(body, query, deadline_seconds)
@@ -606,6 +611,7 @@ class CharacterizationService:
                         self._stats["failed"] += 1
                 return
             except Exception as error:  # worker casualty: retry
+                job.claim_probe()
                 self.breaker.record_failure()
                 self._note_degradation()
                 if job.attempts >= self.settings.max_attempts:
@@ -622,12 +628,25 @@ class CharacterizationService:
                 self._backoff(job)
                 continue
             else:
+                job.claim_probe()
                 self.breaker.record_success()
                 self._note_degradation()
                 if job.finish_ok(payload):
                     with self._stats_lock:
                         self._stats["completed"] += 1
                 return
+
+    def _settle_probe(self, job: Job) -> None:
+        """Terminal callback of a probe job: return an unreported slot.
+
+        Fires exactly once, on whichever thread wins the job's terminal
+        transition.  When a worker already reported the probe's outcome
+        (``claim_probe`` lost), the slot is settled and nothing happens
+        here; otherwise the probe produced no infrastructure evidence
+        and the half-open slot goes back to the breaker.
+        """
+        if job.claim_probe():
+            self.breaker.release_probe()
 
     def _backoff(self, job: Job) -> None:
         from ..experiments.dataset import _retry_delay
@@ -760,20 +779,21 @@ class CharacterizationService:
             )
         except DatasetBuildError as error:
             report = getattr(error, "report", None)
-            self._record_pool_rebuilds(report)
+            self._record_pool_rebuilds(job, report)
             if job.overdue():
                 raise DeadlineExceededError(
                     f"dataset job {job.id} exceeded its deadline: "
                     f"{error}"
                 ) from error
             raise BrokenProcessPool(str(error)) from error
-        self._record_pool_rebuilds(dataset.report)
+        self._record_pool_rebuilds(job, dataset.report)
         return dataset_payload(dataset)
 
-    def _record_pool_rebuilds(self, report) -> None:
+    def _record_pool_rebuilds(self, job: Job, report) -> None:
         """Repeated ``BrokenProcessPool`` rebuilds feed the breaker."""
-        if report is None:
+        if report is None or not report.pool_rebuilds:
             return
+        job.claim_probe()
         for _ in range(report.pool_rebuilds):
             self.breaker.record_failure()
 

@@ -73,14 +73,25 @@ class CircuitBreaker:
         slot; everyone else keeps getting False until the probe's
         outcome is recorded.
         """
+        return self.acquire()[0]
+
+    def acquire(self) -> "tuple[bool, bool]":
+        """Admission decision as ``(allowed, probe_taken)``.
+
+        ``probe_taken`` is True only for the one caller granted the
+        half-open probe slot — that caller (and nobody else) owes the
+        breaker an outcome: ``record_success``/``record_failure`` once
+        work ran, or ``release_probe`` when the probe never produced
+        evidence (refused downstream, expired, cancelled).
+        """
         with self._lock:
             self._maybe_half_open_locked()
             if self._state == CLOSED:
-                return True
+                return True, False
             if self._state == HALF_OPEN and not self._probe_in_flight:
                 self._probe_in_flight = True
-                return True
-            return False
+                return True, True
+            return False, False
 
     def retry_after(self) -> float:
         """Seconds until a half-open probe will be admitted."""
@@ -110,9 +121,11 @@ class CircuitBreaker:
     def release_probe(self) -> None:
         """Return an unused half-open probe slot.
 
-        Called when a submission that won the probe slot was refused
-        downstream (queue full, draining) before any work ran — the
-        probe produced no evidence either way.
+        Called when a submission that won the probe slot terminated
+        without reporting an outcome — refused downstream (queue full,
+        draining), expired by the watchdog, cancelled by a drain, or
+        failed with a typed non-infrastructure error — so the probe
+        produced no evidence either way and the slot must come back.
         """
         with self._lock:
             self._probe_in_flight = False

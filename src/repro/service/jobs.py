@@ -23,7 +23,7 @@ import itertools
 import threading
 import time
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import JobNotFoundError, ServiceError
 
@@ -54,10 +54,19 @@ class Job:
         error: the :class:`~repro.errors.ServiceError` explaining a
             ``failed``/``expired``/``cancelled`` outcome.
         attempts: compute attempts started so far.
+        probe: whether this job consumed the circuit breaker's
+            half-open probe slot at admission (it then owes the
+            breaker exactly one outcome; see :meth:`claim_probe`).
     """
 
     def __init__(
-        self, job_id: str, kind: str, params: dict, deadline: float
+        self,
+        job_id: str,
+        kind: str,
+        params: dict,
+        deadline: float,
+        probe: bool = False,
+        on_terminal: "Optional[Callable[[Job], None]]" = None,
     ):
         self.id = job_id
         self.kind = kind
@@ -68,9 +77,12 @@ class Job:
         self.result: Optional[dict] = None
         self.error: Optional[ServiceError] = None
         self.attempts = 0
+        self.probe = probe
         self.cancel_requested = threading.Event()
         self._terminal = threading.Event()
         self._lock = threading.Lock()
+        self._probe_claimed = False
+        self._on_terminal = on_terminal
 
     # -- time ----------------------------------------------------------
 
@@ -101,6 +113,7 @@ class Job:
             self.state = DONE
             self.result = result
         self._terminal.set()
+        self._fire_on_terminal()
         return True
 
     def finish_error(
@@ -116,7 +129,33 @@ class Job:
             self.error = error
         self.cancel_requested.set()
         self._terminal.set()
+        self._fire_on_terminal()
         return True
+
+    def _fire_on_terminal(self) -> None:
+        # Only the thread that won the terminal transition reaches
+        # here, so the callback fires exactly once per job — every
+        # terminal path (worker outcome, watchdog expiry, drain
+        # cancellation, admission refusal) goes through it.
+        callback, self._on_terminal = self._on_terminal, None
+        if callback is not None:
+            callback(self)
+
+    def claim_probe(self) -> bool:
+        """Claim the right to report this job's probe outcome.
+
+        The first claimant (a worker about to call the breaker's
+        ``record_success``/``record_failure``, or the terminal
+        callback about to ``release_probe``) wins; everyone else gets
+        False, so a probe slot is settled exactly once and a late
+        release can never clear a *different* submission's probe.
+        Always False for jobs that never owned the probe slot.
+        """
+        with self._lock:
+            if not self.probe or self._probe_claimed:
+                return False
+            self._probe_claimed = True
+            return True
 
     # -- observation ---------------------------------------------------
 
@@ -155,11 +194,26 @@ class JobRegistry:
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
 
-    def create(self, kind: str, params: dict, deadline: float) -> Job:
-        """Register a new queued job."""
+    def create(
+        self,
+        kind: str,
+        params: dict,
+        deadline: float,
+        probe: bool = False,
+        on_terminal: "Optional[Callable[[Job], None]]" = None,
+    ) -> Job:
+        """Register a new queued job.
+
+        ``probe``/``on_terminal`` are set at construction — before the
+        job is visible to the watchdog — so even a job that expires
+        instantly still fires its terminal callback.
+        """
         with self._lock:
             job_id = f"{kind}-{next(self._ids):08x}"
-            job = Job(job_id, kind, params, deadline)
+            job = Job(
+                job_id, kind, params, deadline,
+                probe=probe, on_terminal=on_terminal,
+            )
             self._jobs[job_id] = job
             self._evict_locked()
             return job

@@ -78,8 +78,20 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._respond(status, payload, headers)
 
     def _read_body(self, service) -> "dict | None":
-        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            # An unparsable length means the body's extent is unknown:
+            # the connection cannot be resynchronized, so close it.
+            self.close_connection = True
+            raise BadRequestError(
+                "Content-Length header is not an integer"
+            ) from None
         if length > service.settings.max_body_bytes:
+            # The oversized body is rejected *unread*; on a keep-alive
+            # connection the unread bytes would be parsed as the next
+            # request line, so the connection must close with the 400.
+            self.close_connection = True
             raise BadRequestError(
                 f"request body of {length} bytes exceeds the "
                 f"{service.settings.max_body_bytes}-byte limit"
@@ -102,6 +114,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        if self.close_connection:
+            # Tell the client the persistent connection ends here
+            # (e.g. after an unread oversized body).
+            self.send_header("Connection", "close")
         for name, value in headers.items():
             self.send_header(name, value)
         self.end_headers()

@@ -14,7 +14,12 @@ import argparse
 
 import pytest
 
-from repro.cli import _dataset_kwargs, build_parser, main
+from repro.cli import (
+    _dataset_kwargs,
+    _serve_settings,
+    build_parser,
+    main,
+)
 from repro.config import ReproConfig
 from repro.experiments import build_dataset
 from repro.experiments.dataset import _MEMORY_CACHE
@@ -152,7 +157,7 @@ class TestRetryPolicyFlags:
 
     def test_flags_parse_with_defaults(self):
         args = build_parser().parse_args(["dataset"])
-        assert args.max_attempts == 0
+        assert args.max_attempts is None
         assert args.retry_backoff is None
 
     def test_defaults_leave_build_dataset_defaults_alone(self):
@@ -176,6 +181,17 @@ class TestRetryPolicyFlags:
             ["dataset", "--retry-backoff", "0"]
         )
         assert _dataset_kwargs(args)["retry_backoff"] == 0.0
+
+    def test_explicit_max_attempts_zero_is_an_error_not_the_default(
+        self, capsys
+    ):
+        # '--max-attempts 0' used to be swallowed by a truthiness
+        # check and silently fall back to 3; it must be rejected.
+        code = main(["dataset", "--max-attempts", "0"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: --max-attempts must be >= 1")
+        assert "Traceback" not in err
 
     def test_build_receives_the_flags(
         self, small_registry, tmp_path, monkeypatch
@@ -223,3 +239,32 @@ class TestServeParser:
         assert args.service_workers == 1
         assert args.deadline_ms == 500.0
         assert args.breaker_threshold == 2
+
+    def test_default_deadline_keeps_the_default_ceiling(self):
+        from repro.service import ServiceSettings
+
+        args = build_parser().parse_args(["serve"])
+        settings = _serve_settings(args)
+        assert settings.default_deadline == 30.0
+        assert settings.max_deadline == ServiceSettings.max_deadline
+
+    def test_large_deadline_flag_is_not_silently_clamped(self):
+        # --deadline-ms beyond the 300 s ceiling must raise the
+        # ceiling with it, not contradict the flag.
+        args = build_parser().parse_args(
+            ["serve", "--deadline-ms", "600000"]
+        )
+        settings = _serve_settings(args)
+        assert settings.default_deadline == 600.0
+        assert settings.max_deadline >= 600.0
+
+    def test_nonpositive_serve_knobs_are_rejected(self, capsys):
+        for argv in (
+            ["serve", "--deadline-ms", "0"],
+            ["serve", "--max-attempts", "0"],
+        ):
+            code = main(argv)
+            assert code == 1
+            err = capsys.readouterr().err
+            assert err.startswith("error:")
+            assert "Traceback" not in err

@@ -121,6 +121,17 @@ class TestCircuitBreaker:
         breaker.release_probe()
         assert breaker.allow()
 
+    def test_acquire_reports_probe_ownership(self, breaker, clock):
+        # Closed: admitted, but no probe slot was taken — releasing
+        # on a downstream refusal must not clear anyone else's probe.
+        assert breaker.acquire() == (True, False)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.acquire() == (False, False)
+        clock.advance(5.0)
+        assert breaker.acquire() == (True, True)   # the probe slot
+        assert breaker.acquire() == (False, False)
+
     def test_snapshot_shape(self, breaker):
         snap = breaker.snapshot()
         assert snap["state"] == "closed"
@@ -187,6 +198,38 @@ class TestJobLifecycle:
         assert not job.wait(0.01)
         job.finish_ok({})
         assert job.wait(0.01)
+
+    def test_on_terminal_fires_exactly_once_for_the_winner(self):
+        registry = JobRegistry()
+        fired = []
+        job = registry.create(
+            "hpc", {}, time.monotonic() + 10.0,
+            on_terminal=fired.append,
+        )
+        assert job.finish_error(ServiceError("first"))
+        assert not job.finish_error(ServiceError("late loser"))
+        assert not job.finish_ok({})
+        assert fired == [job]
+
+    def test_on_terminal_fires_on_success_too(self):
+        registry = JobRegistry()
+        fired = []
+        job = registry.create(
+            "hpc", {}, time.monotonic() + 10.0,
+            on_terminal=fired.append,
+        )
+        assert job.finish_ok({})
+        assert fired == [job]
+
+    def test_claim_probe_is_one_shot_and_probe_jobs_only(self):
+        registry = JobRegistry()
+        plain = registry.create("hpc", {}, time.monotonic() + 10.0)
+        assert not plain.claim_probe()
+        probe = registry.create(
+            "hpc", {}, time.monotonic() + 10.0, probe=True
+        )
+        assert probe.claim_probe()
+        assert not probe.claim_probe()
 
 
 class TestJobRegistry:

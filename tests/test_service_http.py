@@ -315,6 +315,53 @@ class TestValidation:
         )
         assert response.status == 400
 
+    def test_oversized_body_closes_the_connection(self, live_service):
+        # The oversized body is rejected without being read; on a
+        # keep-alive connection the server must close, or the unread
+        # bytes desync into the next request line.
+        _, client = live_service(max_body_bytes=64)
+        conn = http.client.HTTPConnection(
+            client.host, client.port, timeout=10
+        )
+        try:
+            payload = json.dumps(
+                {"benchmark": "mcf", "pad": "x" * 128}
+            ).encode()
+            conn.request(
+                "POST", "/v1/characterize", payload,
+                {"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 400
+            assert response.getheader("Connection") == "close"
+            assert response.will_close
+            response.read()
+        finally:
+            conn.close()
+
+    def test_keep_alive_survives_a_read_body_400(self, live_service):
+        # A 400 whose body *was* read keeps the persistent connection
+        # usable: the next request on the same socket must line up.
+        _, client = live_service()
+        conn = http.client.HTTPConnection(
+            client.host, client.port, timeout=10
+        )
+        try:
+            conn.request(
+                "POST", "/v1/characterize", b'["not", "an", "object"]',
+                {"Content-Type": "application/json"},
+            )
+            first = conn.getresponse()
+            assert first.status == 400
+            assert not first.will_close
+            first.read()
+            conn.request("GET", "/healthz")
+            second = conn.getresponse()
+            assert second.status == 200
+            assert json.loads(second.read())["status"] == "ok"
+        finally:
+            conn.close()
+
 
 class TestInjectedFaults:
 
@@ -432,6 +479,86 @@ class TestInjectedFaults:
         assert recovered.raw == expected_characterize_bytes()
         assert service.breaker.state == "closed"
         assert client.get("/readyz").status == 200
+
+    def test_expired_probe_releases_the_half_open_slot(
+        self, live_service, tmp_path
+    ):
+        # A half-open probe job that the watchdog expires (it never
+        # reports an outcome to the breaker) must hand the probe slot
+        # back — otherwise the breaker wedges half-open and every cold
+        # submission gets 503 forever.
+        service, client = live_service(
+            workers=2,
+            max_attempts=1,
+            breaker_failure_threshold=1,
+            breaker_recovery=0.2,
+        )
+        trip = [faults.ServiceFault(BENCH, mode="crash", times=1)]
+        with faults.inject_service_faults(trip, tmp_path / "trip"):
+            failed = client.post(
+                "/v1/characterize", {"benchmark": "mcf", "wait": True}
+            )
+        assert failed.status == 500
+        assert service.breaker.state == "open"
+        time.sleep(0.25)  # recovery window -> half-open
+        # The probe job wedges past its deadline; the watchdog answers
+        # 504 and must release the probe slot it consumed.
+        slow = [faults.ServiceFault(
+            BENCH, mode="slow", times=1, seconds=2.0
+        )]
+        with faults.inject_service_faults(slow, tmp_path / "slow"):
+            expired = client.post(
+                "/v1/characterize",
+                {"benchmark": "mcf", "deadline_ms": 100, "wait": True},
+            )
+            assert expired.status == 504
+            assert expired.error_code == "deadline_exceeded"
+            assert service.breaker.state == "half_open"
+            # The very next cold submission must win the freed probe
+            # slot, succeed, and close the breaker — not 503.
+            recovered = client.post(
+                "/v1/characterize", {"benchmark": "mcf", "wait": True}
+            )
+        assert recovered.status == 200
+        assert recovered.raw == expected_characterize_bytes()
+        assert service.breaker.state == "closed"
+
+    def test_queue_refused_probe_releases_the_slot(self, tmp_path):
+        # A probe refused at admission (queue full) never runs; the
+        # slot must come back immediately.  No HTTP, no threads: the
+        # queue's workers are deliberately never started, so the
+        # filler job pins the single queue slot.
+        from repro.service.breaker import CircuitBreaker
+
+        service = CharacterizationService(
+            config=SMALL_CONFIG,
+            settings=ServiceSettings(
+                cache_dir=tmp_path / "cache",
+                queue_capacity=1,
+                workers=1,
+            ),
+        )
+        now = [100.0]
+        service.breaker = CircuitBreaker(
+            failure_threshold=1,
+            recovery_seconds=5.0,
+            clock=lambda: now[0],
+        )
+        filler = service.registry.create(
+            "characterize", {}, time.monotonic() + 60.0
+        )
+        service.queue.submit(filler)
+        service.breaker.record_failure()  # trip
+        now[0] += 5.0                     # recovery -> half-open
+        assert service.breaker.state == "half_open"
+        status, body, _ = service.handle(
+            "POST", "/v1/characterize", {}, {"benchmark": "mcf"}
+        )
+        assert status == 429
+        assert body["error"]["code"] == "queue_full"
+        # The refused probe produced no evidence: the very next
+        # cold submission must be offered the slot again.
+        assert service.breaker.acquire() == (True, True)
 
     def test_cache_degrade_under_load_keeps_serving(
         self, live_service
