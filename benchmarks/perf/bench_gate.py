@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""CI perf gate: bench speedups must stay above the committed floors.
+
+Runs the MICA harness (or reads an existing ``BENCH_mica.json``),
+reduces the run to one history row (per-engine speedups vs the retained
+scalar references), compares it against the floors committed in
+``benchmarks/perf/floors.json``, and optionally appends the row to
+``BENCH_history.jsonl`` so the performance trajectory accumulates one
+line per run.  Exits non-zero when any engine regresses below its
+floor::
+
+    PYTHONPATH=src python benchmarks/perf/bench_gate.py \
+        --tier smoke --history BENCH_history.jsonl
+
+Floors are speedup *ratios* (both sides timed on the same machine), so
+the gate holds on slow CI runners; the ``smoke`` tier's floors carry
+extra headroom because small traces amortize less per-call overhead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import DEFAULT_CONFIG  # noqa: E402
+from repro.perf import (  # noqa: E402
+    append_bench_history,
+    bench_history_row,
+    check_bench_floors,
+    run_mica_bench,
+)
+
+DEFAULT_FLOORS = Path(__file__).resolve().parent / "floors.json"
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tier", choices=("smoke", "full"), default="smoke",
+        help="floor tier to gate against (also sets the trace length)",
+    )
+    parser.add_argument(
+        "--floors", default=str(DEFAULT_FLOORS),
+        help="floors JSON file (default: the committed floors.json)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="timing repetitions per engine (best is kept)",
+    )
+    parser.add_argument(
+        "--history", default="", metavar="PATH",
+        help="append the history row to this JSONL file ('' skips)",
+    )
+    args = parser.parse_args(argv)
+
+    spec = json.loads(Path(args.floors).read_text(encoding="utf-8"))
+    tier = spec[args.tier]
+    floors = tier["floors"]
+    trace_length = int(tier["trace_length"])
+
+    result = run_mica_bench(
+        config=DEFAULT_CONFIG.with_overrides(trace_length=trace_length),
+        repeats=args.repeats,
+        include_generation=True,
+        include_hpc=True,
+        include_phases=True,
+    )
+    row = bench_history_row(result)
+    print(result.format())
+    print()
+    print("history row:", json.dumps(row["speedups"], sort_keys=True))
+    if args.history:
+        path = append_bench_history(result, args.history)
+        print(f"appended history row to {path}")
+
+    violations = check_bench_floors(row, floors)
+    if violations:
+        print(f"\nperf gate FAILED ({args.tier} floors):", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed ({args.tier} floors): " + ", ".join(
+        f"{engine} {row['speedups'][engine]:.1f}x>={floors[engine]:g}x"
+        for engine in sorted(floors)
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -144,12 +144,24 @@ def _cmd_phases(args: argparse.Namespace) -> int:
 
 
 def _cmd_dataset(args: argparse.Namespace) -> int:
-    from .experiments import build_dataset
+    from .experiments import (
+        build_dataset,
+        dataset_journal_path,
+        resume_dataset,
+    )
 
     config = _make_config(args)
-    dataset = build_dataset(
-        config, progress=True, strict=not args.keep_going,
-        **_dataset_kwargs(args),
+    kwargs = _dataset_kwargs(args)
+    journal = getattr(args, "journal", None)
+    if args.resume or journal is not None:
+        path = Path(journal) if journal else dataset_journal_path(
+            config, cache_dir=kwargs.get("cache_dir")
+        )
+        kwargs["journal"] = path
+        print(f"build journal: {path}")
+    builder = resume_dataset if args.resume else build_dataset
+    dataset = builder(
+        config, progress=True, strict=not args.keep_going, **kwargs,
     )
     print(
         f"dataset ready: {len(dataset)} benchmarks, "
@@ -226,6 +238,7 @@ def _serve_settings(args: argparse.Namespace):
         breaker_recovery=args.breaker_recovery,
         drain_timeout=args.drain_timeout,
         dataset_jobs=args.jobs or 1,
+        state_dir=Path(args.state_dir) if args.state_dir else None,
     )
 
 
@@ -257,6 +270,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.output:
         path = write_bench_json(result, args.output)
         print(f"wrote {path}")
+    if args.history:
+        from .perf import append_bench_history
+
+        path = append_bench_history(result, args.history)
+        print(f"appended history row to {path}")
     return 0
 
 
@@ -425,6 +443,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="base of the bounded exponential sleep between retry "
              "rounds (default: 0.1; 0 disables sleeping)",
     )
+    dataset_parser.add_argument(
+        "--journal", nargs="?", const="", default=None, metavar="PATH",
+        help="record a crash-safe write-ahead journal of the build "
+             "(default path: journal-dataset-<key>.jsonl beside the "
+             "cache), so a killed build can be finished with --resume",
+    )
+    dataset_parser.add_argument(
+        "--resume", action="store_true",
+        help="replay the build journal (repairing a torn tail), skip "
+             "completed benchmarks whose cache entries still verify, "
+             "and finish the build; converges to the cold build's "
+             "exact matrices",
+    )
 
     cache_parser = commands.add_parser(
         "cache",
@@ -440,7 +471,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify_parser.add_argument(
         "--sweep-age", type=float, default=3600.0, metavar="SECONDS",
-        help="minimum age of tmp-*.npz files to sweep (default: 1h)",
+        help="minimum age of tmp-*.npz / tmp-journal-*.jsonl files to "
+             "sweep (default: 1h)",
     )
     cache_commands.add_parser(
         "clear", help="delete every cache entry (all four levels)"
@@ -516,6 +548,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
         help="seconds granted to in-flight jobs on SIGTERM",
     )
+    serve_parser.add_argument(
+        "--state-dir", default="", metavar="DIR",
+        help="durable state directory: admissions and terminal "
+             "transitions are journaled so a restarted service serves "
+             "finished jobs from the journal and re-admits interrupted "
+             "ones (omit for in-memory-only jobs)",
+    )
 
     bench_parser = commands.add_parser(
         "bench", help="time the MICA analyzers; write BENCH_mica.json"
@@ -531,6 +570,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--repeats", type=int, default=3,
         help="timing repetitions per analyzer (best is kept)",
+    )
+    bench_parser.add_argument(
+        "--history", default="", metavar="PATH",
+        help="append a one-line summary row (speedups per engine) to "
+             "this JSONL history file, e.g. BENCH_history.jsonl "
+             "('' skips)",
     )
     bench_parser.add_argument(
         "--no-reference", action="store_true",

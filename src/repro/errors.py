@@ -68,6 +68,17 @@ class CacheIntegrityError(CacheError):
     """
 
 
+class JournalError(ReproError):
+    """A write-ahead journal record cannot be trusted.
+
+    Raised while parsing individual journal lines (bad JSON, checksum
+    mismatch, sequence break).  Replay converts it into a reported
+    torn-tail truncation — the valid prefix is kept and the journal
+    stays usable — so it only propagates from explicit low-level
+    parsing APIs.
+    """
+
+
 class DatasetBuildError(ReproError):
     """A strict dataset build could not characterize every benchmark.
 
@@ -168,6 +179,34 @@ class JobCancelledError(ServiceError):
 
     status = 503
     code = "cancelled"
+
+
+def service_error_from_code(
+    code: str, message: str, retry_after: "float | None" = None
+) -> ServiceError:
+    """Reconstruct the typed :class:`ServiceError` behind a wire code.
+
+    Used by service-journal recovery to restore a failed/expired/
+    cancelled job's original error — same subclass, same HTTP status,
+    same body — from the (code, message, retry_after) triple the
+    journal recorded.  Unknown codes fall back to the base
+    :class:`ServiceError` (500).
+    """
+    classes = {
+        cls.code: cls
+        for cls in (
+            ServiceError,
+            BadRequestError,
+            NotFoundError,
+            JobNotFoundError,
+            QueueFullError,
+            CircuitOpenError,
+            ServiceDrainingError,
+            DeadlineExceededError,
+            JobCancelledError,
+        )
+    }
+    return classes.get(code, ServiceError)(message, retry_after=retry_after)
 
 
 class CacheDegradedWarning(UserWarning):

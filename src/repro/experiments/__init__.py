@@ -24,7 +24,9 @@ from .dataset import (
     WorkloadDataset,
     build_dataset,
     clear_dataset_cache,
+    dataset_journal_path,
     load_cached_dataset,
+    resume_dataset,
 )
 from .fig1_distance_scatter import Fig1Result, run_fig1
 from .table3_classification import Table3Result, run_table3
@@ -47,7 +49,9 @@ __all__ = [
     "WorkloadDataset",
     "build_dataset",
     "clear_dataset_cache",
+    "dataset_journal_path",
     "load_cached_dataset",
+    "resume_dataset",
     "Fig1Result",
     "run_fig1",
     "Table3Result",

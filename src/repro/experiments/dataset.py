@@ -216,7 +216,34 @@ def _characterize_one(args: "Tuple[str, int, int, dict, str | None]"):
     )
     mica_vector = cached_characterize(trace, config, cache_dir).values
     hpc_vector = cached_collect_hpc(trace, cache_dir=cache_dir).values
-    return name, mica_vector, hpc_vector, integrity.drain_quarantine_log()
+    entries: Dict[str, str] = {}
+    if cache_dir is not None:
+        # Name the cache entries this benchmark now rests on (the
+        # char/hpc keys need the trace's content hash, known only
+        # here), so a journaled build can re-verify them on resume.
+        from ..perf.cache import (
+            CharacterizationCache,
+            HpcCache,
+            TraceCache,
+            _entry_key,
+            _hpc_key,
+            _trace_key,
+        )
+        from ..uarch import EV56_CONFIG, EV67_CONFIG
+
+        entries = {
+            "trace": str(TraceCache(cache_dir)._path(
+                _trace_key(benchmark.profile, trace_length, seed)
+            )),
+            "char": str(CharacterizationCache(cache_dir)._path(
+                _entry_key(trace, config)
+            )),
+            "hpc": str(HpcCache(cache_dir)._path(
+                _hpc_key(trace, EV56_CONFIG, EV67_CONFIG)
+            )),
+        }
+    return (name, mica_vector, hpc_vector,
+            integrity.drain_quarantine_log(), entries)
 
 
 def _config_kwargs(config: ReproConfig) -> dict:
@@ -293,9 +320,17 @@ _RETRY_BACKOFF_CAP = 2.0
 
 
 class _JobOutcomes:
-    """Mutable accounting shared by the serial and parallel runners."""
+    """Mutable accounting shared by the serial and parallel runners.
 
-    def __init__(self) -> None:
+    When a write-ahead ``journal`` is attached, every lifecycle change
+    is appended *before* the build relies on it: attempts as they are
+    charged, completions with the benchmark's vectors (exact float64
+    bytes, hex) and the cache entries they rest on, failures with their
+    final error.  Only the orchestrating process appends — workers stay
+    journal-free — so the journal has a single writer.
+    """
+
+    def __init__(self, journal=None) -> None:
         self.results: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
         self.attempts: Dict[str, int] = {}
         self.errors: Dict[str, str] = {}
@@ -303,17 +338,50 @@ class _JobOutcomes:
         self.started: Dict[str, float] = {}
         self.finished: Dict[str, float] = {}
         self.pool_rebuilds = 0
+        self.journal = journal
 
-    def record_ok(self, name, mica, hpc, events, progress, total) -> None:
+    def _journal_event(self, record: dict) -> None:
+        if self.journal is not None:
+            self.journal.append(record)
+
+    def record_attempt(self, name: str, attempt: int) -> None:
+        self.attempts[name] = attempt
+        self._journal_event({
+            "event": "attempt-started",
+            "benchmark": name,
+            "attempt": attempt,
+        })
+
+    def record_ok(
+        self, name, mica, hpc, events, progress, total, entries=None
+    ) -> None:
         self.results[name] = (mica, hpc)
         self.quarantines[name] = tuple(events)
         self.finished[name] = time.perf_counter()
+        self._journal_event({
+            "event": "completed",
+            "benchmark": name,
+            "attempts": self.attempts.get(name, 0),
+            "mica": np.ascontiguousarray(
+                mica, dtype=np.float64
+            ).tobytes().hex(),
+            "hpc": np.ascontiguousarray(
+                hpc, dtype=np.float64
+            ).tobytes().hex(),
+            "entries": dict(entries or {}),
+        })
         if progress:
             print(f"  [{len(self.results):>3}/{total}] {name}")
 
     def record_failed(self, name: str, message: str) -> None:
         self.errors[name] = message
         self.finished[name] = time.perf_counter()
+        self._journal_event({
+            "event": "failed",
+            "benchmark": name,
+            "attempts": self.attempts.get(name, 0),
+            "error": message,
+        })
 
     def statuses(self, names: Sequence[str]) -> Tuple[
         BenchmarkBuildStatus, ...
@@ -390,18 +458,25 @@ def _run_jobs_serial(
     progress: bool,
     jitter_seed: "int | None" = None,
     deadline_at: "float | None" = None,
+    journal=None,
+    initial_attempts: "Optional[Dict[str, int]]" = None,
 ) -> _JobOutcomes:
-    outcomes = _JobOutcomes()
+    outcomes = _JobOutcomes(journal)
+    outcomes.attempts.update(initial_attempts or {})
     for name in order:
         outcomes.started[name] = time.perf_counter()
         if _deadline_passed(deadline_at):
             outcomes.attempts.setdefault(name, 0)
             outcomes.record_failed(name, "build deadline exceeded")
             continue
-        for attempt in range(1, max_attempts + 1):
-            outcomes.attempts[name] = attempt
+        # Attempts interrupted by an earlier (killed) run stay charged.
+        first = outcomes.attempts.get(name, 0) + 1
+        for attempt in range(first, max_attempts + 1):
+            outcomes.record_attempt(name, attempt)
             try:
-                _, mica, hpc, events = _characterize_one(jobs[name])
+                _, mica, hpc, events, entries = _characterize_one(
+                    jobs[name]
+                )
             except Exception as error:
                 if attempt >= max_attempts or _deadline_passed(
                     deadline_at
@@ -416,9 +491,17 @@ def _run_jobs_serial(
                 )
             else:
                 outcomes.record_ok(
-                    name, mica, hpc, events, progress, len(order)
+                    name, mica, hpc, events, progress, len(order),
+                    entries=entries,
                 )
                 break
+        else:
+            if first > max_attempts:
+                outcomes.record_failed(
+                    name,
+                    f"interrupted after exhausting {max_attempts} "
+                    "attempt(s)",
+                )
     return outcomes
 
 
@@ -431,6 +514,8 @@ def _run_jobs_parallel(
     progress: bool,
     jitter_seed: "int | None" = None,
     deadline_at: "float | None" = None,
+    journal=None,
+    initial_attempts: "Optional[Dict[str, int]]" = None,
 ) -> _JobOutcomes:
     """Submit jobs with per-future failure handling and crash isolation.
 
@@ -443,7 +528,8 @@ def _run_jobs_parallel(
     re-run uncharged.  A benchmark is only declared failed after
     ``max_attempts`` charged attempts, and the failure names it.
     """
-    outcomes = _JobOutcomes()
+    outcomes = _JobOutcomes(journal)
+    outcomes.attempts.update(initial_attempts or {})
     pending = deque(order)
     isolation: "deque[str]" = deque()
     retry_round = 0
@@ -473,14 +559,14 @@ def _run_jobs_parallel(
                     isolation.extend(batch[position:])
                     broken = True
                     break
-                outcomes.attempts[name] = (
-                    outcomes.attempts.get(name, 0) + 1
+                outcomes.record_attempt(
+                    name, outcomes.attempts.get(name, 0) + 1
                 )
                 submitted[future] = name
             for future in as_completed(submitted):
                 name = submitted[future]
                 try:
-                    _, mica, hpc, events = future.result()
+                    _, mica, hpc, events, entries = future.result()
                 except BrokenProcessPool as error:
                     broken = True
                     if len(submitted) == 1:
@@ -508,7 +594,8 @@ def _run_jobs_parallel(
                         pending.append(name)
                 else:
                     outcomes.record_ok(
-                        name, mica, hpc, events, progress, len(order)
+                        name, mica, hpc, events, progress, len(order),
+                        entries=entries,
                     )
             if broken:
                 pool.shutdown(wait=False, cancel_futures=True)
@@ -583,6 +670,114 @@ def load_cached_dataset(
     return dataset
 
 
+def dataset_journal_path(
+    config: ReproConfig = DEFAULT_CONFIG,
+    benchmarks: "Optional[Sequence[Benchmark]]" = None,
+    cache_dir: "Path | None" = None,
+) -> Path:
+    """The default build-journal file for this config + population.
+
+    Lives beside the cache entries as
+    ``journal-dataset-<key>.jsonl``, keyed exactly like the
+    dataset-level cache, so a resume can only ever replay a journal
+    written for the same build.
+    """
+    population = tuple(
+        benchmarks if benchmarks is not None else all_benchmarks()
+    )
+    names = tuple(benchmark.full_name for benchmark in population)
+    directory = cache_dir or default_cache_dir()
+    return Path(directory) / (
+        f"journal-dataset-{_cache_key(config, names)}.jsonl"
+    )
+
+
+def _verify_recorded_entry(level: str, path: str) -> bool:
+    """Re-verify one journaled cache entry; quarantines on failure."""
+    from ..perf.cache import CharacterizationCache, HpcCache, TraceCache
+
+    classes = {
+        "trace": TraceCache, "char": CharacterizationCache,
+        "hpc": HpcCache,
+    }
+    cache_class = classes.get(level)
+    if cache_class is None:
+        return False
+    entry = Path(path)
+    probe = cache_class(entry.parent)
+    return integrity.load_entry(
+        entry,
+        level=level,
+        version=probe._schema_version(),
+        expected=probe._static_expected,
+    ) is not None
+
+
+def _replay_build_journal(
+    records: "Sequence[dict]", key: str, use_cache: bool
+):
+    """Digest a build journal into resumable state.
+
+    Returns ``(preloaded, attempts, failures, quarantines)``:
+    vectors of benchmarks whose completion records still verify
+    (``name -> (mica, hpc, attempts)``), charged attempt counts of
+    interrupted benchmarks, prior terminal failures
+    (``name -> record``), and any
+    quarantine events raised while re-verifying recorded cache entries.
+    A completion whose entries no longer pass integrity is demoted to
+    not-built (uncharged — its past attempts succeeded; the damage is
+    environmental), so the benchmark is rebuilt from scratch.
+
+    Raises:
+        JournalError: the journal's header names a different build.
+    """
+    from ..errors import JournalError
+
+    header = records[0]
+    if header.get("event") != "build-started" or header.get("key") != key:
+        raise JournalError(
+            "journal does not belong to this build: recorded key "
+            f"{header.get('key')!r}, expected {key!r}"
+        )
+    completions: Dict[str, dict] = {}
+    attempts: Dict[str, int] = {}
+    failures: Dict[str, dict] = {}
+    for record in records[1:]:
+        event = record.get("event")
+        name = record.get("benchmark")
+        if event == "attempt-started":
+            attempts[name] = max(
+                attempts.get(name, 0), int(record.get("attempt", 0))
+            )
+        elif event == "completed":
+            completions[name] = record
+            attempts.pop(name, None)
+            failures.pop(name, None)
+        elif event == "failed":
+            failures[name] = record
+            attempts.pop(name, None)
+            completions.pop(name, None)
+    integrity.drain_quarantine_log()
+    preloaded: Dict[str, Tuple[np.ndarray, np.ndarray, int]] = {}
+    for name, record in completions.items():
+        entries = record.get("entries") or {}
+        if use_cache and entries and not all(
+            _verify_recorded_entry(level, path)
+            for level, path in entries.items()
+        ):
+            continue
+        preloaded[name] = (
+            np.frombuffer(
+                bytes.fromhex(record["mica"]), dtype=np.float64
+            ).copy(),
+            np.frombuffer(
+                bytes.fromhex(record["hpc"]), dtype=np.float64
+            ).copy(),
+            int(record.get("attempts", 0)),
+        )
+    return preloaded, attempts, failures, integrity.drain_quarantine_log()
+
+
 def build_dataset(
     config: ReproConfig = DEFAULT_CONFIG,
     benchmarks: "Optional[Sequence[Benchmark]]" = None,
@@ -596,6 +791,7 @@ def build_dataset(
     retry_backoff: float = 0.1,
     retry_jitter_seed: "int | None" = None,
     deadline: "float | None" = None,
+    journal: "Path | str | None" = None,
 ) -> WorkloadDataset:
     """Build (or load) the workload data set.
 
@@ -634,6 +830,16 @@ def build_dataset(
             failed with ``"build deadline exceeded"`` (cooperatively —
             checked between jobs, attempts and retry rounds) and the
             usual strict/salvage semantics apply.
+        journal: when given, a write-ahead journal file recording every
+            benchmark's lifecycle (admission, charged attempts,
+            completion with exact vectors and cache keys, failure) with
+            fsync'd, checksummed appends.  A build killed at *any*
+            instant leaves a replayable journal:
+            :func:`resume_dataset` skips completed benchmarks, charges
+            interrupted attempts against ``max_attempts``, and
+            converges to the cold build's exact result.  Starting a
+            build truncates any previous journal at this path
+            atomically.
 
     The result is identical — bit-for-bit — whether built serially with
     cold caches or with ``jobs=N`` against warm caches; workers are pure
@@ -647,6 +853,76 @@ def build_dataset(
         DatasetBuildError: in strict mode when a benchmark exhausts its
             attempts, or (any mode) when *no* benchmark could be built.
     """
+    return _build_or_resume(
+        config, benchmarks, cache_dir, use_cache, jobs, workers,
+        progress, strict, max_attempts, retry_backoff,
+        retry_jitter_seed, deadline, journal, resume=False,
+    )
+
+
+def resume_dataset(
+    config: ReproConfig = DEFAULT_CONFIG,
+    benchmarks: "Optional[Sequence[Benchmark]]" = None,
+    cache_dir: "Path | None" = None,
+    use_cache: bool = True,
+    jobs: "int | None" = None,
+    workers: "int | None" = None,
+    progress: bool = False,
+    strict: bool = True,
+    max_attempts: int = 3,
+    retry_backoff: float = 0.1,
+    retry_jitter_seed: "int | None" = None,
+    deadline: "float | None" = None,
+    journal: "Path | str | None" = None,
+) -> WorkloadDataset:
+    """Resume a journaled build after the process died mid-way.
+
+    Replays the write-ahead journal a previous
+    ``build_dataset(journal=...)`` left behind (repairing a torn tail
+    if the kill landed mid-append), re-verifies the cache entries each
+    completed benchmark rests on, and finishes the build: completed
+    benchmarks are skipped outright (their journaled vectors are the
+    exact float64 bytes the worker produced), interrupted attempts stay
+    charged against ``max_attempts``, prior terminal failures are
+    carried over, and everything else runs through the normal
+    build machinery.  The resumed dataset's matrices and report rows
+    are bit-for-bit what an uninterrupted cold serial build produces.
+
+    Args:
+        journal: the journal file to replay (default: the
+            :func:`dataset_journal_path` for this config +
+            population).  An empty or missing journal degrades to a
+            fresh journaled build.
+        (all other arguments as for :func:`build_dataset`)
+
+    Raises:
+        JournalError: the journal belongs to a different build (config,
+            population or cache versions changed since it was written).
+        DatasetBuildError: as for :func:`build_dataset`.
+    """
+    return _build_or_resume(
+        config, benchmarks, cache_dir, use_cache, jobs, workers,
+        progress, strict, max_attempts, retry_backoff,
+        retry_jitter_seed, deadline, journal, resume=True,
+    )
+
+
+def _build_or_resume(
+    config: ReproConfig,
+    benchmarks: "Optional[Sequence[Benchmark]]",
+    cache_dir: "Path | None",
+    use_cache: bool,
+    jobs: "int | None",
+    workers: "int | None",
+    progress: bool,
+    strict: bool,
+    max_attempts: int,
+    retry_backoff: float,
+    retry_jitter_seed: "int | None",
+    deadline: "float | None",
+    journal: "Path | str | None",
+    resume: bool,
+) -> WorkloadDataset:
     population = tuple(benchmarks if benchmarks is not None else all_benchmarks())
     names = tuple(benchmark.full_name for benchmark in population)
     suites = tuple(benchmark.suite for benchmark in population)
@@ -693,21 +969,96 @@ def build_dataset(
     }
     if jobs is None:
         jobs = workers
-    deadline_at = (
-        None if deadline is None else time.monotonic() + deadline
-    )
-    worker_count = min(jobs or os.cpu_count() or 1, len(jobs_by_name))
-    if worker_count > 1:
-        outcomes = _run_jobs_parallel(
-            jobs_by_name, names, worker_count, max_attempts,
-            retry_backoff, progress, jitter_seed=retry_jitter_seed,
-            deadline_at=deadline_at,
+
+    wal = None
+    preloaded: Dict[str, Tuple[np.ndarray, np.ndarray, int]] = {}
+    prior_attempts: Dict[str, int] = {}
+    carried_failures: Dict[str, dict] = {}
+    if journal is not None or resume:
+        from ..perf.journal import WriteAheadJournal
+
+        journal_path = Path(journal) if journal is not None else (
+            directory / f"journal-dataset-{key}.jsonl"
         )
-    else:
-        outcomes = _run_jobs_serial(
-            jobs_by_name, names, max_attempts, retry_backoff, progress,
-            jitter_seed=retry_jitter_seed, deadline_at=deadline_at,
+        wal = WriteAheadJournal(journal_path)
+        wal.open()
+        try:
+            if resume and wal.records:
+                (preloaded, prior_attempts, raw_failures,
+                 resume_quarantines) = _replay_build_journal(
+                    wal.records, key, use_cache
+                )
+                dataset_quarantines = (
+                    dataset_quarantines + resume_quarantines
+                )
+                for name, record in raw_failures.items():
+                    if int(record.get("attempts", 0)) >= max_attempts:
+                        carried_failures[name] = record
+                    else:
+                        prior_attempts[name] = int(
+                            record.get("attempts", 0)
+                        )
+            else:
+                # A fresh journaled build owns the file: any previous
+                # build's records vanish in one atomic rotation, then
+                # the header and admissions go down before any work
+                # starts.
+                wal.rewrite([{
+                    "event": "build-started",
+                    "key": key,
+                    "names": list(names),
+                    "use_cache": bool(use_cache),
+                }])
+                for name in names:
+                    wal.append({"event": "admitted", "benchmark": name})
+        except BaseException:
+            wal.close()
+            raise
+
+    try:
+        remaining = tuple(
+            name for name in names
+            if name not in preloaded and name not in carried_failures
         )
+        initial_attempts = {
+            name: count for name, count in prior_attempts.items()
+            if name in jobs_by_name and count > 0
+        }
+        deadline_at = (
+            None if deadline is None else time.monotonic() + deadline
+        )
+        worker_count = min(
+            jobs or os.cpu_count() or 1, max(1, len(remaining))
+        )
+        if remaining and worker_count > 1:
+            outcomes = _run_jobs_parallel(
+                jobs_by_name, remaining, worker_count, max_attempts,
+                retry_backoff, progress, jitter_seed=retry_jitter_seed,
+                deadline_at=deadline_at, journal=wal,
+                initial_attempts=initial_attempts,
+            )
+        elif remaining:
+            outcomes = _run_jobs_serial(
+                jobs_by_name, remaining, max_attempts, retry_backoff,
+                progress, jitter_seed=retry_jitter_seed,
+                deadline_at=deadline_at, journal=wal,
+                initial_attempts=initial_attempts,
+            )
+        else:
+            outcomes = _JobOutcomes()
+        # Fold journal-recovered outcomes back in: completed rows keep
+        # their journaled attempt counts, carried failures their final
+        # error.  Neither is re-journaled — both are already terminal
+        # in the journal.
+        for name, (mica, hpc, attempts) in preloaded.items():
+            outcomes.results[name] = (mica, hpc)
+            outcomes.attempts[name] = attempts
+        for name, record in carried_failures.items():
+            outcomes.errors[name] = str(record.get("error"))
+            outcomes.attempts[name] = int(record.get("attempts", 0))
+    finally:
+        if wal is not None:
+            wal.close()
 
     report = DatasetBuildReport(
         statuses=outcomes.statuses(names),

@@ -18,9 +18,18 @@ semantics:
   level: checksum + schema metadata embedded in each ``.npz``, verified
   loads that quarantine (never re-serve) corrupt entries, and atomic
   writes that clean up after themselves.
+* :mod:`repro.perf.journal` — the crash-safe write-ahead journal
+  (checksummed append-only JSONL, fsync'd appends, torn-tail repair,
+  atomic rotation) under resumable dataset builds and the service's
+  durable job registry.
 * :mod:`repro.perf.faults` — the deterministic fault-injection harness
   (entry corruption modes, IO errors at store/load/rename time, worker
-  crashes/errors/timeouts) that the robustness tests drive.
+  crashes/errors/timeouts, SIGKILL at journal/writer seams, and the
+  seeded chaos scheduler) that the robustness tests drive.
+* :mod:`repro.perf.history` — the performance-trajectory layer over
+  the harness: one-line JSONL history rows (per-engine speedups) for
+  ``BENCH_history.jsonl`` and the floor-gating used by the CI perf
+  gate (``benchmarks/perf/bench_gate.py`` + ``floors.json``).
 * :mod:`repro.perf.timing` — the MICA benchmark harness: it times every
   analyzer (and the retained scalar reference implementations of PPM
   and ILP) on a standard trace, times the generation engine against its
@@ -35,7 +44,7 @@ cache under parallel workers) and the CLI (``--jobs``, ``--cache-dir``,
 ``python -m repro bench``).
 """
 
-from . import faults, integrity
+from . import faults, history, integrity, journal
 from .cache import (
     CacheVerifyReport,
     CharacterizationCache,
@@ -50,7 +59,20 @@ from .cache import (
     trace_fingerprint,
     verify_cache,
 )
+from .history import (
+    append_bench_history,
+    bench_history_row,
+    check_bench_floors,
+    load_bench_history,
+)
 from .integrity import QuarantineEvent
+from .journal import (
+    JournalReplay,
+    JournalTruncation,
+    WriteAheadJournal,
+    replay_journal,
+    rotate_journal,
+)
 from .timing import (
     AnalyzerTiming,
     GenerationBenchResult,
@@ -74,8 +96,19 @@ __all__ = [
     "cached_collect_hpc",
     "cached_generate_trace",
     "faults",
+    "history",
+    "append_bench_history",
+    "bench_history_row",
+    "check_bench_floors",
+    "load_bench_history",
     "integrity",
     "is_cache_degraded",
+    "journal",
+    "JournalReplay",
+    "JournalTruncation",
+    "WriteAheadJournal",
+    "replay_journal",
+    "rotate_journal",
     "reset_cache_degradation",
     "sweep_temporaries",
     "trace_fingerprint",

@@ -65,6 +65,7 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from . import integrity
+from . import journal as journal_module
 from .integrity import QuarantineEvent
 from ..config import DEFAULT_CONFIG, ReproConfig
 from ..errors import CacheDegradedWarning, CacheIntegrityError
@@ -521,15 +522,21 @@ class CacheVerifyReport:
 
     Attributes:
         directory: the scanned cache root.
-        scanned: entries examined per level (including ``dataset``).
+        scanned: entries examined per level (including ``dataset`` and
+            ``journal``).
         quarantined: one event per entry that failed verification.
-        swept_temporaries: stale ``tmp-*.npz`` writer leftovers removed.
+        swept_temporaries: stale ``tmp-*.npz`` writer leftovers and
+            ``tmp-journal-*.jsonl`` rotation leftovers removed.
+        journal_truncations: one event per write-ahead journal whose
+            torn tail (a crash mid-append) was repaired by truncating
+            back to the longest valid record prefix.
     """
 
     directory: str
     scanned: Dict[str, int]
     quarantined: Tuple[QuarantineEvent, ...]
     swept_temporaries: int
+    journal_truncations: Tuple["journal_module.JournalTruncation", ...] = ()
 
     @property
     def total_scanned(self) -> int:
@@ -545,21 +552,32 @@ class CacheVerifyReport:
             "  scanned " + ", ".join(
                 f"{count} {level}" for level, count in self.scanned.items()
             ) + f" ({self.ok} ok, {len(self.quarantined)} quarantined, "
-                f"{self.swept_temporaries} stale temp files swept)",
+                f"{self.swept_temporaries} stale temp files swept, "
+                f"{len(self.journal_truncations)} torn journal tail(s) "
+                "repaired)",
         ]
         for event in self.quarantined:
             target = event.quarantined_to or "<rename failed>"
             lines.append(f"  quarantined {event.path} -> {target}")
             lines.append(f"    reason: {event.reason}")
+        for truncation in self.journal_truncations:
+            lines.append(
+                f"  repaired {truncation.path}: kept "
+                f"{truncation.valid_records} record(s), dropped "
+                f"{truncation.dropped_bytes} byte(s)"
+            )
+            lines.append(f"    reason: {truncation.reason}")
         return "\n".join(lines)
 
 
 def sweep_temporaries(
     directory: "Path | str", older_than: float = 3600.0
 ) -> int:
-    """Remove ``tmp-*.npz`` files left behind by crashed writers.
+    """Remove temp files left behind by crashed writers and rotations.
 
-    Only files whose mtime is at least ``older_than`` seconds old are
+    Covers the atomic cache writers' ``tmp-*.npz`` files and the
+    write-ahead journal rotation's ``tmp-journal-*.jsonl`` files.  Only
+    files whose mtime is at least ``older_than`` seconds old are
     removed, so a live writer's in-flight temporary survives.  Returns
     the number removed.
     """
@@ -570,13 +588,18 @@ def sweep_temporaries(
         return 0
     removed = 0
     now = time.time()
-    for path in root.glob("tmp-*.npz"):
-        try:
-            age = now - path.stat().st_mtime
-        except OSError:
-            continue
-        if age >= older_than:
-            removed += _unlink_quietly(path)
+    patterns = (
+        "tmp-*.npz",
+        f"tmp-{journal_module.JOURNAL_PREFIX}*{journal_module.JOURNAL_SUFFIX}",
+    )
+    for pattern in patterns:
+        for path in root.glob(pattern):
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue
+            if age >= older_than:
+                removed += _unlink_quietly(path)
     return removed
 
 
@@ -588,7 +611,9 @@ def verify_cache(
 
     Covers the per-trace levels (``char``/``hpc``/``trace``) via each
     level's :meth:`~_NpzCacheDirectory.verify` and the dataset-level
-    ``dataset-*.npz`` matrices, then sweeps stale writer temporaries.
+    ``dataset-*.npz`` matrices, replays every ``journal-*.jsonl``
+    write-ahead journal (repairing torn tails in place and reporting
+    each repair), then sweeps stale writer and rotation temporaries.
     Healthy entries are untouched; the scan never raises on bad bytes.
     """
     root = Path(directory)
@@ -628,10 +653,31 @@ def verify_cache(
         except OSError:
             continue
 
+    # Write-ahead journals (dataset builds, service jobs): replay with
+    # repair, so a torn tail left by a crash is truncated back to the
+    # longest valid prefix and reported.
+    journal_paths = (
+        sorted(root.glob(
+            f"{journal_module.JOURNAL_PREFIX}*"
+            f"{journal_module.JOURNAL_SUFFIX}"
+        ))
+        if root.is_dir() else []
+    )
+    scanned["journal"] = len(journal_paths)
+    truncations: "List[journal_module.JournalTruncation]" = []
+    for path in journal_paths:
+        try:
+            replay = journal_module.replay_journal(path, repair=True)
+        except OSError:
+            continue
+        if replay.truncation is not None:
+            truncations.append(replay.truncation)
+
     swept = sweep_temporaries(root, older_than=sweep_older_than)
     return CacheVerifyReport(
         directory=str(root),
         scanned=scanned,
         quarantined=tuple(events),
         swept_temporaries=swept,
+        journal_truncations=tuple(truncations),
     )

@@ -26,6 +26,20 @@ same outcome, every run.  Three injector families live here:
   call inside the context raises a chosen ``OSError`` (ENOSPC by
   default).  Call indices are explicit, hence deterministic.
 
+* **Process kills** — :func:`inject_kill_faults` arms
+  :func:`maybe_kill`, which is called at every journal and atomic-writer
+  seam (before the write, between write and fsync/replace, after).  An
+  armed kill SIGKILLs the *calling process* — the orchestrator or a
+  pool worker, whichever reaches the seam — which is how the chaos
+  tests prove torn-tail repair and resume convergence under real,
+  uncatchable process death.  Hits are counted through the same
+  ``O_CREAT | O_EXCL`` token files, so a seam that already fired does
+  not fire again after the resumed process replays past it.
+
+* **Chaos schedule** — :func:`chaos_schedule` expands one seed into a
+  deterministic interleaving of every fault family above, for soak
+  tests that run repeated build→kill→resume cycles.
+
 * **Worker faults** — :func:`inject_worker_faults` arms
   :func:`maybe_fail_worker` (called by every dataset worker) through an
   environment variable, so faults cross the ``ProcessPoolExecutor``
@@ -68,6 +82,24 @@ WORKER_FAULTS_ENV = "REPRO_WORKER_FAULTS"
 
 #: Environment variable carrying the armed service-fault plan.
 SERVICE_FAULTS_ENV = "REPRO_SERVICE_FAULTS"
+
+#: Environment variable carrying the armed process-kill plan.
+KILL_FAULTS_ENV = "REPRO_KILL_FAULTS"
+
+#: Every seam :func:`maybe_kill` is called from.  ``journal-*`` seams
+#: bracket the write-ahead journal's append/rotate IO
+#: (:mod:`repro.perf.journal`); ``writer-*`` seams bracket the atomic
+#: cache writer (:func:`repro.perf.integrity.write_entry`).
+KILL_SEAMS = (
+    "journal-append-before",
+    "journal-append-unsynced",
+    "journal-append-after",
+    "journal-rotate-before-replace",
+    "journal-rotate-after-replace",
+    "writer-before-store",
+    "writer-before-replace",
+    "writer-after-replace",
+)
 
 
 class InjectedWorkerError(RuntimeError):
@@ -407,3 +439,189 @@ def maybe_fail_worker(benchmark: str) -> None:
         raise InjectedWorkerError(
             f"injected worker failure for {benchmark}"
         )
+
+
+# ---------------------------------------------------------------------------
+# Process kills (SIGKILL at journal/writer seams)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KillFault:
+    """One armed SIGKILL at a journal or writer seam.
+
+    Attributes:
+        seam: the :data:`KILL_SEAMS` name the kill fires at.
+        after: how many hits of the seam to let pass first (0 kills on
+            the very first hit).  Hits are counted across *all*
+            processes and across resume cycles, so the same armed plan
+            kills once and then lets the resumed run sail past.
+        times: how many consecutive hits (starting at ``after``) die.
+    """
+
+    seam: str
+    after: int = 0
+    times: int = 1
+
+
+@contextmanager
+def inject_kill_faults(
+    faults: "Sequence[KillFault]", state_dir: "Path | str"
+):
+    """Arm process kills for every seam hit inside the context.
+
+    The plan travels via :data:`KILL_FAULTS_ENV` (reaching pool workers
+    the way worker faults do); hit counting lives in ``O_CREAT |
+    O_EXCL`` token files under ``state_dir``, so it is global across
+    the orchestrator, its workers, and any process resumed after a
+    kill.  Use a fresh ``state_dir`` per experiment so counts start at
+    zero.
+
+    A fired kill is ``SIGKILL`` — uncatchable, no ``atexit``, no
+    ``finally`` — which is the point: the surviving on-disk state is
+    exactly what the durability machinery must recover from.
+    """
+    state = Path(state_dir)
+    state.mkdir(parents=True, exist_ok=True)
+    for fault in faults:
+        if fault.seam not in KILL_SEAMS:
+            raise ValueError(
+                f"unknown kill seam {fault.seam!r}; pick one of "
+                f"{KILL_SEAMS}"
+            )
+    plan = json.dumps({
+        "state_dir": str(state),
+        "faults": [
+            {"seam": fault.seam, "after": fault.after,
+             "times": fault.times}
+            for fault in faults
+        ],
+    })
+    previous = os.environ.get(KILL_FAULTS_ENV)
+    os.environ[KILL_FAULTS_ENV] = plan
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(KILL_FAULTS_ENV, None)
+        else:
+            os.environ[KILL_FAULTS_ENV] = previous
+
+
+def _claim_hit_index(state_dir: str, seam: str) -> int:
+    """Atomically claim this process's hit number for a seam.
+
+    Token files enumerate hits from 0; the first ``O_EXCL`` create that
+    succeeds is this call's global hit index.  Linear probing is O(hits
+    so far), which is negligible at test scale and keeps the counter
+    crash-safe with no shared state beyond the filesystem.
+    """
+    token_base = hashlib.sha256(seam.encode()).hexdigest()[:16]
+    index = 0
+    while True:
+        token = Path(state_dir) / f"kill-{token_base}-hit-{index}"
+        try:
+            handle = os.open(
+                token, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            index += 1
+            continue
+        os.close(handle)
+        return index
+
+
+def maybe_kill(seam: str) -> None:
+    """SIGKILL the calling process if a kill fault is armed for ``seam``.
+
+    Called by the journal and the atomic cache writer at every seam a
+    crash could land; a no-op (without touching the filesystem) unless
+    :func:`inject_kill_faults` is active and the plan names the seam.
+    """
+    raw = os.environ.get(KILL_FAULTS_ENV)
+    if not raw:
+        return
+    plan = json.loads(raw)
+    matching = [
+        fault for fault in plan["faults"] if fault["seam"] == seam
+    ]
+    if not matching:
+        return
+    hit = _claim_hit_index(plan["state_dir"], seam)
+    for fault in matching:
+        after = int(fault.get("after", 0))
+        times = int(fault.get("times", 1))
+        if after <= hit < after + times:
+            os.kill(os.getpid(), 9)
+            time.sleep(30)  # pragma: no cover - SIGKILL is not instant
+
+
+# ---------------------------------------------------------------------------
+# Chaos schedule (seeded interleaving of every fault family)
+# ---------------------------------------------------------------------------
+
+
+def chaos_schedule(seed: int, rounds: int) -> "Tuple[dict, ...]":
+    """Expand one seed into a deterministic chaos plan.
+
+    Each round is a dict describing one disturbance to apply to a
+    build→kill→resume (or serve→kill→restart) cycle:
+
+    - ``{"kind": "kill", "seam": s, "after": n}`` — arm
+      :func:`inject_kill_faults` at seam ``s`` after ``n`` hits.
+    - ``{"kind": "corrupt", "mode": m, "seed": k}`` — damage one cache
+      entry with :func:`corrupt_entry`.
+    - ``{"kind": "worker", "mode": m}`` — arm one worker fault
+      (``crash``/``error``/``timeout``) on a scheduled benchmark.
+    - ``{"kind": "io", "op": o, "index": i}`` — one injected IO error.
+    - ``{"kind": "service", "mode": m}`` — arm one service-job fault.
+    - ``{"kind": "none"}`` — a clean control round.
+
+    The same ``(seed, rounds)`` always yields the same plan, so a soak
+    failure reproduces from its logged seed alone.
+    """
+    rng = np.random.default_rng(seed)
+    kinds = ("kill", "corrupt", "worker", "io", "service", "none")
+    worker_modes = ("crash", "error", "timeout")
+    service_modes = ("slow", "error", "crash")
+    io_ops = ("store", "load", "rename")
+    plan = []
+    for _ in range(max(0, int(rounds))):
+        kind = kinds[int(rng.integers(len(kinds)))]
+        if kind == "kill":
+            plan.append({
+                "kind": "kill",
+                "seam": KILL_SEAMS[int(rng.integers(len(KILL_SEAMS)))],
+                "after": int(rng.integers(3)),
+            })
+        elif kind == "corrupt":
+            plan.append({
+                "kind": "corrupt",
+                "mode": CORRUPTION_MODES[
+                    int(rng.integers(len(CORRUPTION_MODES)))
+                ],
+                "seed": int(rng.integers(2**31)),
+            })
+        elif kind == "worker":
+            plan.append({
+                "kind": "worker",
+                "mode": worker_modes[
+                    int(rng.integers(len(worker_modes)))
+                ],
+            })
+        elif kind == "io":
+            plan.append({
+                "kind": "io",
+                "op": io_ops[int(rng.integers(len(io_ops)))],
+                "index": int(rng.integers(3)),
+            })
+        elif kind == "service":
+            plan.append({
+                "kind": "service",
+                "mode": service_modes[
+                    int(rng.integers(len(service_modes)))
+                ],
+            })
+        else:
+            plan.append({"kind": "none"})
+    return tuple(plan)

@@ -174,9 +174,16 @@ def write_entry(
     # The tmp- prefix keeps half-written files out of the entry glob;
     # the .npz suffix stops np.savez renaming the file.
     temporary = path.with_name(f"tmp-{path.stem}.{os.getpid()}.npz")
+    # Imported lazily: faults imports this module at its top level, and
+    # the kill seams must be a no-op import when nothing is armed.
+    from . import faults
+
     try:
+        faults.maybe_kill("writer-before-store")
         _savez(temporary, payload, compress)
+        faults.maybe_kill("writer-before-replace")
         _replace(temporary, path)
+        faults.maybe_kill("writer-after-replace")
     except Exception:
         try:
             temporary.unlink()

@@ -1,0 +1,393 @@
+"""Crash-safe write-ahead journal: append-only, checksummed JSONL.
+
+The journal is the durability primitive under resumable dataset builds
+(:func:`repro.experiments.resume_dataset`) and the service's durable
+job registry (``repro serve --state-dir``).  Design constraints, in
+order:
+
+* **Crash safety.**  A record is either fully on disk or invisible.
+  Appends write one newline-terminated line, flush, and ``fsync`` (the
+  *write-ahead* discipline: the journal reaches disk before the effect
+  it describes is relied upon).  A process killed mid-append leaves at
+  most one *torn tail* — a partial final line — which replay detects
+  and drops; it can never corrupt earlier records.
+
+* **Self-verifying records.**  Each line carries its sequence number
+  and a sha256 checksum over the serialized payload::
+
+      {"fmt": "repro-journal/1", "seq": 7, "sha": "<16 hex>", "data": {...}}
+
+  Replay stops at the first line that is torn, fails its checksum, or
+  breaks the strictly-increasing sequence — everything after an
+  untrustworthy point is untrustworthy too, because appends are
+  ordered and fsync'd.  The survivors are exactly the records whose
+  append provably completed.
+
+* **Torn-tail tolerance, not torn-tail crashes.**  :func:`replay_journal`
+  never raises on bad bytes: it returns the valid prefix plus a
+  :class:`JournalTruncation` describing what was dropped.  Opening a
+  journal for append first *repairs* it (truncates the torn tail), so
+  a post-crash append can never splice new bytes onto half a record.
+
+* **Atomic rotation.**  :func:`rotate_journal` rewrites a journal from
+  scratch (compaction after service recovery, fresh build journals)
+  through a ``tmp-journal-*`` sibling and one ``os.replace`` — readers
+  and crash-recovery only ever see the old file or the new one, never
+  a mix.  Stale temporaries are reaped by
+  :func:`repro.perf.cache.sweep_temporaries`.
+
+Journal files are named ``journal-<name>.jsonl`` so the cache-auditing
+tools (``repro cache verify``) can find, repair and report them with
+one glob.
+
+The module calls :func:`repro.perf.faults.maybe_kill` at every seam a
+crash could meaningfully land (before the write, after the write but
+before the fsync, after the fsync, around rotation's replace), which is
+how the chaos tests prove the guarantees above under real SIGKILL.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple
+
+from ..errors import JournalError
+
+#: Format tag embedded in every record line.
+JOURNAL_FORMAT = "repro-journal/1"
+
+#: Filename prefix of journal files (mirrors the cache-entry naming so
+#: ``verify_cache`` / ``sweep_temporaries`` can glob them).
+JOURNAL_PREFIX = "journal-"
+
+#: Suffix of journal files.
+JOURNAL_SUFFIX = ".jsonl"
+
+
+@dataclass(frozen=True)
+class JournalTruncation:
+    """One torn tail dropped (or repaired) during replay.
+
+    Attributes:
+        path: the journal whose tail was torn.
+        valid_records: records surviving in front of the tear.
+        dropped_bytes: bytes discarded after the last valid record.
+        reason: why the tail could not be trusted.
+        repaired: whether the file was truncated back to the valid
+            prefix (append-mode opens always repair; read-only replay
+            may only report).
+    """
+
+    path: str
+    valid_records: int
+    dropped_bytes: int
+    reason: str
+    repaired: bool = False
+
+
+@dataclass(frozen=True)
+class JournalReplay:
+    """The trustworthy contents of one journal.
+
+    Attributes:
+        records: payload dicts of every valid record, in append order.
+        next_seq: the sequence number the next append must carry.
+        valid_bytes: file offset of the end of the last valid record.
+        truncation: the torn tail, when one was found (None on a clean
+            journal or a missing file).
+    """
+
+    records: Tuple[dict, ...]
+    next_seq: int
+    valid_bytes: int
+    truncation: Optional[JournalTruncation] = None
+
+
+def _record_line(seq: int, record: dict) -> bytes:
+    data = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    sha = hashlib.sha256(f"{seq}:{data}".encode()).hexdigest()[:16]
+    envelope = json.dumps(
+        {"fmt": JOURNAL_FORMAT, "seq": seq, "sha": sha, "data": record},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return envelope.encode() + b"\n"
+
+
+def _parse_line(line: bytes, expected_seq: int) -> dict:
+    """The record payload, or raise :class:`JournalError`."""
+    try:
+        envelope = json.loads(line)
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise JournalError(f"unparsable journal line: {error}")
+    if not isinstance(envelope, dict):
+        raise JournalError("journal line is not an object")
+    if envelope.get("fmt") != JOURNAL_FORMAT:
+        raise JournalError(
+            f"foreign journal format: {envelope.get('fmt')!r}"
+        )
+    if envelope.get("seq") != expected_seq:
+        raise JournalError(
+            f"sequence break: record {envelope.get('seq')!r}, "
+            f"expected {expected_seq}"
+        )
+    record = envelope.get("data")
+    if not isinstance(record, dict):
+        raise JournalError("journal record payload is not an object")
+    data = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    sha = hashlib.sha256(f"{expected_seq}:{data}".encode()).hexdigest()[:16]
+    if envelope.get("sha") != sha:
+        raise JournalError("journal record failed its checksum")
+    return record
+
+
+def replay_journal(
+    path: "Path | str", repair: bool = False
+) -> JournalReplay:
+    """Read the trustworthy prefix of a journal; never raises on bytes.
+
+    A missing file replays as empty.  The first torn, corrupt or
+    out-of-sequence line ends the replay: the records before it are
+    returned and the rest is described by ``truncation``.  With
+    ``repair=True`` the file is also truncated back to the valid
+    prefix, so subsequent appends cannot splice onto half a record.
+
+    Raises:
+        OSError: only for OS-level read failures (not for bad bytes).
+    """
+    path = Path(path)
+    if not path.is_file():
+        return JournalReplay(records=(), next_seq=0, valid_bytes=0)
+    raw = path.read_bytes()
+    records: "List[dict]" = []
+    offset = 0
+    truncation: "Optional[JournalTruncation]" = None
+    while offset < len(raw):
+        end = raw.find(b"\n", offset)
+        if end < 0:
+            truncation = JournalTruncation(
+                path=str(path),
+                valid_records=len(records),
+                dropped_bytes=len(raw) - offset,
+                reason="torn tail: final record has no newline",
+            )
+            break
+        line = raw[offset:end]
+        try:
+            records.append(_parse_line(line, len(records)))
+        except JournalError as error:
+            truncation = JournalTruncation(
+                path=str(path),
+                valid_records=len(records),
+                dropped_bytes=len(raw) - offset,
+                reason=str(error),
+            )
+            break
+        offset = end + 1
+    if truncation is not None and repair:
+        with open(path, "r+b") as handle:
+            handle.truncate(offset)
+            handle.flush()
+            os.fsync(handle.fileno())
+        truncation = JournalTruncation(
+            path=truncation.path,
+            valid_records=truncation.valid_records,
+            dropped_bytes=truncation.dropped_bytes,
+            reason=truncation.reason,
+            repaired=True,
+        )
+    return JournalReplay(
+        records=tuple(records),
+        next_seq=len(records),
+        valid_bytes=offset,
+        truncation=truncation,
+    )
+
+
+def _fsync_directory(path: Path) -> None:
+    # Make the rename itself durable.  Not every platform allows
+    # opening a directory; a crash window here only risks losing the
+    # *rename*, never mixing old and new bytes.
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def rotate_journal(
+    path: "Path | str",
+    records: "Iterable[dict]",
+    fsync: bool = True,
+) -> Path:
+    """Atomically replace a journal's contents with ``records``.
+
+    The new journal (sequence numbers re-assigned from 0) is written to
+    a ``tmp-journal-*`` sibling, fsync'd, and renamed into place, so a
+    crash at any instant leaves either the old journal or the new one —
+    never a blend, never a half-written replacement visible under the
+    journal's name.
+
+    Raises:
+        OSError: when the directory is unwritable or the disk is full.
+    """
+    from . import faults
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = path.with_name(f"tmp-{path.stem}.{os.getpid()}{JOURNAL_SUFFIX}")
+    try:
+        with open(temporary, "wb") as handle:
+            for seq, record in enumerate(records):
+                handle.write(_record_line(seq, record))
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        faults.maybe_kill("journal-rotate-before-replace")
+        os.replace(temporary, path)
+        faults.maybe_kill("journal-rotate-after-replace")
+    except Exception:
+        try:
+            temporary.unlink()
+        except OSError:
+            pass
+        raise
+    if fsync:
+        _fsync_directory(path.parent)
+    return path
+
+
+class WriteAheadJournal:
+    """One append-only journal file, opened lazily, repaired on open.
+
+    Thread-safe: appends from concurrent threads serialize under one
+    lock (the service's worker threads journal terminal transitions
+    concurrently).  Not multi-process-safe — each journal has exactly
+    one writing process (the build orchestrator, the service), which is
+    what makes the sequence numbers meaningful.
+
+    Args:
+        path: the journal file (conventionally
+            ``journal-<name>.jsonl``).
+        fsync: fsync every append (the write-ahead guarantee).  Tests
+            may disable it for speed; production callers should not.
+    """
+
+    def __init__(self, path: "Path | str", fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = fsync
+        self._lock = threading.RLock()
+        self._handle = None
+        self._next_seq = 0
+        self._records: "List[dict]" = []
+        self.truncation: "Optional[JournalTruncation]" = None
+        self._opened = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def open(self) -> "WriteAheadJournal":
+        """Replay + repair the file and open it for appends.
+
+        Idempotent.  A torn tail left by a previous crash is truncated
+        away (recorded on ``self.truncation``) before the append handle
+        is opened, so new records always start on a record boundary.
+        """
+        with self._lock:
+            if self._opened:
+                return self
+            replay = replay_journal(self.path, repair=True)
+            self._records = list(replay.records)
+            self._next_seq = replay.next_seq
+            self.truncation = replay.truncation
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "ab")
+            self._opened = True
+            return self
+
+    def close(self) -> None:
+        """Close the append handle (safe to call twice)."""
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                finally:
+                    self._handle = None
+            self._opened = False
+
+    def __enter__(self) -> "WriteAheadJournal":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- appends -------------------------------------------------------
+
+    def append(self, record: dict) -> int:
+        """Durably append one record; returns its sequence number.
+
+        The record is on disk (written, flushed, fsync'd) before this
+        returns — callers may rely on it surviving SIGKILL issued any
+        time afterwards.
+
+        Raises:
+            OSError: when the disk is full or the file is unwritable.
+        """
+        from . import faults
+
+        with self._lock:
+            if not self._opened:
+                self.open()
+            seq = self._next_seq
+            line = _record_line(seq, record)
+            faults.maybe_kill("journal-append-before")
+            self._handle.write(line)
+            self._handle.flush()
+            faults.maybe_kill("journal-append-unsynced")
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+            faults.maybe_kill("journal-append-after")
+            self._next_seq = seq + 1
+            self._records.append(record)
+            return seq
+
+    def rewrite(self, records: "Iterable[dict]") -> None:
+        """Atomically replace the journal's contents (compaction).
+
+        Closes the append handle, rotates the file through
+        :func:`rotate_journal`, and re-opens for appends — used by
+        service recovery to drop records about jobs that no longer
+        matter while staying crash-safe throughout.
+        """
+        with self._lock:
+            materialized = list(records)
+            self.close()
+            rotate_journal(self.path, materialized, fsync=self.fsync)
+            self._records = materialized
+            self._next_seq = len(materialized)
+            self._handle = open(self.path, "ab")
+            self._opened = True
+
+    # -- observation ---------------------------------------------------
+
+    @property
+    def records(self) -> Tuple[dict, ...]:
+        """Every record currently in the journal, in append order."""
+        with self._lock:
+            if not self._opened:
+                self.open()
+            return tuple(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records) if self._opened else len(
+                replay_journal(self.path).records
+            )

@@ -87,6 +87,13 @@ class ServiceSettings:
         drain_timeout: seconds granted to in-flight jobs on SIGTERM.
         max_trace_length: ceiling on requested trace lengths.
         max_body_bytes: largest accepted request body.
+        state_dir: durable-state directory.  When set, admissions and
+            terminal transitions are write-ahead journaled there
+            (``journal-service-jobs.jsonl``): a restarted service
+            serves previously-terminal jobs from the journal
+            (byte-identical payloads) and re-admits interrupted ones
+            through the normal queue.  ``None`` keeps jobs in memory
+            only.
     """
 
     cache_dir: "Path | str | None" = None
@@ -108,6 +115,7 @@ class ServiceSettings:
     drain_timeout: float = 10.0
     max_trace_length: int = 1_000_000
     max_body_bytes: int = 1 << 20
+    state_dir: "Path | str | None" = None
 
 
 # ---------------------------------------------------------------------------
@@ -209,8 +217,19 @@ class CharacterizationService:
             )
         else:
             self.cache_dir = None
+        self._journal = None
+        if self.settings.state_dir is not None:
+            from ..perf.journal import WriteAheadJournal
+
+            state = Path(self.settings.state_dir)
+            state.mkdir(parents=True, exist_ok=True)
+            self._journal = WriteAheadJournal(
+                state / "journal-service-jobs.jsonl"
+            )
+            self._journal.open()
         self.registry = JobRegistry(
-            max_finished=self.settings.max_finished_jobs
+            max_finished=self.settings.max_finished_jobs,
+            journal=self._journal,
         )
         self.breaker = CircuitBreaker(
             failure_threshold=self.settings.breaker_failure_threshold,
@@ -226,6 +245,12 @@ class CharacterizationService:
         )
         self._started_at = time.monotonic()
         self._degraded = False
+        self._recovered = False
+        self._recovery: "Dict[str, object]" = {
+            "recovered_terminal": 0,
+            "resubmitted": 0,
+            "repaired_torn_tail": False,
+        }
         self._stats_lock = threading.Lock()
         self._stats: "Dict[str, int]" = {
             "submitted": 0,
@@ -233,12 +258,14 @@ class CharacterizationService:
             "completed": 0,
             "failed": 0,
             "retries": 0,
+            "quarantines": 0,
         }
 
     # -- lifecycle -----------------------------------------------------
 
     def start(self) -> "CharacterizationService":
-        """Start the worker and watchdog threads."""
+        """Recover journaled jobs, start worker and watchdog threads."""
+        self._recover_jobs()
         self.queue.start()
         return self
 
@@ -248,9 +275,130 @@ class CharacterizationService:
 
     def drain(self, timeout: "float | None" = None) -> bool:
         """Finish or deadline-out in-flight jobs, stop the threads."""
-        return self.queue.drain(
+        result = self.queue.drain(
             self.settings.drain_timeout if timeout is None else timeout
         )
+        if self._journal is not None:
+            # Cancelled/finished drain outcomes are already journaled;
+            # release the append handle for the next incarnation.
+            self._journal.close()
+        return result
+
+    def _recover_jobs(self) -> None:
+        """Rebuild job state from the write-ahead journal (restart).
+
+        Replays the journal a previous incarnation left behind (its
+        torn tail, if the kill landed mid-append, was repaired when the
+        journal was opened): terminal jobs are restored so their poll
+        URLs answer exactly as before the crash; admitted-but-unfinished
+        jobs are re-admitted through the normal bounded queue under
+        their original ids with a fresh default deadline — re-running
+        them is idempotent because all compute is keyed by content
+        hashes, so recovered work reuses every warm cache entry.  The
+        journal is then compacted (one atomic rotation) to just the
+        surviving jobs.
+        """
+        if self._journal is None or self._recovered:
+            return
+        self._recovered = True
+        from ..errors import service_error_from_code
+
+        records = self._journal.records
+        truncation = self._journal.truncation
+        admissions: "Dict[str, dict]" = {}
+        terminals: "Dict[str, dict]" = {}
+        floor = 0
+        for record in records:
+            job_id = record.get("job")
+            if not isinstance(job_id, str):
+                continue
+            suffix = job_id.rsplit("-", 1)[-1]
+            try:
+                floor = max(floor, int(suffix, 16))
+            except ValueError:
+                pass
+            if record.get("event") == "job-admitted":
+                admissions[job_id] = record
+            elif record.get("event") == "job-terminal":
+                terminals[job_id] = record
+        self.registry.resume_ids_above(floor)
+
+        compacted = []
+        interrupted = []
+        for job_id, admission in admissions.items():
+            terminal = terminals.get(job_id)
+            if terminal is None:
+                interrupted.append(admission)
+                continue
+            compacted.append(admission)
+            compacted.append(terminal)
+        compacted.extend(
+            {"event": "job-admitted", "job": job_id,
+             "kind": record.get("kind"), "params": {}}
+            for job_id, record in terminals.items()
+            if job_id not in admissions
+        )
+        compacted.extend(
+            record for job_id, record in terminals.items()
+            if job_id not in admissions
+        )
+        compacted.extend(interrupted)
+        try:
+            self._journal.rewrite(compacted)
+        except OSError:
+            logger.warning(
+                "service journal compaction failed; continuing with "
+                "the un-compacted journal", exc_info=True,
+            )
+
+        restored = 0
+        for job_id, terminal in terminals.items():
+            params = admissions.get(job_id, {}).get("params") or {}
+            error = None
+            if terminal.get("state") != "done":
+                detail = terminal.get("error") or {}
+                error = service_error_from_code(
+                    str(detail.get("code", "internal")),
+                    str(detail.get("message", "job failed")),
+                    retry_after=detail.get("retry_after"),
+                )
+            self.registry.restore_terminal(
+                job_id,
+                str(terminal.get("kind", "characterize")),
+                params,
+                str(terminal.get("state", "failed")),
+                result=terminal.get("result"),
+                error=error,
+            )
+            restored += 1
+
+        resubmitted = 0
+        for admission in interrupted:
+            job = self.registry.restore_queued(
+                str(admission["job"]),
+                str(admission.get("kind", "characterize")),
+                admission.get("params") or {},
+                time.monotonic() + self.settings.default_deadline,
+            )
+            try:
+                self.queue.submit(job)
+            except ServiceError as error:
+                job.finish_error(error, state="cancelled")
+                continue
+            resubmitted += 1
+
+        self._recovery = {
+            "recovered_terminal": restored,
+            "resubmitted": resubmitted,
+            "repaired_torn_tail": truncation is not None,
+        }
+        if restored or resubmitted or truncation is not None:
+            logger.info(
+                "journal recovery: %d terminal job(s) restored, %d "
+                "interrupted job(s) re-admitted%s",
+                restored, resubmitted,
+                ", torn journal tail repaired" if truncation else "",
+            )
 
     @property
     def degraded(self) -> bool:
@@ -310,6 +458,10 @@ class CharacterizationService:
                     self._degraded,
                     high_water_fraction=self.settings.ready_high_water,
                     job_counts=self.registry.counts(),
+                    recovery=(
+                        dict(self._recovery)
+                        if self._journal is not None else None
+                    ),
                 )
                 return status, payload, {}
             if path == "/v1/stats":
@@ -684,18 +836,27 @@ class CharacterizationService:
         return None if directory is None else str(directory)
 
     def _compute(self, job: Job) -> dict:
-        from ..perf import faults
+        from ..perf import faults, integrity
 
         faults.maybe_fail_service_job(
             job.params.get("benchmark", job.kind)
         )
-        if job.kind == "characterize":
-            return self._compute_characterize(job)
-        if job.kind == "hpc":
-            return self._compute_hpc(job)
-        if job.kind == "phases":
-            return self._compute_phases(job)
-        return self._compute_dataset(job)
+        try:
+            if job.kind == "characterize":
+                return self._compute_characterize(job)
+            if job.kind == "hpc":
+                return self._compute_hpc(job)
+            if job.kind == "phases":
+                return self._compute_phases(job)
+            return self._compute_dataset(job)
+        finally:
+            # Verified loads quarantine corrupt entries as a side
+            # effect; fold them into the operational counters whether
+            # the attempt succeeded or not.
+            events = integrity.drain_quarantine_log()
+            if events:
+                with self._stats_lock:
+                    self._stats["quarantines"] += len(events)
 
     def _job_trace(self, job: Job):
         from ..perf import cached_generate_trace
@@ -780,6 +941,7 @@ class CharacterizationService:
         except DatasetBuildError as error:
             report = getattr(error, "report", None)
             self._record_pool_rebuilds(job, report)
+            self._record_report_quarantines(report)
             if job.overdue():
                 raise DeadlineExceededError(
                     f"dataset job {job.id} exceeded its deadline: "
@@ -787,6 +949,7 @@ class CharacterizationService:
                 ) from error
             raise BrokenProcessPool(str(error)) from error
         self._record_pool_rebuilds(job, dataset.report)
+        self._record_report_quarantines(dataset.report)
         return dataset_payload(dataset)
 
     def _record_pool_rebuilds(self, job: Job, report) -> None:
@@ -796,6 +959,14 @@ class CharacterizationService:
         job.claim_probe()
         for _ in range(report.pool_rebuilds):
             self.breaker.record_failure()
+
+    def _record_report_quarantines(self, report) -> None:
+        """Quarantines hit inside worker *processes* never touch this
+        process's quarantine log; the build report carries them."""
+        if report is None or not report.quarantines:
+            return
+        with self._stats_lock:
+            self._stats["quarantines"] += len(report.quarantines)
 
     # -- stats ---------------------------------------------------------
 
@@ -813,4 +984,6 @@ class CharacterizationService:
             "draining": self.draining,
             "jobs": self.registry.counts(),
         })
+        if self._journal is not None:
+            counters["journal"] = dict(self._recovery)
         return counters

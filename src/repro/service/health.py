@@ -34,11 +34,16 @@ def readiness(
     degraded: bool,
     high_water_fraction: float = 0.8,
     job_counts: "dict | None" = None,
+    recovery: "dict | None" = None,
 ) -> "tuple[int, dict]":
     """The ``/readyz`` (status, payload) pair.
 
     Ready means a cold submission posted right now would be admitted:
     breaker not open, queue below the high-water mark, not draining.
+    ``recovery`` (journal-recovery counters of a restarted service) is
+    reported verbatim when the service runs with a state directory; it
+    never affects readiness — recovered work goes through the normal
+    queue.
     """
     saturated = queue_depth >= max(
         1, int(queue_capacity * high_water_fraction)
@@ -58,4 +63,6 @@ def readiness(
     }
     if job_counts is not None:
         body["jobs"] = job_counts
+    if recovery is not None:
+        body["recovery"] = recovery
     return (200 if ready else 503), body

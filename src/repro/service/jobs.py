@@ -20,12 +20,15 @@ unbounded memory.
 from __future__ import annotations
 
 import itertools
+import logging
 import threading
 import time
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import JobNotFoundError, ServiceError
+
+logger = logging.getLogger("repro.service")
 
 #: Job states.
 QUEUED = "queued"
@@ -186,13 +189,67 @@ class JobRegistry:
         max_finished: terminal jobs retained for polling before the
             oldest are evicted (keeps the registry's memory bounded
             under sustained traffic).
+        journal: optional opened
+            :class:`~repro.perf.journal.WriteAheadJournal`.  When set,
+            every admission and every terminal transition is appended
+            (write-ahead, fsync'd) before the rest of the service
+            relies on it, so a SIGKILLed service can be restarted with
+            its terminal jobs intact and its interrupted jobs known.
+            Journal IO failures are logged and swallowed — durability
+            degrades, serving never stops.
     """
 
-    def __init__(self, max_finished: int = 256):
+    def __init__(self, max_finished: int = 256, journal=None):
         self.max_finished = max_finished
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
+        self._journal = journal
+
+    # -- journal plumbing ----------------------------------------------
+
+    def _journal_append(self, record: dict) -> None:
+        if self._journal is None:
+            return
+        try:
+            self._journal.append(record)
+        except Exception:
+            logger.warning(
+                "job journal append failed; continuing without "
+                "durability for this event", exc_info=True,
+            )
+
+    def _journal_terminal(self, job: Job) -> None:
+        record = {
+            "event": "job-terminal",
+            "job": job.id,
+            "kind": job.kind,
+            "state": job.state,
+        }
+        if job.state == DONE:
+            record["result"] = job.result
+        elif job.error is not None:
+            record["error"] = {
+                "code": job.error.code,
+                "message": str(job.error),
+                "retry_after": job.error.retry_after,
+            }
+        self._journal_append(record)
+
+    def _terminal_hook(
+        self, inner: "Optional[Callable[[Job], None]]"
+    ) -> "Callable[[Job], None]":
+        def hook(job: Job) -> None:
+            self._journal_terminal(job)
+            if inner is not None:
+                inner(job)
+
+        return hook
+
+    def resume_ids_above(self, floor: int) -> None:
+        """Never re-issue ids up to ``floor`` (journal recovery)."""
+        with self._lock:
+            self._ids = itertools.count(max(next(self._ids), floor + 1))
 
     def create(
         self,
@@ -206,17 +263,80 @@ class JobRegistry:
 
         ``probe``/``on_terminal`` are set at construction — before the
         job is visible to the watchdog — so even a job that expires
-        instantly still fires its terminal callback.
+        instantly still fires its terminal callback.  With a journal
+        attached, the admission is durable before the job exists and
+        the terminal transition is journaled from the job's terminal
+        callback (chained in front of ``on_terminal``).
         """
         with self._lock:
             job_id = f"{kind}-{next(self._ids):08x}"
+            callback = (
+                self._terminal_hook(on_terminal)
+                if self._journal is not None else on_terminal
+            )
+            self._journal_append({
+                "event": "job-admitted",
+                "job": job_id,
+                "kind": kind,
+                "params": params,
+            })
             job = Job(
                 job_id, kind, params, deadline,
-                probe=probe, on_terminal=on_terminal,
+                probe=probe, on_terminal=callback,
             )
             self._jobs[job_id] = job
             self._evict_locked()
             return job
+
+    def restore_terminal(
+        self,
+        job_id: str,
+        kind: str,
+        params: dict,
+        state: str,
+        result: "Optional[dict]" = None,
+        error: "Optional[ServiceError]" = None,
+    ) -> Job:
+        """Re-register a journaled terminal job after a restart.
+
+        The job answers polls exactly as before the crash (the journal
+        holds the full result payload / typed error); no callbacks
+        fire and nothing is re-journaled.
+        """
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"not a terminal state: {state!r}")
+        job = Job(job_id, kind, params, deadline=time.monotonic())
+        job.state = state
+        job.result = result
+        job.error = error
+        job._terminal.set()
+        with self._lock:
+            self._jobs[job_id] = job
+            self._evict_locked()
+        return job
+
+    def restore_queued(
+        self, job_id: str, kind: str, params: dict, deadline: float
+    ) -> Job:
+        """Re-register an interrupted job for re-execution.
+
+        The job keeps its pre-crash id (poll URLs stay valid), gets a
+        fresh deadline, and carries the journal terminal hook so its
+        eventual outcome is recorded like any other job's.  Its
+        admission is not re-appended here — recovery compacts the
+        journal and the compacted image already carries it.
+        """
+        job = Job(
+            job_id, kind, params, deadline,
+            on_terminal=(
+                self._terminal_hook(None)
+                if self._journal is not None else None
+            ),
+        )
+        with self._lock:
+            self._jobs[job_id] = job
+            self._evict_locked()
+        return job
 
     def get(self, job_id: str) -> Job:
         """Look a job up.

@@ -1,0 +1,140 @@
+"""Perf-trajectory history rows and the floor gate.
+
+No engines are actually timed here: the tests build a synthetic
+:class:`MicaBenchResult` and pin the row schema, the append-only JSONL
+behaviour, and the gate's floor arithmetic — including the rule that a
+floor whose engine went unmeasured is itself a violation (CI must not
+pass because a flag silently disabled a section).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.perf import (
+    append_bench_history,
+    bench_history_row,
+    check_bench_floors,
+    load_bench_history,
+)
+from repro.perf.history import HISTORY_SCHEMA
+from repro.perf.timing import (
+    GenerationBenchResult,
+    HpcBenchResult,
+    MicaBenchResult,
+    PhasesBenchResult,
+)
+
+REPO_FLOORS = Path(__file__).parent.parent / "benchmarks/perf/floors.json"
+
+
+def _result(
+    ppm=12.0, ilp=6.0, phases=7.0, generation=11.0, events=9.0,
+    pipelines=1.5, include_generation=True, include_hpc=True,
+    include_phases=True,
+):
+    speedups = {"ppm": ppm, "ilp": ilp}
+    if include_phases:
+        speedups["phases"] = phases
+    return MicaBenchResult(
+        trace_length=100_000,
+        profile="mcf",
+        repeats=3,
+        timings=(),
+        speedups=speedups,
+        generation=GenerationBenchResult(
+            trace_length=100_000, profile="mcf", repeats=3, timings=(),
+            speedups={"interpret": 9.0, "engine": generation},
+        ) if include_generation else None,
+        hpc=HpcBenchResult(
+            trace_length=100_000, profile="mcf", repeats=3, timings=(),
+            speedups={"events": events, "pipelines": pipelines},
+        ) if include_hpc else None,
+        phases=PhasesBenchResult(
+            trace_length=100_000, profile="mcf", repeats=3,
+            interval=5_000, timings=(), speedups={"timeline": phases},
+        ) if include_phases else None,
+    )
+
+
+class TestHistoryRow:
+    def test_row_collects_every_engine(self):
+        row = bench_history_row(_result())
+        assert row["schema"] == HISTORY_SCHEMA
+        assert row["trace_length"] == 100_000
+        assert row["profile"] == "mcf"
+        assert row["repeats"] == 3
+        assert row["speedups"] == {
+            "ppm": 12.0, "ilp": 6.0, "phases": 7.0,
+            "generation": 11.0, "events": 9.0, "pipelines": 1.5,
+        }
+
+    def test_skipped_sections_are_absent_not_zero(self):
+        row = bench_history_row(_result(
+            include_generation=False, include_hpc=False,
+            include_phases=False,
+        ))
+        assert set(row["speedups"]) == {"ppm", "ilp"}
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "nested" / "BENCH_history.jsonl"
+        append_bench_history(_result(), path)
+        append_bench_history(_result(ppm=13.0), path)
+        rows = load_bench_history(path)
+        assert len(rows) == 2
+        assert rows[0]["speedups"]["ppm"] == 12.0
+        assert rows[1]["speedups"]["ppm"] == 13.0
+        # One JSON object per line: the file merges/greps trivially.
+        lines = path.read_text().splitlines()
+        assert all(json.loads(line)["schema"] == HISTORY_SCHEMA
+                   for line in lines)
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_bench_history(tmp_path / "absent.jsonl") == []
+
+
+class TestFloorGate:
+    FLOORS = {"ppm": 10.0, "ilp": 5.0, "generation": 10.0,
+              "events": 5.0, "pipelines": 1.0, "phases": 5.0}
+
+    def test_passing_row_has_no_violations(self):
+        row = bench_history_row(_result())
+        assert check_bench_floors(row, self.FLOORS) == ()
+
+    def test_below_floor_is_named(self):
+        row = bench_history_row(_result(ppm=9.5, events=2.0))
+        violations = check_bench_floors(row, self.FLOORS)
+        assert len(violations) == 2
+        assert any("ppm: 9.50x" in v for v in violations)
+        assert any("events: 2.00x" in v for v in violations)
+
+    def test_missing_engine_is_a_violation_by_default(self):
+        row = bench_history_row(_result(include_hpc=False))
+        violations = check_bench_floors(row, self.FLOORS)
+        assert any("events: no speedup measured" in v
+                   for v in violations)
+        assert any("pipelines: no speedup measured" in v
+                   for v in violations)
+
+    def test_missing_engine_tolerated_when_not_required(self):
+        row = bench_history_row(_result(include_hpc=False))
+        assert check_bench_floors(
+            row, self.FLOORS, require_all=False
+        ) == ()
+
+    def test_committed_floors_file_is_well_formed(self):
+        payload = json.loads(REPO_FLOORS.read_text())
+        assert payload["schema"] == "bench-floors/v1"
+        for tier in ("full", "smoke"):
+            floors = payload[tier]["floors"]
+            assert set(floors) == {
+                "ppm", "ilp", "generation", "events", "pipelines",
+                "phases",
+            }
+            assert all(float(v) >= 1.0 for v in floors.values())
+        # The documented acceptance floors from the bench harness.
+        full = payload["full"]["floors"]
+        assert full["ppm"] >= 10 and full["generation"] >= 10
+        assert full["ilp"] >= 5 and full["events"] >= 5
+        assert full["phases"] >= 5 and full["pipelines"] >= 1

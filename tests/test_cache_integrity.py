@@ -324,6 +324,40 @@ class TestVerifyCache:
         report = verify_cache(tmp_path, sweep_older_than=0.0)
         assert report.swept_temporaries == 1
 
+    def test_scan_sweeps_journal_rotation_temporaries(self, tmp_path):
+        (tmp_path / "tmp-journal-build.123.jsonl").write_bytes(b"x")
+        report = verify_cache(tmp_path, sweep_older_than=0.0)
+        assert report.swept_temporaries == 1
+        assert not list(tmp_path.glob("tmp-journal-*"))
+
+    def test_scan_repairs_and_reports_torn_journal_tails(
+        self, tmp_path
+    ):
+        from repro.perf import WriteAheadJournal, replay_journal
+
+        path = tmp_path / "journal-dataset-abc.jsonl"
+        with WriteAheadJournal(path) as wal:
+            wal.append({"event": "a"})
+            wal.append({"event": "b"})
+        good_size = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(b'{"fmt": "repro-journal/1", "seq": 2')
+
+        report = verify_cache(tmp_path, sweep_older_than=0.0)
+        assert report.scanned["journal"] == 1
+        assert len(report.journal_truncations) == 1
+        truncation = report.journal_truncations[0]
+        assert truncation.repaired
+        assert truncation.valid_records == 2
+        assert truncation.dropped_bytes > 0
+        assert path.stat().st_size == good_size
+        assert "torn journal tail" in report.format()
+        assert "repaired" in report.format()
+        # The repaired journal replays clean; the scan is idempotent.
+        assert replay_journal(path).truncation is None
+        clean = verify_cache(tmp_path, sweep_older_than=0.0)
+        assert clean.journal_truncations == ()
+
     def test_verify_entry_raises_typed_error(self, tiny_trace, tmp_path):
         cache = CharacterizationCache(tmp_path)
         vector = characterize(tiny_trace, SMALL_CONFIG)

@@ -1,0 +1,211 @@
+"""Kill a journaled build with SIGKILL at real seams; resume converges.
+
+These tests arm :func:`repro.perf.faults.maybe_kill` in a child
+process (the plan travels via ``REPRO_KILL_FAULTS``), let the child
+die uncatchably mid-build, then finish the build in *this* process
+with ``resume_dataset`` and demand the result is bit-for-bit the cold
+serial reference. Two seams run in tier-1; the full seam matrix and
+the seeded chaos soak ride behind ``--runslow``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.experiments import build_dataset, resume_dataset
+from repro.experiments.dataset import _MEMORY_CACHE
+from repro.perf import replay_journal, sweep_temporaries, verify_cache
+from repro.perf.faults import KILL_SEAMS, chaos_schedule, corrupt_entry
+from repro.workloads import all_benchmarks
+
+from conftest import TEST_CONFIG
+
+POPULATION = all_benchmarks()[:3]
+NAMES = ",".join(b.full_name for b in POPULATION)
+
+# The child hardcodes TEST_CONFIG's knobs: the kill must land in a
+# process that shares nothing with this one but the disk.
+CHILD = textwrap.dedent("""
+    import sys
+    from pathlib import Path
+    from repro.config import ReproConfig
+    from repro.experiments import build_dataset
+    from repro.workloads import get_benchmark
+    names = sys.argv[1].split(",")
+    config = ReproConfig(
+        trace_length=5_000, ga_generations=8, ga_population=16)
+    build_dataset(
+        config, benchmarks=[get_benchmark(name) for name in names],
+        cache_dir=Path(sys.argv[2]), jobs=1, journal=Path(sys.argv[3]))
+    print("BUILD-FINISHED")
+""")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memory_cache():
+    _MEMORY_CACHE.clear()
+    yield
+    _MEMORY_CACHE.clear()
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    cold = tmp_path_factory.mktemp("kill-resume-cold")
+    return build_dataset(
+        TEST_CONFIG, benchmarks=POPULATION, cache_dir=cold, jobs=1
+    )
+
+
+def _child_env(faults_dir, seam, after):
+    import repro
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+    env["REPRO_KILL_FAULTS"] = json.dumps({
+        "state_dir": str(faults_dir),
+        "faults": [{"seam": seam, "after": after, "times": 1}],
+    })
+    return env
+
+
+def _killed_build(tmp_path, seam, after):
+    """Run the child build armed to die at ``seam``; return its dirs."""
+    cache = tmp_path / "cache"
+    journal = tmp_path / "journal.jsonl"
+    faults_dir = tmp_path / "faults"
+    faults_dir.mkdir()
+    proc = subprocess.run(
+        [sys.executable, "-c", CHILD, NAMES, str(cache), str(journal)],
+        env=_child_env(faults_dir, seam, after),
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == -signal.SIGKILL, (
+        seam, proc.returncode, proc.stdout, proc.stderr,
+    )
+    assert "BUILD-FINISHED" not in proc.stdout
+    return cache, journal
+
+
+def _assert_converged(reference, cache, journal):
+    resumed = resume_dataset(
+        TEST_CONFIG, benchmarks=POPULATION, cache_dir=cache, jobs=1,
+        journal=journal,
+    )
+    assert resumed.mica.tobytes() == reference.mica.tobytes()
+    assert resumed.hpc.tobytes() == reference.hpc.tobytes()
+    assert replay_journal(journal).truncation is None
+    # A crashed writer may strand a temp file; the sweep reaps it and
+    # integrity verification finds nothing half-written.
+    sweep_temporaries(cache, older_than=0.0)
+    assert not list(cache.glob("tmp-*"))
+    report = verify_cache(cache)
+    assert not report.quarantined, report.format()
+
+
+class TestKillResumeTier1:
+    """Two representative seams stay in the default suite."""
+
+    def test_kill_at_journal_append(self, tmp_path, reference):
+        cache, journal = _killed_build(
+            tmp_path, "journal-append-after", after=4
+        )
+        _assert_converged(reference, cache, journal)
+
+    def test_kill_between_writer_store_and_replace(
+        self, tmp_path, reference
+    ):
+        cache, journal = _killed_build(
+            tmp_path, "writer-before-replace", after=2
+        )
+        _assert_converged(reference, cache, journal)
+
+
+@pytest.mark.slow
+class TestKillSeamMatrix:
+    """--runslow: every seam in KILL_SEAMS, one kill each."""
+
+    # Rotate seams fire once, when the fresh build claims the journal;
+    # append/writer seams get a couple of free hits first so the kill
+    # lands mid-build rather than before any durable work.
+    _AFTER = {
+        "journal-rotate-before-replace": 0,
+        "journal-rotate-after-replace": 0,
+    }
+
+    @pytest.mark.parametrize("seam", KILL_SEAMS)
+    def test_kill_at_seam_then_resume(self, tmp_path, reference, seam):
+        cache, journal = _killed_build(
+            tmp_path, seam, after=self._AFTER.get(seam, 2)
+        )
+        _assert_converged(reference, cache, journal)
+
+
+@pytest.mark.slow
+class TestChaosSoak:
+    """--runslow: a seeded chaos_schedule driven end to end.
+
+    Kill rounds die in a child and resume here; corrupt rounds rot a
+    real cache entry and demand quarantine-and-rebuild; the remaining
+    kinds run as clean control rounds (their fault machinery has its
+    own dedicated suites). Any failure reproduces from the seed alone.
+    """
+
+    SEED = 11
+    ROUNDS = 8
+
+    def test_soak_converges_every_round(self, tmp_path, reference):
+        plan = chaos_schedule(self.SEED, self.ROUNDS)
+        assert plan == chaos_schedule(self.SEED, self.ROUNDS)
+        for index, round_ in enumerate(plan):
+            work = tmp_path / f"round-{index}"
+            work.mkdir()
+            cache = work / "cache"
+            journal = work / "journal.jsonl"
+            _MEMORY_CACHE.clear()
+            if round_["kind"] == "kill":
+                faults_dir = work / "faults"
+                faults_dir.mkdir()
+                proc = subprocess.run(
+                    [sys.executable, "-c", CHILD, NAMES,
+                     str(cache), str(journal)],
+                    env=_child_env(
+                        faults_dir, round_["seam"], round_["after"]
+                    ),
+                    capture_output=True, text=True, timeout=300,
+                )
+                # A late "after" may let the build finish; both
+                # outcomes must leave a resumable, convergent state.
+                assert proc.returncode in (0, -signal.SIGKILL), (
+                    round_, proc.returncode, proc.stderr,
+                )
+            else:
+                build_dataset(
+                    TEST_CONFIG, benchmarks=POPULATION,
+                    cache_dir=cache, jobs=1, journal=journal,
+                )
+                for path in cache.glob("dataset-*.npz"):
+                    path.unlink()
+                if round_["kind"] == "corrupt":
+                    victim = sorted(cache.glob("char-*.npz"))[0]
+                    corrupt_entry(
+                        victim, round_["mode"], seed=round_["seed"]
+                    )
+            _MEMORY_CACHE.clear()
+            resumed = resume_dataset(
+                TEST_CONFIG, benchmarks=POPULATION, cache_dir=cache,
+                jobs=1, journal=journal,
+            )
+            assert resumed.mica.tobytes() == reference.mica.tobytes(), (
+                "round diverged", index, round_,
+            )
+            assert resumed.hpc.tobytes() == reference.hpc.tobytes(), (
+                "round diverged", index, round_,
+            )
+            assert replay_journal(journal).truncation is None

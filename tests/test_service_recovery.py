@@ -1,0 +1,216 @@
+"""Durable service jobs: SIGKILL the service, restart, recover.
+
+The journaled service (``state_dir`` set) must survive uncatchable
+process death: after a restart, jobs that reached a terminal state
+keep answering ``GET /v1/jobs/<id>`` byte-identically from the
+journal, and jobs that were admitted but never finished are re-run
+under their original ids. Also pins the robustness counters: the
+``journal`` recovery block and the ``quarantines`` counter on
+``/v1/stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.config import ReproConfig
+from repro.perf.faults import corrupt_entry
+from repro.service import CharacterizationService, ServiceSettings
+
+CONFIG = ReproConfig(trace_length=4_000, ga_generations=4, ga_population=8)
+
+# The child admits two jobs — one runs to done, one is still queued —
+# then SIGKILLs itself. It prints one JSON line per job so the test
+# can demand byte-identical payloads after recovery.
+CHILD = textwrap.dedent("""
+    import json, os, sys
+    from repro.config import ReproConfig
+    from repro.service import CharacterizationService, ServiceSettings
+    config = ReproConfig(
+        trace_length=4_000, ga_generations=4, ga_population=8)
+    service = CharacterizationService(
+        config=config,
+        settings=ServiceSettings(
+            cache_dir=sys.argv[2], state_dir=sys.argv[1], workers=1,
+            default_deadline=30.0),
+    ).start()
+    status, body, _ = service.handle(
+        "POST", "/v1/characterize",
+        body={"benchmark": "spec2000/gzip/log", "wait": True})
+    assert status == 200, (status, body)
+    (job1,) = [job_id for job_id, job in service.registry._jobs.items()
+               if job.kind == "characterize"]
+    print(json.dumps({"job1": job1, "payload": body}), flush=True)
+    status, body, _ = service.handle(
+        "POST", "/v1/hpc", body={"benchmark": "spec2000/swim/ref"})
+    assert status == 202, (status, body)
+    print(json.dumps({"job2": body["job"]}), flush=True)
+    os.kill(os.getpid(), 9)
+""")
+
+
+def _settings(tmp_path, **overrides):
+    kwargs = dict(
+        cache_dir=str(tmp_path / "cache"),
+        state_dir=str(tmp_path / "state"),
+        workers=1,
+        default_deadline=30.0,
+    )
+    kwargs.update(overrides)
+    return ServiceSettings(**kwargs)
+
+
+def _kill_journaled_service(tmp_path):
+    import os
+
+    import repro
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+    (tmp_path / "state").mkdir(exist_ok=True)
+    proc = subprocess.run(
+        [sys.executable, "-c", CHILD,
+         str(tmp_path / "state"), str(tmp_path / "cache")],
+        env=env, capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == -signal.SIGKILL, (
+        proc.returncode, proc.stdout, proc.stderr,
+    )
+    first, second = [
+        json.loads(line) for line in proc.stdout.splitlines() if line
+    ]
+    return first["job1"], first["payload"], second["job2"]
+
+
+class TestRestartRecovery:
+    def test_restart_recovers_terminal_and_interrupted_jobs(
+        self, tmp_path
+    ):
+        job1, payload1, job2 = _kill_journaled_service(tmp_path)
+
+        service = CharacterizationService(
+            config=CONFIG, settings=_settings(tmp_path)
+        ).start()
+        try:
+            recovery = service.stats()["journal"]
+            assert recovery["recovered_terminal"] == 1, recovery
+            assert recovery["resubmitted"] == 1, recovery
+
+            # Terminal job: the journal answers, byte for byte.
+            status, body, _ = service.handle("GET", f"/v1/jobs/{job1}")
+            assert status == 200, (status, body)
+            assert json.dumps(body, sort_keys=True) == json.dumps(
+                payload1, sort_keys=True
+            ), "recovered payload diverged from the pre-kill response"
+
+            # Interrupted job: re-admitted under its old id, runs to
+            # done on the restarted queue.
+            status, body, _ = service.handle(
+                "GET", f"/v1/jobs/{job2}", query={"wait": "60"}
+            )
+            assert status == 200, (status, body)
+            assert body["kind"] == "hpc", body
+            assert body["benchmark"] == "spec2000/swim/ref", body
+
+            # New admissions continue past the recovered id floor
+            # rather than colliding with journaled ids.
+            status, body, _ = service.handle(
+                "POST", "/v1/hpc", body={"benchmark": "mcf"},
+            )
+            assert status == 202, (status, body)
+            suffix = int(body["job"].rsplit("-", 1)[-1], 16)
+            assert suffix > int(job2.rsplit("-", 1)[-1], 16)
+
+            status, body, _ = service.handle("GET", "/readyz")
+            assert body["recovery"]["resubmitted"] == 1, body
+        finally:
+            assert service.drain(30.0)
+
+        # Second restart reads the compacted journal: both jobs are
+        # now terminal and still answer.
+        service2 = CharacterizationService(
+            config=CONFIG, settings=_settings(tmp_path)
+        ).start()
+        try:
+            status, body, _ = service2.handle("GET", f"/v1/jobs/{job1}")
+            assert status == 200
+            assert json.dumps(body, sort_keys=True) == json.dumps(
+                payload1, sort_keys=True
+            ), "second restart lost the terminal payload"
+            status, body, _ = service2.handle("GET", f"/v1/jobs/{job2}")
+            assert status == 200, (status, body)
+            assert body["benchmark"] == "spec2000/swim/ref", body
+            recovery = service2.stats()["journal"]
+            assert recovery["recovered_terminal"] >= 2, recovery
+            assert recovery["resubmitted"] == 0, recovery
+        finally:
+            assert service2.drain(30.0)
+
+    def test_restart_with_torn_journal_tail(self, tmp_path):
+        job1, payload1, _ = _kill_journaled_service(tmp_path)
+        journals = list((tmp_path / "state").glob("journal-*.jsonl"))
+        assert len(journals) == 1, journals
+        with open(journals[0], "ab") as handle:
+            handle.write(b'{"fmt": "repro-journal/1", "seq": 99')
+
+        service = CharacterizationService(
+            config=CONFIG, settings=_settings(tmp_path)
+        ).start()
+        try:
+            recovery = service.stats()["journal"]
+            assert recovery["repaired_torn_tail"] is True, recovery
+            status, body, _ = service.handle("GET", f"/v1/jobs/{job1}")
+            assert status == 200
+            assert json.dumps(body, sort_keys=True) == json.dumps(
+                payload1, sort_keys=True
+            )
+        finally:
+            assert service.drain(30.0)
+
+
+class TestRobustnessCounters:
+    def test_unjournaled_service_reports_no_journal_block(
+        self, tmp_path
+    ):
+        service = CharacterizationService(
+            config=CONFIG, settings=_settings(tmp_path, state_dir=None)
+        ).start()
+        try:
+            stats = service.stats()
+            assert "journal" not in stats
+            assert stats["quarantines"] == 0
+            status, body, _ = service.handle("GET", "/readyz")
+            assert "recovery" not in body, body
+        finally:
+            assert service.drain(30.0)
+
+    def test_quarantine_counter_counts_corrupt_entries(self, tmp_path):
+        service = CharacterizationService(
+            config=CONFIG, settings=_settings(tmp_path, state_dir=None)
+        ).start()
+        try:
+            status, _, _ = service.handle(
+                "POST", "/v1/characterize",
+                body={"benchmark": "mcf", "wait": True},
+            )
+            assert status == 200
+            assert service.stats()["quarantines"] == 0
+
+            victim = sorted((tmp_path / "cache").glob("char-*.npz"))[0]
+            corrupt_entry(victim, "bitflip", seed=3)
+
+            status, _, headers = service.handle(
+                "POST", "/v1/characterize",
+                body={"benchmark": "mcf", "wait": True},
+            )
+            assert status == 200
+            assert headers["X-Repro-Source"] == "computed", headers
+            assert service.stats()["quarantines"] >= 1
+        finally:
+            assert service.drain(30.0)
