@@ -70,6 +70,7 @@ def main(argv: "list[str] | None" = None) -> int:
         include_generation=True,
         include_hpc=True,
         include_phases=True,
+        include_sharded=True,
     )
     row = bench_history_row(result)
     print(result.format())

@@ -6,10 +6,12 @@ the trace-generation engine (batch interpreter/expansion vs their
 scalar references, cold-vs-warm dataset builds), the HPC engines
 (event assemblies, the pipeline-model batch walks vs their retained
 reference loops over precomputed events, component engines, HPC
-cache) and the phase engine (segmented interval characterization vs
+cache), the phase engine (segmented interval characterization vs
 the retained chunked reference, signature extractors, phase
-detection), then writes the machine-readable ``BENCH_mica.json``
-trajectory file (schema ``BENCH_mica/v5``).  Also
+detection) and the shard engine (one-shot vs the sequential
+shard+merge stream and the 2/4-worker intra-trace fan-out), then
+writes the machine-readable ``BENCH_mica.json``
+trajectory file (schema ``BENCH_mica/v6``).  Also
 reachable as ``python -m repro bench``; this thin wrapper exists so the
 harness can be invoked from a checkout without installing the package::
 
@@ -71,6 +73,11 @@ def main(argv: "list[str] | None" = None) -> int:
         help="skip the phase engine timings (segmented timeline, "
              "signatures, phase detection)",
     )
+    parser.add_argument(
+        "--no-sharded", action="store_true",
+        help="skip the shard engine timings (streaming merge overhead, "
+             "intra-trace worker fan-out)",
+    )
     args = parser.parse_args(argv)
 
     config = (
@@ -86,6 +93,7 @@ def main(argv: "list[str] | None" = None) -> int:
         include_generation=not args.no_generation,
         include_hpc=not args.no_hpc,
         include_phases=not args.no_phases,
+        include_sharded=not args.no_sharded,
     )
     print(result.format())
     if args.output:

@@ -50,6 +50,10 @@ def _dataset_kwargs(args: argparse.Namespace) -> dict:
         kwargs["max_attempts"] = _positive_attempts(args.max_attempts)
     if getattr(args, "retry_backoff", None) is not None:
         kwargs["retry_backoff"] = args.retry_backoff
+    if getattr(args, "shards", None):
+        if args.shards < 1:
+            raise ReproError(f"--shards must be >= 1, got {args.shards}")
+        kwargs["shards"] = args.shards
     return kwargs
 
 
@@ -90,8 +94,24 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     from .mica import characterize
 
     config = _make_config(args)
+    shards = args.shards or None
+    shard_size = args.shard_size or None
+    if shards is not None and shard_size is not None:
+        raise ReproError(
+            "give at most one of --shards and --shard-size"
+        )
     trace = _load_trace(args.benchmark, config)
-    print(characterize(trace, config).format())
+    if shards is None and shard_size is None:
+        print(characterize(trace, config).format())
+        return 0
+    cache_dir = (
+        Path(args.cache_dir)
+        if args.cache_dir and not args.no_cache else None
+    )
+    print(characterize(
+        trace, config, shards=shards, shard_size=shard_size,
+        jobs=args.jobs or None, cache_dir=cache_dir,
+    ).format())
     return 0
 
 
@@ -265,6 +285,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         include_generation=not args.no_generation,
         include_hpc=not args.no_hpc,
         include_phases=not args.no_phases,
+        include_sharded=not args.no_sharded,
     )
     print(result.format())
     if args.output:
@@ -424,6 +445,18 @@ def build_parser() -> argparse.ArgumentParser:
         sub = commands.add_parser(name, help=help_text)
         sub.add_argument("benchmark", help="name, e.g. 'mcf' or "
                          "'spec2000/bzip2/graphic'")
+        if name == "characterize":
+            sub.add_argument(
+                "--shards", type=int, default=0, metavar="N",
+                help="characterize through the shard-mergeable engine "
+                     "split into N contiguous shards (bit-for-bit "
+                     "identical; --jobs fans shards across processes)",
+            )
+            sub.add_argument(
+                "--shard-size", type=int, default=0, metavar="ROWS",
+                help="or split into fixed-size shards of ROWS "
+                     "instructions each (the out-of-core geometry)",
+            )
 
     dataset_parser = commands.add_parser(
         "dataset", help="build and cache the data set"
@@ -448,6 +481,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a crash-safe write-ahead journal of the build "
              "(default path: journal-dataset-<key>.jsonl beside the "
              "cache), so a killed build can be finished with --resume",
+    )
+    dataset_parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="characterize each trace through the shard-mergeable "
+             "engine split into N shards (fills the per-shard cache "
+             "level; results stay bit-for-bit identical)",
     )
     dataset_parser.add_argument(
         "--resume", action="store_true",
@@ -475,7 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
              "sweep (default: 1h)",
     )
     cache_commands.add_parser(
-        "clear", help="delete every cache entry (all four levels)"
+        "clear", help="delete every cache entry (all five levels)"
     )
 
     phases_parser = commands.add_parser(
@@ -595,6 +634,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-phases", action="store_true",
         help="skip the phase engine timings (segmented timeline, "
              "signatures, phase detection)",
+    )
+    bench_parser.add_argument(
+        "--no-sharded", action="store_true",
+        help="skip the shard-engine timings (merge overhead, "
+             "intra-trace multi-worker scaling)",
     )
     commands.add_parser("fig1", help="Figure 1: distance scatter")
     commands.add_parser("table3", help="Table III: quadrant fractions")

@@ -184,7 +184,9 @@ class WorkloadDataset:
         return list(HPC_METRIC_NAMES)
 
 
-def _characterize_one(args: "Tuple[str, int, int, dict, str | None]"):
+def _characterize_one(
+    args: "Tuple[str, int, int, dict, str | None, int | None]"
+):
     """Worker: build one benchmark's MICA and HPC vectors.
 
     Runs in a separate process, so it re-resolves the benchmark from
@@ -195,9 +197,11 @@ def _characterize_one(args: "Tuple[str, int, int, dict, str | None]"):
     content-keyed characterization cache above it, and the 7-metric
     vector through the content+machine-keyed HPC cache beside it (warm
     runs never run a pipeline model) — all shared across workers and
-    runs.
+    runs.  When ``shards`` is given, a characterization miss computes
+    through the shard-mergeable engine (bit-for-bit identical), so the
+    per-shard cache level fills alongside the per-trace one.
     """
-    name, trace_length, seed, config_kwargs, cache_dir = args
+    name, trace_length, seed, config_kwargs, cache_dir, shards = args
     # Local imports keep worker startup lean.
     from ..perf import (
         cached_characterize,
@@ -214,7 +218,9 @@ def _characterize_one(args: "Tuple[str, int, int, dict, str | None]"):
     trace = cached_generate_trace(
         benchmark.profile, trace_length, seed=seed, cache_dir=cache_dir
     )
-    mica_vector = cached_characterize(trace, config, cache_dir).values
+    mica_vector = cached_characterize(
+        trace, config, cache_dir, shards=shards
+    ).values
     hpc_vector = cached_collect_hpc(trace, cache_dir=cache_dir).values
     entries: Dict[str, str] = {}
     if cache_dir is not None:
@@ -285,14 +291,16 @@ def default_cache_dir() -> Path:
 def clear_dataset_cache(cache_dir: "Path | None" = None) -> int:
     """Delete cached datasets (in-memory and on disk).
 
-    Clears all four cache levels: the dataset-level matrices, the
-    per-trace characterization entries, the per-trace HPC vectors and
-    the generated-trace entries.
+    Clears all five cache levels: the dataset-level matrices, the
+    per-trace characterization entries, the per-trace HPC vectors, the
+    generated-trace entries and the per-shard state entries.
 
     Returns:
         Number of disk cache files removed.
     """
-    from ..perf import CharacterizationCache, HpcCache, TraceCache
+    from ..perf import (
+        CharacterizationCache, HpcCache, ShardCache, TraceCache,
+    )
     from ..perf.cache import _unlink_quietly
 
     _MEMORY_CACHE.clear()
@@ -312,6 +320,7 @@ def clear_dataset_cache(cache_dir: "Path | None" = None) -> int:
         removed += CharacterizationCache(directory).clear()
         removed += HpcCache(directory).clear()
         removed += TraceCache(directory).clear()
+        removed += ShardCache(directory).clear()
     return removed
 
 
@@ -792,6 +801,7 @@ def build_dataset(
     retry_jitter_seed: "int | None" = None,
     deadline: "float | None" = None,
     journal: "Path | str | None" = None,
+    shards: "int | None" = None,
 ) -> WorkloadDataset:
     """Build (or load) the workload data set.
 
@@ -840,6 +850,12 @@ def build_dataset(
             converges to the cold build's exact result.  Starting a
             build truncates any previous journal at this path
             atomically.
+        shards: when given, each worker characterizes its trace through
+            the shard-mergeable engine split into this many contiguous
+            shards (bit-for-bit identical results; the per-shard cache
+            level fills alongside the per-trace one, so overlapping or
+            extended traces reuse warm shards).  ``None`` keeps the
+            one-shot path.
 
     The result is identical — bit-for-bit — whether built serially with
     cold caches or with ``jobs=N`` against warm caches; workers are pure
@@ -857,6 +873,7 @@ def build_dataset(
         config, benchmarks, cache_dir, use_cache, jobs, workers,
         progress, strict, max_attempts, retry_backoff,
         retry_jitter_seed, deadline, journal, resume=False,
+        shards=shards,
     )
 
 
@@ -874,6 +891,7 @@ def resume_dataset(
     retry_jitter_seed: "int | None" = None,
     deadline: "float | None" = None,
     journal: "Path | str | None" = None,
+    shards: "int | None" = None,
 ) -> WorkloadDataset:
     """Resume a journaled build after the process died mid-way.
 
@@ -904,6 +922,7 @@ def resume_dataset(
         config, benchmarks, cache_dir, use_cache, jobs, workers,
         progress, strict, max_attempts, retry_backoff,
         retry_jitter_seed, deadline, journal, resume=True,
+        shards=shards,
     )
 
 
@@ -922,6 +941,7 @@ def _build_or_resume(
     deadline: "float | None",
     journal: "Path | str | None",
     resume: bool,
+    shards: "int | None" = None,
 ) -> WorkloadDataset:
     population = tuple(benchmarks if benchmarks is not None else all_benchmarks())
     names = tuple(benchmark.full_name for benchmark in population)
@@ -964,7 +984,7 @@ def _build_or_resume(
     trace_cache_dir = str(directory) if use_cache else None
     jobs_by_name = {
         name: (name, config.trace_length, 0, _config_kwargs(config),
-               trace_cache_dir)
+               trace_cache_dir, shards)
         for name in names
     }
     if jobs is None:

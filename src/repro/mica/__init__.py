@@ -29,6 +29,17 @@ from .segmented import (
     segmented_characterize,
     segmented_producer_indices,
 )
+from .shard import (
+    SECTION_ORDER,
+    ShardState,
+    characterize_stream,
+    finalize_state,
+    merge_states,
+    ppm_shard_correct,
+    shard_state,
+    state_from_arrays,
+    state_to_arrays,
+)
 
 __all__ = [
     "Characteristic",
@@ -52,4 +63,13 @@ __all__ = [
     "SECTION_CATEGORIES",
     "segmented_characterize",
     "segmented_producer_indices",
+    "SECTION_ORDER",
+    "ShardState",
+    "characterize_stream",
+    "finalize_state",
+    "merge_states",
+    "ppm_shard_correct",
+    "shard_state",
+    "state_from_arrays",
+    "state_to_arrays",
 ]

@@ -253,6 +253,69 @@ def window_cycle_counts(
     return [cycles[int(window)] for window in window_sizes]
 
 
+def full_window_cycle_counts(
+    producer1: np.ndarray,
+    producer2: np.ndarray,
+    starts_by_size: "Dict[int, np.ndarray]",
+    n: "int | None" = None,
+) -> "Dict[int, int]":
+    """Summed critical-path cycles over explicitly listed *full* windows.
+
+    The shard engine's generalization of :func:`window_cycle_counts`:
+    instead of tiling ``[0, n)`` it is handed, per window size, the
+    ascending local start positions of the windows to close — each
+    guaranteed full (``start + size <= n``), which is exactly the set of
+    globally-aligned windows falling entirely inside one shard.  Same
+    offset-major traversal, but with every window full no prefix
+    trimming is needed.
+
+    Returns:
+        ``{size: total cycles}`` (0 for a size with no listed windows).
+    """
+    if n is None:
+        n = len(producer1)
+    normalized = {
+        int(size): np.asarray(starts, dtype=np.int64)
+        for size, starts in starts_by_size.items()
+    }
+    sizes = sorted(normalized)
+    levels: Dict[int, np.ndarray] = {}
+    active: List[int] = []
+    for size in sizes:
+        if len(normalized[size]):
+            levels[size] = np.ones(n, dtype=np.int64)
+            active.append(size)
+    for offset in range(1, max(active, default=1)):
+        for size in active:
+            if offset >= size:
+                continue
+            window_starts = normalized[size]
+            indices = window_starts + offset
+            level = levels[size]
+            gather1 = producer1[indices]
+            gather2 = producer2[indices]
+            depth1 = np.where(
+                gather1 >= window_starts, level[gather1], 0
+            )
+            depth2 = np.where(
+                gather2 >= window_starts, level[gather2], 0
+            )
+            level[indices] = np.maximum(depth1, depth2) + 1
+    cycles: Dict[int, int] = {}
+    for size in sizes:
+        starts = normalized[size]
+        if len(starts) == 0:
+            cycles[size] = 0
+            continue
+        # Same-size aligned windows are contiguous, so reduceat segments
+        # are exactly the windows; trailing rows past the last window
+        # keep their init depth of 1 and cannot raise a window max.
+        cycles[size] = int(
+            np.maximum.reduceat(levels[size], starts).sum()
+        )
+    return cycles
+
+
 def _validate_ilp_inputs(trace: Trace, window_sizes: Sequence[int]) -> None:
     if len(trace) == 0:
         raise CharacterizationError("cannot compute ILP of an empty trace")

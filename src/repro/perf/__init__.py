@@ -49,15 +49,23 @@ from .cache import (
     CacheVerifyReport,
     CharacterizationCache,
     HpcCache,
+    SHARD_CACHE_VERSION,
+    ShardCache,
     TraceCache,
     cached_characterize,
     cached_collect_hpc,
     cached_generate_trace,
     is_cache_degraded,
     reset_cache_degradation,
+    shard_entry_key,
     sweep_temporaries,
     trace_fingerprint,
     verify_cache,
+)
+from .sharding import (
+    cold_state_call_count,
+    reset_cold_state_call_count,
+    sharded_characterize,
 )
 from .history import (
     append_bench_history,
@@ -79,10 +87,12 @@ from .timing import (
     HpcBenchResult,
     MicaBenchResult,
     PhasesBenchResult,
+    ShardedBenchResult,
     run_generation_bench,
     run_hpc_bench,
     run_mica_bench,
     run_phases_bench,
+    run_sharded_bench,
     write_bench_json,
 )
 
@@ -91,8 +101,14 @@ __all__ = [
     "CharacterizationCache",
     "HpcCache",
     "QuarantineEvent",
+    "SHARD_CACHE_VERSION",
+    "ShardCache",
     "TraceCache",
     "cached_characterize",
+    "cold_state_call_count",
+    "reset_cold_state_call_count",
+    "shard_entry_key",
+    "sharded_characterize",
     "cached_collect_hpc",
     "cached_generate_trace",
     "faults",
@@ -118,9 +134,11 @@ __all__ = [
     "HpcBenchResult",
     "MicaBenchResult",
     "PhasesBenchResult",
+    "ShardedBenchResult",
     "run_generation_bench",
     "run_hpc_bench",
     "run_mica_bench",
     "run_phases_bench",
+    "run_sharded_bench",
     "write_bench_json",
 ]

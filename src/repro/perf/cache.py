@@ -1,6 +1,6 @@
-"""On-disk caches: characterization results, HPC vectors, traces.
+"""On-disk caches: characterization results, HPC vectors, traces, shards.
 
-Three cache levels live here, forming a hierarchy under the
+Four cache levels live here, forming a hierarchy under the
 dataset-level matrix cache of :mod:`repro.experiments.dataset`:
 
 * **Characterization cache** (top).  Characterizing one trace is pure:
@@ -36,6 +36,17 @@ dataset-level matrix cache of :mod:`repro.experiments.dataset`:
   :data:`~repro.synth.TRACE_GEN_VERSION` is part of the key because the
   bytes a (profile, length, seed) triple produces may legitimately
   change when the generation engine's draw protocol changes.
+
+* **Shard cache** (finest grain).  The shard-mergeable engine
+  (:mod:`repro.mica.shard`) characterizes contiguous chunks into cold
+  mergeable states; each state is pure in the chunk's bytes and the
+  characterization config, so entries key by::
+
+      sha256(shard bytes) + config.characterization_fingerprint()
+          + sections mask + SHARD_CACHE_VERSION
+
+  and re-characterizing an extended or overlapping trace reuses every
+  warm shard whose byte range lines up.
 
 Entries survive process restarts, are shared by parallel dataset
 workers, and stay valid under population changes (unlike the
@@ -85,6 +96,10 @@ from ..uarch import (
 
 #: Bump when any analyzer changes its output for the same trace/config.
 CHAR_CACHE_VERSION = 1
+
+#: Bump when the shard-mergeable state layout or semantics change
+#: (:mod:`repro.mica.shard`), independently of the final-vector cache.
+SHARD_CACHE_VERSION = 1
 
 # -- graceful degradation ---------------------------------------------------
 #
@@ -311,22 +326,41 @@ def cached_characterize(
     trace: Trace,
     config: ReproConfig = DEFAULT_CONFIG,
     cache_dir: "Path | str | None" = None,
+    shards: "int | None" = None,
+    shard_size: "int | None" = None,
+    jobs: "int | None" = None,
 ) -> CharacteristicVector:
     """:func:`repro.mica.characterize` behind the on-disk cache.
 
     With ``cache_dir=None`` this is exactly ``characterize``; otherwise
-    hits skip every analyzer and misses populate the cache.
+    hits skip every analyzer and misses populate the cache.  When a
+    shard geometry is given, misses compute through the shard-mergeable
+    engine (bit-for-bit identical, so the final-vector cache entry is
+    the same either way) and each shard's cold state additionally goes
+    through the per-shard :class:`ShardCache` level.
 
     Returns:
         The trace's :class:`~repro.mica.CharacteristicVector` (cached
         values are re-wrapped with the trace's current name).
     """
+    sharded = shards is not None or shard_size is not None
     if cache_dir is None:
+        if sharded:
+            return characterize(
+                trace, config, shards=shards, shard_size=shard_size,
+                jobs=jobs,
+            )
         return characterize(trace, config)
     cache = CharacterizationCache(cache_dir)
     values = cache.load(trace, config)
     if values is None:
-        vector = characterize(trace, config)
+        if sharded:
+            vector = characterize(
+                trace, config, shards=shards, shard_size=shard_size,
+                jobs=jobs, cache_dir=cache_dir,
+            )
+        else:
+            vector = characterize(trace, config)
         try:
             cache.store(trace, config, vector.values)
         except OSError as error:
@@ -512,6 +546,69 @@ def cached_generate_trace(
 
 
 # ---------------------------------------------------------------------------
+# Shard cache (per-shard mergeable states, below the characterization
+# cache)
+# ---------------------------------------------------------------------------
+
+
+def shard_entry_key(
+    shard_fingerprint: str,
+    start: int,
+    config: ReproConfig,
+    sections_mask: int,
+) -> str:
+    """Cache key for one shard's cold mergeable state.
+
+    Keys by the shard's *content* hash (so an extended or overlapping
+    trace reuses warm shards wherever the byte ranges line up), its
+    absolute start offset (ILP window alignment and register last-writer
+    positions are absolute, so the same bytes at a different offset
+    yield a different state), the characterization fingerprint, the
+    wanted-sections mask, and :data:`SHARD_CACHE_VERSION`.
+    """
+    payload = (
+        f"{SHARD_CACHE_VERSION}:{shard_fingerprint}:{start}:"
+        f"{config.characterization_fingerprint()}:{sections_mask}"
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+class ShardCache(_NpzCacheDirectory):
+    """Directory of per-shard cold characterization states.
+
+    Each entry holds one serialized :class:`repro.mica.shard.ShardState`
+    (the *cold*, carry-independent round of the shard engine — the
+    carry-dependent PPM prediction pass is recomputed per run, so it is
+    never cached).  Entries are variable-field ``.npz`` files: the
+    fields present depend on the sections requested, so verification
+    relies on each entry's own recorded metadata and checksums rather
+    than a static shape table.
+
+    Args:
+        directory: cache root; created lazily on first store.  Shares a
+            directory with the other cache levels (distinct ``shard-``
+            file prefix).
+    """
+
+    _prefix = "shard"
+
+    def _schema_version(self) -> object:
+        return SHARD_CACHE_VERSION
+
+    def load(self, key: str) -> "Optional[Dict[str, np.ndarray]]":
+        """The entry's serialized state arrays, or None on a miss."""
+        return integrity.load_entry(
+            self._path(key),
+            level=self._prefix,
+            version=self._schema_version(),
+        )
+
+    def store(self, key: str, arrays: "Dict[str, np.ndarray]") -> Path:
+        """Persist one serialized shard state; returns the entry path."""
+        return self._store_entry(key, **arrays)
+
+
+# ---------------------------------------------------------------------------
 # Whole-directory verification (``repro cache verify``)
 # ---------------------------------------------------------------------------
 
@@ -607,9 +704,10 @@ def verify_cache(
     directory: "Path | str",
     sweep_older_than: float = 3600.0,
 ) -> CacheVerifyReport:
-    """Scan all four cache levels; quarantine entries that fail.
+    """Scan all five cache levels; quarantine entries that fail.
 
-    Covers the per-trace levels (``char``/``hpc``/``trace``) via each
+    Covers the per-trace levels (``char``/``hpc``/``trace``) and the
+    per-shard ``shard`` level via each
     level's :meth:`~_NpzCacheDirectory.verify` and the dataset-level
     ``dataset-*.npz`` matrices, replays every ``journal-*.jsonl``
     write-ahead journal (repairing torn tails in place and reporting
@@ -619,7 +717,7 @@ def verify_cache(
     root = Path(directory)
     scanned: "Dict[str, int]" = {}
     events: "List[QuarantineEvent]" = []
-    for level in (CharacterizationCache, HpcCache, TraceCache):
+    for level in (CharacterizationCache, HpcCache, TraceCache, ShardCache):
         cache = level(root)
         scanned[cache._prefix] = len(cache)
         events.extend(cache.verify())

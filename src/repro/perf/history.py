@@ -30,7 +30,8 @@ HISTORY_SCHEMA = "BENCH_history/v1"
 #: Engines a floors file may gate, mapped to where the ratio lives in a
 #: :class:`~repro.perf.timing.MicaBenchResult`.
 FLOOR_ENGINES = (
-    "ppm", "ilp", "generation", "events", "pipelines", "phases"
+    "ppm", "ilp", "generation", "events", "pipelines", "phases",
+    "sharded",
 )
 
 
@@ -41,12 +42,14 @@ def bench_history_row(result) -> dict:
     a single ``speedups`` dict keyed by engine: ``ppm``/``ilp`` (the
     analyzer engines), ``generation`` (the combined interpret+expand
     ratio), ``events``/``pipelines`` (the HPC event assemblies and
-    pipeline models), and ``phases`` (the segmented timeline engine).
-    Sections the run skipped (``--no-generation``, ``--no-reference``)
-    are simply absent from the dict.
+    pipeline models), ``phases`` (the segmented timeline engine) and
+    ``sharded`` (the shard-mergeable engine's one-shot-over-sharded
+    merge-overhead ratio).  Sections the run skipped
+    (``--no-generation``, ``--no-reference``) are simply absent from
+    the dict.
     """
     speedups: "Dict[str, float]" = {}
-    for key in ("ppm", "ilp", "phases"):
+    for key in ("ppm", "ilp", "phases", "sharded"):
         if key in result.speedups:
             speedups[key] = float(result.speedups[key])
     if result.generation is not None:

@@ -64,6 +64,19 @@ How to read the output:
   chunked-reference-over-engine for the default timeline; the
   acceptance floor is 5x at 100k instructions x 5k-instruction
   intervals.
+* ``sharded.engines.<name>`` (schema v6) — shard-engine timings:
+  ``characterize_one_shot`` (the whole-trace baseline),
+  ``sharded_stream`` (shard + merge through the sequential streaming
+  fold — its gap to one-shot *is* the merge overhead) and
+  ``sharded_jobs2`` / ``sharded_jobs4`` (the two-round intra-trace
+  fan-out across worker processes).
+* ``sharded.speedups.merge_overhead`` / top-level
+  ``speedups.sharded`` — one-shot time over sequential sharded time
+  (below one by the cost of carrying and merging per-shard state; the
+  committed floor gates it from regressing).
+  ``sharded.speedups.jobs2`` / ``jobs4`` — one-shot time over the
+  parallel fan-out (above one once the trace amortizes pool startup;
+  the acceptance evidence for multi-core intra-trace scaling).
 """
 
 from __future__ import annotations
@@ -306,6 +319,69 @@ class PhasesBenchResult:
 
 
 @dataclass(frozen=True)
+class ShardedBenchResult:
+    """Shard-engine timings: merge overhead and intra-trace scaling.
+
+    Attributes:
+        trace_length: instructions characterized per timing.
+        profile: registry benchmark supplying the workload profile.
+        repeats: timing repetitions (the best is kept).
+        shards: contiguous shards per sharded run.
+        timings: per-path wall times (``characterize_one_shot`` — the
+            whole-trace baseline — ``sharded_stream`` — the sequential
+            shard+merge fold, whose gap to one-shot is the merge
+            overhead — and ``sharded_jobs<N>`` — the two-round
+            intra-trace fan-out across N worker processes).
+        speedups: one-shot-over-sharded ratios (``merge_overhead`` for
+            the sequential fold, the floor-gated number;
+            ``jobs<N>`` for each parallel fan-out — above one is
+            measured multi-core intra-trace scaling).
+    """
+
+    trace_length: int
+    profile: str
+    repeats: int
+    shards: int
+    timings: Tuple[AnalyzerTiming, ...]
+    speedups: Dict[str, float] = field(default_factory=dict)
+
+    def timing(self, name: str) -> AnalyzerTiming:
+        for entry in self.timings:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_length": self.trace_length,
+            "profile": self.profile,
+            "repeats": self.repeats,
+            "shards": self.shards,
+            "engines": {
+                entry.name: entry.as_dict() for entry in self.timings
+            },
+            "speedups": dict(self.speedups),
+        }
+
+    def format(self) -> str:
+        """Human-readable report section."""
+        lines = [
+            f"  shard engine — {self.trace_length:,} instructions x "
+            f"{self.shards} shards"
+        ]
+        for entry in self.timings:
+            lines.append(
+                f"  {entry.name:<22} {entry.seconds * 1e3:>9.2f} ms"
+                f"  {entry.instructions_per_second / 1e6:>8.1f} Minstr/s"
+            )
+        for name, ratio in self.speedups.items():
+            lines.append(
+                f"  sharded speedup[{name}]: {ratio:.2f}x vs one-shot"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
 class MicaBenchResult:
     """One harness run: per-analyzer timings plus derived speedups."""
 
@@ -317,6 +393,7 @@ class MicaBenchResult:
     generation: "Optional[GenerationBenchResult]" = None
     hpc: "Optional[HpcBenchResult]" = None
     phases: "Optional[PhasesBenchResult]" = None
+    sharded: "Optional[ShardedBenchResult]" = None
 
     def timing(self, name: str) -> AnalyzerTiming:
         for entry in self.timings:
@@ -326,7 +403,7 @@ class MicaBenchResult:
 
     def as_dict(self) -> dict:
         payload = {
-            "schema": "BENCH_mica/v5",
+            "schema": "BENCH_mica/v6",
             "meta": {
                 "trace_length": self.trace_length,
                 "profile": self.profile,
@@ -345,6 +422,8 @@ class MicaBenchResult:
             payload["hpc"] = self.hpc.as_dict()
         if self.phases is not None:
             payload["phases"] = self.phases.as_dict()
+        if self.sharded is not None:
+            payload["sharded"] = self.sharded.as_dict()
         return payload
 
     def format(self) -> str:
@@ -366,6 +445,8 @@ class MicaBenchResult:
             lines.append(self.hpc.format())
         if self.phases is not None:
             lines.append(self.phases.format())
+        if self.sharded is not None:
+            lines.append(self.sharded.format())
         return "\n".join(lines)
 
 
@@ -787,6 +868,83 @@ def run_phases_bench(
     )
 
 
+def run_sharded_bench(
+    config: ReproConfig = DEFAULT_CONFIG,
+    trace_length: "int | None" = None,
+    profile_name: str = DEFAULT_BENCH_PROFILE,
+    repeats: int = 3,
+    shards: int = 4,
+    worker_counts: Tuple[int, ...] = (2, 4),
+) -> ShardedBenchResult:
+    """Time the shard-mergeable engine against one-shot ``characterize``.
+
+    Measures, on one generated trace: the whole-trace one-shot
+    baseline, the sequential shard+merge streaming fold (``shards``
+    contiguous shards — the gap to one-shot is the state-carry and
+    merge overhead) and the two-round intra-trace fan-out at each of
+    ``worker_counts`` processes.  All four produce bit-for-bit the
+    same 47 values; only the wall time differs.
+
+    Args:
+        config: characterization parameters.
+        trace_length: characterized-trace length (default: the
+            config's).
+        profile_name: registry benchmark supplying the workload profile.
+        repeats: timing repetitions; the best (minimum) is reported.
+        shards: contiguous shards per sharded run.
+        worker_counts: process counts for the parallel fan-out runs.
+    """
+    from ..synth import generate_trace
+    from ..workloads import get_benchmark
+    from .sharding import sharded_characterize
+
+    length = trace_length or config.trace_length
+    benchmark = get_benchmark(profile_name)
+    trace = generate_trace(benchmark.profile, length)
+
+    # Wake the CPU governor before timing (see run_phases_bench): the
+    # one-shot and streaming runs are short enough that cold clocks
+    # would bias the merge-overhead ratio.
+    deadline = time.perf_counter() + 1.0
+    while time.perf_counter() < deadline:
+        characterize(trace, config)
+
+    cases: List[Tuple[str, Callable[[], object]]] = [
+        ("characterize_one_shot", lambda: characterize(trace, config)),
+        (
+            "sharded_stream",
+            lambda: sharded_characterize(trace, config, shards=shards),
+        ),
+    ]
+    for jobs in worker_counts:
+        cases.append((
+            f"sharded_jobs{jobs}",
+            lambda jobs=jobs: sharded_characterize(
+                trace, config, shards=shards, jobs=jobs
+            ),
+        ))
+    seconds = {name: _best_of(fn, repeats) for name, fn in cases}
+    timings = tuple(
+        AnalyzerTiming(name=name, seconds=seconds[name],
+                       instructions=length)
+        for name, _ in cases
+    )
+    one_shot = seconds["characterize_one_shot"]
+    speedups: Dict[str, float] = {
+        "merge_overhead": one_shot / seconds["sharded_stream"],
+    }
+    for jobs in worker_counts:
+        speedups[f"jobs{jobs}"] = one_shot / seconds[f"sharded_jobs{jobs}"]
+    return ShardedBenchResult(
+        trace_length=length,
+        profile=profile_name,
+        repeats=repeats,
+        shards=shards,
+        timings=timings,
+        speedups=speedups,
+    )
+
+
 def run_mica_bench(
     trace: "Trace | None" = None,
     config: ReproConfig = DEFAULT_CONFIG,
@@ -797,6 +955,7 @@ def run_mica_bench(
     include_generation: bool = False,
     include_hpc: bool = False,
     include_phases: bool = False,
+    include_sharded: bool = False,
 ) -> MicaBenchResult:
     """Time every MICA analyzer on one trace.
 
@@ -816,6 +975,10 @@ def run_mica_bench(
         include_phases: also run :func:`run_phases_bench` and attach
             its result (the CLI harness enables this); its timeline
             ratio is surfaced as the top-level ``speedups.phases``.
+        include_sharded: also run :func:`run_sharded_bench` and attach
+            its result (the CLI harness enables this); its
+            merge-overhead ratio is surfaced as the top-level
+            ``speedups.sharded``.
     """
     if repeats < 1:
         from ..errors import ConfigurationError
@@ -928,9 +1091,18 @@ def run_mica_bench(
         )
         if "timeline" in phases.speedups:
             speedups["phases"] = phases.speedups["timeline"]
+    sharded = None
+    if include_sharded:
+        sharded = run_sharded_bench(
+            config=config,
+            trace_length=trace_length,
+            profile_name=profile_name,
+            repeats=repeats,
+        )
+        speedups["sharded"] = sharded.speedups["merge_overhead"]
     if (
         include_reference or include_generation or include_hpc
-        or include_phases
+        or include_phases or include_sharded
     ):
         result = MicaBenchResult(
             trace_length=result.trace_length,
@@ -941,6 +1113,7 @@ def run_mica_bench(
             generation=generation,
             hpc=hpc,
             phases=phases,
+            sharded=sharded,
         )
     return result
 

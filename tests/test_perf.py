@@ -182,7 +182,7 @@ class TestMicaBenchHarness:
         assert result.speedups == {}
         path = write_bench_json(result, tmp_path / "BENCH_mica.json")
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "BENCH_mica/v5"
+        assert payload["schema"] == "BENCH_mica/v6"
         assert payload["meta"]["trace_length"] == len(tiny_trace)
         for entry in payload["analyzers"].values():
             assert entry["seconds"] >= 0.0
