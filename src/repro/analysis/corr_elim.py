@@ -9,7 +9,7 @@ set of ``k`` retained characteristics.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

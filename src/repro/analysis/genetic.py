@@ -19,7 +19,7 @@ following the paper ("until no more improvement is observed").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 import numpy as np

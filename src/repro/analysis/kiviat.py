@@ -9,7 +9,7 @@ plus a compact bar-table alternative for dense listings.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -10,6 +10,7 @@ Subcommands::
     cache verify|clear      scan-and-quarantine / wipe the cache levels
     serve                   run the characterization HTTP service
     bench                   run the MICA perf harness (BENCH_mica.json)
+    lint                    static-analysis gate (exit 0/1/2)
     fig1|table3|fig2-3|fig4|fig5|table4|fig6
                             reproduce one table/figure
     all                     the full report
@@ -407,6 +408,82 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_root(argument: str) -> Path:
+    """Resolve the repository root for ``repro lint``.
+
+    Explicit ``--root`` wins; otherwise the current directory when it
+    holds ``src/repro``; otherwise the checkout this very module was
+    imported from (so ``repro lint`` works from anywhere).
+    """
+    from .lint import LintUsageError
+
+    if argument:
+        return Path(argument)
+    cwd = Path.cwd()
+    if (cwd / "src" / "repro").is_dir():
+        return cwd
+    candidate = Path(__file__).resolve().parent.parent.parent
+    if (candidate / "src" / "repro").is_dir():
+        return candidate
+    raise LintUsageError(
+        "cannot locate the repository root (no src/repro under the "
+        "current directory or the installed package); pass --root"
+    )
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .lint import (
+        LintUsageError,
+        load_baseline,
+        run_lint,
+        rule_by_id,
+        write_baseline,
+    )
+
+    try:
+        if args.explain:
+            rule = rule_by_id(args.explain)
+            print(f"{rule.id}: {rule.summary}")
+            print()
+            print(rule.explanation)
+            return 0
+        root = _lint_root(args.root)
+        baseline_path = (
+            Path(args.baseline)
+            if args.baseline
+            else root / "lint-baseline.json"
+        )
+        if args.update_baseline:
+            report = run_lint(root=root)
+            write_baseline(baseline_path, report.findings)
+            print(
+                f"wrote {len(report.findings)} baseline entr"
+                f"{'y' if len(report.findings) == 1 else 'ies'} to "
+                f"{baseline_path}"
+            )
+            return 0
+        baseline = None
+        if args.baseline or baseline_path.is_file():
+            # An explicitly named baseline must exist (usage error if
+            # not); the default one is optional.
+            baseline = load_baseline(baseline_path)
+        report = run_lint(root=root, baseline=baseline)
+        if args.format == "json":
+            print(
+                json_module.dumps(
+                    report.to_json(), indent=2, sort_keys=True
+                )
+            )
+        else:
+            print(report.format())
+        return report.exit_code
+    except LintUsageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mica-repro",
@@ -677,6 +754,31 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser(
         "sensitivity", help="input-set sensitivity (extension)"
     )
+
+    lint_parser = commands.add_parser(
+        "lint",
+        help="static-analysis gate for the repo's own invariants",
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    lint_parser.add_argument(
+        "--explain", default="", metavar="RULE",
+        help="print one rule's rationale and exit",
+    )
+    lint_parser.add_argument(
+        "--baseline", default="", metavar="PATH",
+        help="baseline file (default: <root>/lint-baseline.json)",
+    )
+    lint_parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="grandfather every current finding into the baseline",
+    )
+    lint_parser.add_argument(
+        "--root", default="", metavar="DIR",
+        help="repository root (default: auto-detected)",
+    )
     return parser
 
 
@@ -694,6 +796,7 @@ _DISPATCH = {
     "dendro": _cmd_dendrogram,
     "subset": _cmd_subset,
     "sensitivity": _cmd_sensitivity,
+    "lint": _cmd_lint,
 }
 
 _SINGLE_RUNNERS = {

@@ -9,7 +9,7 @@ runs can override values without mutating module state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Tuple
 
 from .errors import ConfigurationError

@@ -28,7 +28,7 @@ import numpy as np
 from ..config import DEFAULT_CONFIG, ReproConfig
 from ..errors import AnalysisError, DatasetBuildError
 from ..analysis import pairwise_distances, zscore
-from ..mica import characterize, characteristic_names
+from ..mica import characteristic_names
 from ..perf import integrity
 from ..perf.integrity import QuarantineEvent
 from ..uarch import HPC_METRIC_NAMES

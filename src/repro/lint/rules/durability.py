@@ -1,0 +1,149 @@
+"""The *durability* rule: persistent state flows through the atomic
+writer seams, not ad-hoc file writes.
+
+PR 8 made every cache level crash-consistent by funnelling writes
+through ``repro.perf.integrity`` (atomic tmp-file + checksum stamp +
+rename) and ``repro.perf.journal`` (write-ahead journal).  A direct
+``open(..., "w")`` / ``np.savez`` / ``os.rename`` in the persistence
+layers bypasses torn-write protection and checksum stamping, so this
+rule flags raw write calls in ``perf``/``experiments``/``service``
+outside the sanctioned seam modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..engine import LintProject, ModuleSource, dotted_name
+from ..model import Finding
+from .base import Rule
+
+#: The sanctioned seam modules — they *implement* atomic persistence,
+#: so raw file primitives are their job.
+SEAM_MODULES = frozenset(
+    {
+        "src/repro/perf/integrity.py",
+        "src/repro/perf/journal.py",
+        "src/repro/perf/faults.py",
+    }
+)
+
+#: Dotted call names that move or overwrite files in place.
+RAW_MOVE_CALLS = frozenset(
+    {
+        "os.rename",
+        "os.replace",
+        "shutil.move",
+        "shutil.copyfile",
+        "shutil.copy",
+        "shutil.copy2",
+    }
+)
+
+#: numpy persistence entry points that write without integrity stamps.
+NUMPY_SAVE_CALLS = frozenset(
+    {"np.savez", "np.savez_compressed", "np.save",
+     "numpy.savez", "numpy.savez_compressed", "numpy.save"}
+)
+
+#: Path methods that write file contents directly.
+PATH_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+
+class DurabilityRule(Rule):
+    """Ban raw file writes outside the atomic persistence seams."""
+
+    id = "durability"
+    summary = (
+        "persistence layers must write through repro.perf.integrity / "
+        "repro.perf.journal, not raw file calls"
+    )
+    explanation = (
+        "Cache and journal durability rests on the atomic writer seams "
+        "(repro.perf.integrity: tmp-file + checksum stamp + rename; "
+        "repro.perf.journal: write-ahead journal).  This rule flags "
+        "open() with a write/append mode, np.save/np.savez*, "
+        "os.rename/os.replace/shutil.move and Path.write_text/"
+        "write_bytes inside src/repro/{perf,experiments,service} — "
+        "everywhere except the seam modules themselves (integrity, "
+        "journal, faults).  Legitimate non-cache writes (append-only "
+        "telemetry, user-requested exports) carry a justified lint-ok "
+        "suppression."
+    )
+    scopes = (
+        "src/repro/perf/",
+        "src/repro/experiments/",
+        "src/repro/service/",
+    )
+
+    def check_module(
+        self, module: ModuleSource, project: LintProject
+    ) -> "Iterable[Finding]":
+        if not self.applies_to(module) or module.path in SEAM_MODULES:
+            return ()
+        findings: "List[Finding]" = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in RAW_MOVE_CALLS:
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"raw {name}() bypasses the atomic writer "
+                        "seams; route through repro.perf.integrity",
+                    )
+                )
+            elif name in NUMPY_SAVE_CALLS:
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"{name}() writes without an integrity stamp; "
+                        "route through repro.perf.integrity.write_entry",
+                    )
+                )
+            elif name == "open" and _write_mode(node):
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"open(..., {_write_mode(node)!r}) writes "
+                        "without torn-write protection; route through "
+                        "repro.perf.integrity or justify with lint-ok",
+                    )
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in PATH_WRITE_METHODS
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f".{node.func.attr}() writes without torn-write "
+                        "protection; route through repro.perf.integrity "
+                        "or justify with lint-ok",
+                    )
+                )
+        return findings
+
+
+def _write_mode(node: ast.Call) -> "str | None":
+    """The constant write/append mode of an ``open`` call, when any."""
+    mode: "ast.expr | None" = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        if any(flag in mode.value for flag in ("w", "a", "+", "x")):
+            return mode.value
+    return None

@@ -1,0 +1,262 @@
+"""The *lock-discipline* rule: a lightweight static race detector.
+
+For each class in ``repro.service`` / ``repro.perf.journal`` the rule
+infers which ``self.<attr>`` attributes are lock-protected — any
+attribute mutated inside a ``with self.<lock>:`` block (an attribute
+whose name contains ``lock``) or inside a ``*_locked`` helper method —
+and then flags mutations of those same attributes outside any lock.
+``__init__``-family methods are exempt (no concurrent access before
+construction completes), as are ``*_locked`` helpers (the suffix is the
+repo's documented caller-holds-the-lock convention, see
+``repro.service.breaker``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, List, Set
+
+from ..engine import LintProject, ModuleSource
+from ..model import Finding
+from .base import Rule
+
+#: Method names assumed to mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "update",
+        "clear",
+        "pop",
+        "popitem",
+        "add",
+        "remove",
+        "discard",
+        "insert",
+        "setdefault",
+        "appendleft",
+        "popleft",
+    }
+)
+
+#: Methods where unlocked mutation is fine: the object is not shared
+#: yet (construction) or the caller holds the lock by convention.
+EXEMPT_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One ``self.<attr>`` mutation site inside a class body."""
+
+    attr: str
+    line: int
+    col: int
+    method: str
+    locked: bool
+    description: str
+
+
+class LockDisciplineRule(Rule):
+    """Flag unlocked mutations of lock-protected attributes."""
+
+    id = "lock-discipline"
+    summary = (
+        "attributes mutated under a lock must never be mutated outside "
+        "one"
+    )
+    explanation = (
+        "Within each class in src/repro/service and "
+        "src/repro/perf/journal.py, any self-attribute mutated inside a "
+        "'with self.<lock>:' block (or inside a *_locked helper) is "
+        "inferred to be lock-protected shared state.  A mutation of "
+        "that attribute outside a lock is a data race: concurrent "
+        "handler threads can interleave read-modify-write sequences and "
+        "lose updates.  __init__/__new__/__post_init__ are exempt (the "
+        "instance is not yet shared) and *_locked methods are exempt "
+        "(the suffix documents that the caller holds the lock)."
+    )
+    scopes = ("src/repro/service/", "src/repro/perf/journal.py")
+
+    def check_module(
+        self, module: ModuleSource, project: LintProject
+    ) -> "Iterable[Finding]":
+        if not self.applies_to(module):
+            return ()
+        findings: "List[Finding]" = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(module, node))
+        return findings
+
+    def _check_class(
+        self, module: ModuleSource, class_node: ast.ClassDef
+    ) -> "List[Finding]":
+        mutations: "List[Mutation]" = []
+        for item in class_node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                collector = _MutationCollector(item.name)
+                collector.visit_body(item.body)
+                mutations.extend(collector.mutations)
+        protected: "Set[str]" = {
+            mutation.attr
+            for mutation in mutations
+            if mutation.locked or mutation.method.endswith("_locked")
+        }
+        findings: "List[Finding]" = []
+        for mutation in mutations:
+            if mutation.attr not in protected:
+                continue
+            if mutation.locked:
+                continue
+            if mutation.method in EXEMPT_METHODS:
+                continue
+            if mutation.method.endswith("_locked"):
+                continue
+            findings.append(
+                self.finding(
+                    module,
+                    mutation.line,
+                    mutation.col,
+                    f"{class_node.name}.{mutation.method} mutates "
+                    f"self.{mutation.attr} ({mutation.description}) "
+                    "outside the lock that protects it elsewhere; "
+                    "take the lock or move this into a *_locked helper",
+                )
+            )
+        return findings
+
+
+class _MutationCollector:
+    """Collect ``self.<attr>`` mutations in one method, tracking
+    whether each sits inside a ``with self.<lock>:`` block."""
+
+    def __init__(self, method: str) -> None:
+        self.method = method
+        self.mutations: "List[Mutation]" = []
+        self._lock_depth = 0
+
+    def visit_body(self, body: "List[ast.stmt]") -> None:
+        for statement in body:
+            self._visit(statement)
+
+    def _visit(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            holds_lock = any(
+                _is_self_lock(item.context_expr) for item in node.items
+            )
+            if holds_lock:
+                self._lock_depth += 1
+            self.visit_body(node.body)
+            if holds_lock:
+                self._lock_depth -= 1
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs run later, possibly on another thread; their
+            # mutations are analyzed with the lock state reset.
+            inner = _MutationCollector(self.method)
+            inner.visit_body(node.body)
+            self.mutations.extend(inner.mutations)
+            return
+        self._record_targets(node)
+        self._visit_children(node)
+
+    def _visit_children(self, node: ast.AST) -> None:
+        """Recurse: statements via :meth:`_visit`, expressions scanned
+        for mutating calls, other containers (except handlers, match
+        cases, ...) unwrapped."""
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                self._visit(child)
+            elif isinstance(child, ast.expr):
+                self._scan_calls(child)
+            else:
+                self._visit_children(child)
+
+    def _scan_calls(self, node: ast.expr) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self._record_mutating_call(sub)
+
+    def _record_targets(self, node: ast.stmt) -> None:
+        targets: "List[ast.expr]" = []
+        description = "assignment"
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+            description = "augmented assignment"
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+            description = "deletion"
+        for target in targets:
+            attr = _self_attr_target(target)
+            if attr is not None:
+                self.mutations.append(
+                    Mutation(
+                        attr=attr,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        method=self.method,
+                        locked=self._lock_depth > 0,
+                        description=description,
+                    )
+                )
+
+    def _record_mutating_call(self, node: ast.Call) -> None:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATING_METHODS
+        ):
+            return
+        receiver = func.value
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+        ):
+            self.mutations.append(
+                Mutation(
+                    attr=receiver.attr,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    method=self.method,
+                    locked=self._lock_depth > 0,
+                    description=f".{func.attr}() call",
+                )
+            )
+
+
+def _is_self_lock(node: ast.expr) -> bool:
+    """``self.<attr>`` (or ``self.<attr>.acquire-style`` calls) where
+    the attribute name contains 'lock'."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and "lock" in node.attr.lower()
+    )
+
+
+def _self_attr_target(node: ast.expr) -> "str | None":
+    """The attribute name mutated by a ``self.X``/``self.X[...]``
+    assignment target (None for non-self targets)."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    if isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            attr = _self_attr_target(element)
+            if attr is not None:
+                return attr
+    return None

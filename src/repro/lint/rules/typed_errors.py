@@ -1,0 +1,107 @@
+"""The *typed-errors* rule: broad excepts must re-raise or wrap.
+
+The service and persistence layers communicate failure through the
+typed ``repro.errors`` family (``ReproError``, ``ServiceError`` and
+friends) so callers can map errors to HTTP statuses and retry classes.
+A bare/broad ``except`` that swallows the exception without re-raising
+or wrapping it into a typed error hides real faults as silent
+degradation, so this rule flags exception handlers in
+``service``/``perf``/``cli`` whose body neither raises nor constructs
+an ``*Error``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..engine import LintProject, ModuleSource, dotted_name
+from ..model import Finding
+from .base import Rule
+
+#: Exception names considered "broad" when caught.
+BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+class TypedErrorsRule(Rule):
+    """Flag broad excepts that swallow without raising or wrapping."""
+
+    id = "typed-errors"
+    summary = (
+        "broad except handlers must re-raise or wrap into repro.errors"
+    )
+    explanation = (
+        "In src/repro/service, src/repro/perf and src/repro/cli.py, a "
+        "bare 'except:' or 'except Exception:' handler must either "
+        "re-raise (a raise statement anywhere in its body) or convert "
+        "the failure into the typed repro.errors family (construct a "
+        "name ending in 'Error' or 'Warning').  Handlers that log and "
+        "deliberately degrade (e.g. best-effort journal appends) carry "
+        "a justified lint-ok suppression instead."
+    )
+    scopes = (
+        "src/repro/service/",
+        "src/repro/perf/",
+        "src/repro/cli.py",
+    )
+
+    def check_module(
+        self, module: ModuleSource, project: LintProject
+    ) -> "Iterable[Finding]":
+        if not self.applies_to(module):
+            return ()
+        findings: "List[Finding]" = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _handler_raises_or_wraps(node):
+                continue
+            caught = "bare except" if node.type is None else (
+                f"except {ast.unparse(node.type)}"
+            )
+            findings.append(
+                self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{caught} swallows the failure without re-raising "
+                    "or wrapping it into the repro.errors family; "
+                    "re-raise, wrap, or justify with lint-ok",
+                )
+            )
+        return findings
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """Bare ``except:`` or catching Exception/BaseException."""
+    if handler.type is None:
+        return True
+    candidates: "List[ast.expr]" = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for candidate in candidates:
+        name = dotted_name(candidate)
+        if name is not None and name.rsplit(".", 1)[-1] in (
+            BROAD_EXCEPTIONS
+        ):
+            return True
+    return False
+
+
+def _handler_raises_or_wraps(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body raises, or constructs/invokes anything
+    in the typed error family (a name ending in Error/Warning)."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and name.rsplit(".", 1)[-1].endswith(
+                ("Error", "Warning")
+            ):
+                return True
+    return False

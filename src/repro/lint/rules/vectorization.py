@@ -1,0 +1,151 @@
+"""The *vectorization* rule: no per-element Python loops over trace
+columns in production engine functions.
+
+The reproduction's performance contract (ROADMAP "vectorized engines")
+keeps per-instruction Python loops only in two sanctioned places: the
+retained ``*_reference`` scalar specifications (the ground truth the
+vectorized paths are tested bit-identical against) and the documented
+serial pipeline cores in ``repro.uarch``.  Everywhere else, a
+``for i in range(len(column))`` loop is a silent O(n)-interpreted
+regression waiting to dominate a profile.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..engine import LintProject, ModuleSource, dotted_name
+from ..model import Finding
+from .base import Rule
+
+#: Column attributes of ``repro.trace.Trace`` — iterating one of these
+#: element-by-element is exactly the loop the vectorized engines exist
+#: to avoid.
+TRACE_COLUMNS = frozenset(
+    {
+        "pc",
+        "opclass",
+        "src1",
+        "src2",
+        "dst",
+        "mem_addr",
+        "taken",
+        "target",
+        "load_mask",
+        "store_mask",
+        "memory_mask",
+        "branch_mask",
+        "load_addresses",
+        "store_addresses",
+    }
+)
+
+#: Documented serial pipeline cores: per-instruction walks are their
+#: specified algorithm (see ROADMAP), not an accident.
+SERIAL_CORE_MODULES = frozenset(
+    {
+        "src/repro/uarch/inorder.py",
+        "src/repro/uarch/ooo.py",
+        "src/repro/uarch/pipeline_batch.py",
+    }
+)
+
+
+class VectorizationRule(Rule):
+    """Ban scalar loops over trace columns outside sanctioned specs."""
+
+    id = "vectorization"
+    summary = (
+        "no per-element loops over trace columns in production engines"
+    )
+    explanation = (
+        "Production engine functions under src/repro/{mica,synth,uarch,"
+        "phases} must stay vectorized: this rule flags for-loops over "
+        "range(len(...)) and direct (or zip-) iteration over trace "
+        "column attributes (trace.pc, trace.mem_addr, ...).  Functions "
+        "whose name contains 'reference' are exempt — they are the "
+        "retained scalar specifications the vectorized paths are tested "
+        "bit-identical against — as are the documented serial pipeline "
+        "cores in repro.uarch (inorder, ooo, pipeline_batch)."
+    )
+    scopes = (
+        "src/repro/mica/",
+        "src/repro/synth/",
+        "src/repro/uarch/",
+        "src/repro/phases/",
+    )
+
+    def check_module(
+        self, module: ModuleSource, project: LintProject
+    ) -> "Iterable[Finding]":
+        if not self.applies_to(module):
+            return ()
+        if module.path in SERIAL_CORE_MODULES:
+            return ()
+        findings: "List[Finding]" = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            if any(
+                "reference" in name
+                for name in module.enclosing_functions(node)
+            ):
+                continue
+            reason = _loop_violation(node.iter)
+            if reason:
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        reason
+                        + "; vectorize with numpy array operations or "
+                        "move the loop into a *_reference specification",
+                    )
+                )
+        return findings
+
+
+def _loop_violation(iterable: ast.AST) -> "str | None":
+    """Why iterating ``iterable`` violates the rule (None when fine)."""
+    if isinstance(iterable, ast.Call):
+        name = dotted_name(iterable.func)
+        if name == "range" and iterable.args:
+            inner = iterable.args[0]
+            if (
+                len(iterable.args) == 1
+                and isinstance(inner, ast.Call)
+                and dotted_name(inner.func) == "len"
+            ):
+                return (
+                    "per-element loop over range(len(...)) in a "
+                    "production engine function"
+                )
+            return None
+        if name == "zip":
+            for arg in iterable.args:
+                if _is_trace_column(arg):
+                    return (
+                        "per-element zip over trace column "
+                        f"'{arg.attr}' in a production engine function"
+                    )
+        if name == "enumerate" and iterable.args:
+            if _is_trace_column(iterable.args[0]):
+                return (
+                    "per-element enumerate over trace column "
+                    f"'{iterable.args[0].attr}' in a production engine "
+                    "function"
+                )
+        return None
+    if _is_trace_column(iterable):
+        return (
+            f"per-element loop over trace column '{iterable.attr}' in "
+            "a production engine function"
+        )
+    return None
+
+
+def _is_trace_column(node: ast.AST) -> bool:
+    """``<expr>.<column>`` where ``<column>`` is a Trace column name."""
+    return isinstance(node, ast.Attribute) and node.attr in TRACE_COLUMNS

@@ -38,11 +38,7 @@ import numpy as np
 
 from ..errors import CharacterizationError
 from ..isa import NO_REG
-from ..isa.registers import (
-    FP_ZERO_REG,
-    INT_ZERO_REG,
-    TOTAL_REGS,
-)
+from ..isa.registers import FP_ZERO_REG, INT_ZERO_REG
 from ..trace import Trace
 
 #: Producer index used when a source has no producer in the trace.

@@ -587,10 +587,9 @@ class RegisterState:
         )
         if self.consumed_reads:
             total = float(self.consumed_reads)
-            for position in range(len(self.dist_counts)):
-                values[2 + position] = (
-                    float(self.dist_counts[position]) / total
-                )
+            values[2:] = (
+                np.asarray(self.dist_counts, dtype=float) / total
+            )
         return values
 
 

@@ -82,21 +82,32 @@ def append_bench_history(result, path: "Path | str") -> Path:
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     row = bench_history_row(result)
+    # repro: lint-ok[durability] append-only telemetry; a torn tail is
+    # tolerated (skipped) by load_bench_history, never served as data
     with open(target, "a", encoding="utf-8") as handle:
         handle.write(json.dumps(row, sort_keys=True) + "\n")
     return target
 
 
 def load_bench_history(path: "Path | str") -> "List[dict]":
-    """All history rows in a JSONL file (missing file: empty list)."""
+    """All history rows in a JSONL file (missing file: empty list).
+
+    A row that does not parse — the torn tail a crash mid-append leaves
+    behind — is skipped rather than poisoning every later read: history
+    is append-only telemetry, and every complete row is still good.
+    """
     target = Path(path)
     if not target.is_file():
         return []
     rows: "List[dict]" = []
     for line in target.read_text(encoding="utf-8").splitlines():
         line = line.strip()
-        if line:
+        if not line:
+            continue
+        try:
             rows.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
     return rows
 
 

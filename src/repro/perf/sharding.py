@@ -34,7 +34,7 @@ reuses every warm shard whose byte range lines up.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,7 +56,6 @@ from ..mica.shard import (
 )
 from ..trace import (
     MappedTraceSource,
-    MemoryTraceSource,
     Trace,
     TraceSource,
     as_trace_source,

@@ -1123,5 +1123,7 @@ def write_bench_json(
 ) -> Path:
     """Serialize one harness run to ``BENCH_mica.json``."""
     destination = Path(path)
+    # repro: lint-ok[durability] user-requested report export to an
+    # explicit path; not cache state, so no integrity stamp is owed
     destination.write_text(json.dumps(result.as_dict(), indent=2) + "\n")
     return destination

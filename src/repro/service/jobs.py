@@ -24,7 +24,7 @@ import logging
 import threading
 import time
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from ..errors import JobNotFoundError, ServiceError
 
@@ -213,6 +213,8 @@ class JobRegistry:
             return
         try:
             self._journal.append(record)
+        # repro: lint-ok[typed-errors] journal IO failure degrades
+        # durability, never serving: log and continue by design
         except Exception:
             logger.warning(
                 "job journal append failed; continuing without "

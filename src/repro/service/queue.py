@@ -78,6 +78,10 @@ class ServiceQueue:
         self._stop = threading.Event()
         self._draining = threading.Event()
         self._workers = workers
+        # Counters are bumped from handler threads (submit) and the
+        # watchdog thread concurrently; += is a read-modify-write, so
+        # unguarded increments lose updates.
+        self._counter_lock = threading.Lock()
         self.expired_total = 0
         self.rejected_total = 0
 
@@ -171,7 +175,8 @@ class ServiceQueue:
         try:
             self._queue.put_nowait(job)
         except queue_module.Full:
-            self.rejected_total += 1
+            with self._counter_lock:
+                self.rejected_total += 1
             raise QueueFullError(
                 f"admission queue is full ({self.capacity} jobs); "
                 "retry later",
@@ -197,6 +202,9 @@ class ServiceQueue:
                     # Expired or cancelled while waiting in the queue.
                     continue
                 self._execute(job)
+            # repro: lint-ok[typed-errors] last-ditch crash isolation:
+            # the worker thread must survive any executor bug, and the
+            # job itself is already answered with a typed error upstream
             except Exception:  # pragma: no cover - executor guards
                 logger.exception("service worker crashed on %s", job.id)
             finally:
@@ -214,7 +222,8 @@ class ServiceQueue:
                         ),
                         state="expired",
                     ):
-                        self.expired_total += 1
+                        with self._counter_lock:
+                            self.expired_total += 1
                         logger.warning(
                             "watchdog expired overdue job %s (%s)",
                             job.id, job.kind,

@@ -66,7 +66,7 @@ from .branches import BiasedBranch
 from .code import ControlTables, StaticCode, build_code
 from .memory import ACCESS_BYTES, random_slots_from_uniforms
 from .profiles import WorkloadProfile
-from .rng import make_rng, stable_seed
+from .rng import make_rng
 
 #: Generation-semantics version.  Bump whenever the draw protocol or the
 #: expansion rules change the bytes produced for the same

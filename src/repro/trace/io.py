@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import gzip
 import io
-import os
 import struct
 from typing import TextIO, Union
 

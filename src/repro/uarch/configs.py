@@ -7,7 +7,7 @@ TLB reach, predictor style, issue width and representative latencies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .branch_predictors import (
     BimodalPredictor,

@@ -372,3 +372,108 @@ class TestShardFlagExitCodes:
         out = capsys.readouterr().out
         assert "4 shard" in out
         assert "0 quarantined" in out
+
+
+class TestLintCommand:
+    """``repro lint`` exit-code and ``--format json`` semantics."""
+
+    REPO_ROOT = str(__import__("pathlib").Path(__file__).parent.parent)
+
+    @staticmethod
+    def _violating_repo(tmp_path):
+        """A miniature checkout with one determinism violation."""
+        package = tmp_path / "src" / "repro" / "mica"
+        package.mkdir(parents=True)
+        package.joinpath("bad.py").write_text(
+            "import time\n\n\ndef stamp():\n    return time.time()\n",
+            encoding="utf-8",
+        )
+        return tmp_path
+
+    def test_clean_repo_exits_zero(self, capsys):
+        code = main(["lint", "--root", self.REPO_ROOT])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_new_finding_exits_one(self, tmp_path, capsys):
+        root = self._violating_repo(tmp_path)
+        code = main(["lint", "--root", str(root)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "determinism" in out
+        assert "bad.py" in out
+
+    def test_format_json_is_machine_readable(self, tmp_path, capsys):
+        import json
+
+        root = self._violating_repo(tmp_path)
+        code = main(["lint", "--root", str(root), "--format", "json"])
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro-lint/1"
+        assert document["clean"] is False
+        assert len(document["new"]) == 1
+        assert document["new"][0]["rule"] == "determinism"
+        assert document["new"][0]["path"].endswith("bad.py")
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        root = self._violating_repo(tmp_path)
+        assert main(["lint", "--root", str(root),
+                     "--update-baseline"]) == 0
+        capsys.readouterr()
+        code = main(["lint", "--root", str(root)])
+        assert code == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_stale_baseline_entry_exits_one(self, tmp_path, capsys):
+        import json
+
+        root = self._violating_repo(tmp_path)
+        baseline = {
+            "schema": "repro-lint-baseline/1",
+            "entries": [
+                {
+                    "rule": "determinism",
+                    "path": "src/repro/mica/bad.py",
+                    "message": "clock read time.time() breaks "
+                    "determinism; thread an explicit timestamp in "
+                    "from the caller",
+                },
+                {
+                    "rule": "dead-code",
+                    "path": "src/repro/mica/removed.py",
+                    "message": "import os is never used in this "
+                    "module; remove it",
+                },
+            ],
+        }
+        (root / "lint-baseline.json").write_text(json.dumps(baseline))
+        code = main(["lint", "--root", str(root)])
+        assert code == 1
+        assert "stale" in capsys.readouterr().out
+
+    def test_missing_explicit_baseline_exits_two(self, tmp_path, capsys):
+        code = main(["lint", "--root", self.REPO_ROOT,
+                     "--baseline", str(tmp_path / "absent.json")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_unknown_rule_explain_exits_two(self, capsys):
+        code = main(["lint", "--explain", "no-such-rule"])
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_explain_prints_rationale(self, capsys):
+        code = main(["lint", "--explain", "lock-discipline"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lock-discipline:" in out
+        assert "data race" in out
+
+    def test_bad_root_exits_two(self, tmp_path, capsys):
+        code = main(["lint", "--root", str(tmp_path / "nowhere")])
+        assert code == 2
+        assert "src/repro" in capsys.readouterr().err

@@ -22,6 +22,8 @@ PACKAGES = [
     "repro.experiments",
     "repro.phases",
     "repro.reporting",
+    "repro.lint",
+    "repro.lint.rules",
 ]
 
 

@@ -19,6 +19,17 @@ from repro.mica import (
     ppm_predictabilities_reference,
     producer_indices,
 )
+from repro.mica.ilp import (
+    _window_critical_paths_reference,
+    window_cycle_counts,
+)
+from repro.mica.segmented import (
+    MAX_VECTOR_ORDER,
+    VARIANTS,
+    _SegmentedContext,
+    _segmented_ppm,
+    _segmented_ppm_reference,
+)
 from repro.synth import (
     BranchSpec,
     RegisterSpec,
@@ -198,3 +209,59 @@ class TestIlpEquivalence:
                 ilp_ipc(trace, windows),
                 ilp_ipc_reference(trace, windows),
             )
+
+
+class TestWindowCriticalPathEquivalence:
+    """:func:`window_cycle_counts` (the all-window-sizes vectorized
+    engine) must match the retained scalar specification
+    :func:`_window_critical_paths_reference` per window size."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("length", [10, 257, 1500])
+    def test_randomized_traces_match(self, seed, length):
+        trace = random_branchy_trace(seed, length)
+        producer1, producer2 = producer_indices(trace)
+        windows = (16, 32, 64, 128)
+        counts = window_cycle_counts(producer1, producer2, windows)
+        for window, total in zip(windows, counts):
+            assert total == _window_critical_paths_reference(
+                producer1, producer2, window
+            )
+
+    def test_window_larger_than_trace(self):
+        trace = random_branchy_trace(7, 50)
+        producer1, producer2 = producer_indices(trace)
+        assert window_cycle_counts(producer1, producer2, (512,))[0] == (
+            _window_critical_paths_reference(producer1, producer2, 512)
+        )
+
+
+class TestSegmentedPpmReferenceEquivalence:
+    """The packed per-interval PPM engine must be bit-identical to the
+    retained per-chunk fallback :func:`_segmented_ppm_reference`."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_vectorized_matches_reference(self, seed):
+        trace = random_branchy_trace(seed, 1200, pcs=6)
+        interval, count = 300, 4
+        wanted = np.ones(len(VARIANTS), dtype=bool)
+        engine = _segmented_ppm(
+            _SegmentedContext(trace, interval, count), 3, wanted
+        )
+        reference = _segmented_ppm_reference(
+            _SegmentedContext(trace, interval, count), 3
+        )
+        assert np.array_equal(engine, reference)
+
+    def test_overwide_order_falls_back_to_reference(self):
+        trace = random_branchy_trace(3, 600, pcs=4)
+        interval, count = 200, 3
+        wanted = np.ones(len(VARIANTS), dtype=bool)
+        over = MAX_VECTOR_ORDER + 1
+        engine = _segmented_ppm(
+            _SegmentedContext(trace, interval, count), over, wanted
+        )
+        reference = _segmented_ppm_reference(
+            _SegmentedContext(trace, interval, count), over
+        )
+        assert np.array_equal(engine, reference)
